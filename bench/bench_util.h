@@ -1,0 +1,69 @@
+#ifndef CPGAN_BENCH_BENCH_UTIL_H_
+#define CPGAN_BENCH_BENCH_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "graph/graph.h"
+
+namespace cpgan::bench {
+
+/// Result of fitting one model on one graph and generating once.
+struct ModelRun {
+  bool feasible = false;          // false mirrors the paper's OOM cells
+  graph::Graph generated{0};
+  double fit_seconds = 0.0;
+  double generate_seconds = 0.0;
+  int64_t peak_bytes = 0;
+  /// Edge probabilities on request (reconstruction models only).
+  std::vector<double> positive_probs;
+  std::vector<double> negative_probs;
+  std::vector<double> test_positive_probs;
+  std::vector<double> test_negative_probs;
+};
+
+/// Model names for the paper's tables.
+std::vector<std::string> TraditionalModels();   // E-R ... MMSB
+std::vector<std::string> LearnedModels();       // VGAE ... CPGAN
+std::vector<std::string> CpganVariants();       // CPGAN-C/-noV/-noH/CPGAN
+
+/// Scales every learning-based model's epoch count (benchmarks use smaller
+/// budgets than the library defaults to stay single-core friendly).
+struct RunOptions {
+  int learned_epochs = 300;
+  uint64_t seed = 1;
+  /// When set, also computes edge probabilities for these pairs after
+  /// training (NLL evaluation).
+  const std::vector<graph::Edge>* positive_pairs = nullptr;
+  const std::vector<graph::Edge>* negative_pairs = nullptr;
+  const std::vector<graph::Edge>* test_positive_pairs = nullptr;
+  const std::vector<graph::Edge>* test_negative_pairs = nullptr;
+};
+
+/// Fits the named model on `observed` and generates one graph. Understands
+/// every traditional model, every learned baseline, CPGAN, and the CPGAN
+/// ablation variants. Infeasible (OOM-analogue) runs return
+/// feasible=false.
+ModelRun RunModel(const std::string& name, const graph::Graph& observed,
+                  const RunOptions& options);
+
+/// Number of evaluation repetitions (mean±std); reads CPGAN_BENCH_RUNS,
+/// default 2.
+int BenchRuns();
+
+/// Global size multiplier for bench datasets; reads CPGAN_BENCH_SCALE
+/// (e.g. "0.5" halves every dataset), default 1.0.
+double BenchScale();
+
+/// Builds the named dataset at the bench scale.
+graph::Graph BenchDataset(const std::string& name, uint64_t seed = 42);
+
+/// CPGAN config used across benches (paper-faithful switches, bench-sized
+/// widths).
+core::CpganConfig BenchCpganConfig(int epochs, uint64_t seed);
+
+}  // namespace cpgan::bench
+
+#endif  // CPGAN_BENCH_BENCH_UTIL_H_

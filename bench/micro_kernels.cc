@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks of the kernels behind the paper's
+// complexity claims: O(m + n) graph convolution / pooling (Section III-C),
+// O(m + n) Louvain, and the subgraph decode that dominates CPGAN training.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "community/louvain.h"
+#include "data/datasets.h"
+#include "graph/spectral.h"
+#include "nn/gcn.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cpgan;
+
+graph::Graph MakeGraph(int n) {
+  return data::MakeScaledDataset("google_like", n, 13);
+}
+
+void BM_SpMM(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  graph::Graph g = MakeGraph(n);
+  tensor::SparseMatrix a = tensor::NormalizedAdjacency(n, g.Edges());
+  util::Rng rng(1);
+  tensor::Matrix x(n, 32);
+  x.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(x));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpMM)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_DenseMatmul(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  tensor::Matrix a(n, 32);
+  tensor::Matrix b(32, n);
+  a.FillNormal(rng, 1.0f);
+  b.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Matmul(a, b));
+  }
+}
+BENCHMARK(BM_DenseMatmul)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GcnForwardBackward(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  graph::Graph g = MakeGraph(n);
+  auto a = std::make_shared<tensor::SparseMatrix>(
+      tensor::NormalizedAdjacency(n, g.Edges()));
+  util::Rng rng(3);
+  nn::GcnConv conv(16, 32, rng);
+  tensor::Matrix x(n, 16);
+  x.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    tensor::Tensor input(x, /*requires_grad=*/true);
+    tensor::Tensor loss = tensor::MeanAll(
+        tensor::Square(conv.Forward(a, input)));
+    tensor::Backward(loss);
+    benchmark::DoNotOptimize(loss.Scalar());
+  }
+}
+BENCHMARK(BM_GcnForwardBackward)->Arg(256)->Arg(1024);
+
+void BM_Louvain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  graph::Graph g = MakeGraph(n);
+  for (auto _ : state) {
+    util::Rng rng(4);
+    benchmark::DoNotOptimize(community::Louvain(g, rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Louvain)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_SpectralEmbedding(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  graph::Graph g = MakeGraph(n);
+  for (auto _ : state) {
+    util::Rng rng(5);
+    benchmark::DoNotOptimize(graph::SpectralEmbedding(g, 16, rng, 10));
+  }
+}
+BENCHMARK(BM_SpectralEmbedding)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

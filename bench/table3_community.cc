@@ -1,0 +1,74 @@
+// Reproduces Table III: community-structure preservation (NMI / ARI, x100,
+// higher is better) of every generator on every dataset. "OOM" marks models
+// whose simulated memory budget is exceeded (DESIGN.md §2.2).
+//
+// Expected shape (per the paper): CPGAN best overall, learning-based models
+// above traditional ones, BTER the best traditional model.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "eval/community_eval.h"
+#include "eval/report.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cpgan;
+  const std::vector<std::string> datasets = data::DatasetNames();
+  const std::vector<std::string> models = {
+      "SBM", "DCSBM", "BTER", "MMSB", "VGAE", "Graphite", "SBMGNN",
+      "NetGAN", "CPGAN"};
+  int runs = bench::BenchRuns();
+  std::printf(
+      "Table III analogue: community preservation (NMI/ARI x 100, higher "
+      "is better), %d run(s)\n\n",
+      runs);
+
+  std::vector<std::string> headers = {"Model"};
+  for (const std::string& d : datasets) {
+    headers.push_back(d + " NMI");
+    headers.push_back(d + " ARI");
+  }
+  util::Table table(headers);
+
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    for (const std::string& dataset : datasets) {
+      graph::Graph observed = bench::BenchDataset(dataset);
+      std::vector<double> nmis;
+      std::vector<double> aris;
+      bool feasible = true;
+      for (int run = 0; run < runs; ++run) {
+        bench::RunOptions options;
+        options.seed = 100 + run;
+        bench::ModelRun result = bench::RunModel(model, observed, options);
+        if (!result.feasible) {
+          feasible = false;
+          break;
+        }
+        util::Rng rng(7 + run);
+        eval::CommunityMetrics metrics = eval::EvaluateCommunityPreservation(
+            observed, result.generated, rng);
+        nmis.push_back(metrics.nmi);
+        aris.push_back(metrics.ari);
+      }
+      if (!feasible) {
+        row.push_back("OOM");
+        row.push_back("OOM");
+      } else {
+        row.push_back(eval::FormatMeanStdE2(nmis));
+        row.push_back(eval::FormatMeanStdE2(aris));
+      }
+      std::fflush(stdout);
+    }
+    table.AddRow(row);
+    std::printf("finished %s\n", model.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table VII: wall-clock seconds to generate ONE graph as the node
+// count grows. The sweep is scaled to a single CPU core (the paper sweeps
+// 0.1k-100k on a GPU; we sweep 0.1k-3k — DESIGN.md §2.2). "-" marks models
+// whose simulated memory budget is exceeded, mirroring the paper's dashes.
+//
+// Expected shape: traditional generators orders of magnitude faster;
+// among learning-based models CPGAN remains feasible the longest.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cpgan;
+  const std::vector<int> sizes = {100, 300, 1000, 3000};
+  const std::vector<std::string> models = {
+      "E-R",  "B-A",    "Chung-Lu", "SBM",        "DCSBM",
+      "BTER", "MMSB",   "Kronecker", "GraphRNN-S", "VGAE",
+      "Graphite", "SBMGNN", "NetGAN", "CondGen-R",  "CPGAN"};
+  std::printf(
+      "Table VII analogue: generation seconds per graph vs node count\n\n");
+
+  std::vector<std::string> headers = {"Model"};
+  for (int n : sizes) headers.push_back(std::to_string(n));
+  util::Table table(headers);
+
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    for (int n : sizes) {
+      graph::Graph observed = data::MakeScaledDataset("google_like", n, 7);
+      bench::RunOptions options;
+      options.seed = 900;
+      options.learned_epochs = 15;  // fit cost excluded; quality irrelevant
+      bench::ModelRun result = bench::RunModel(model, observed, options);
+      row.push_back(result.feasible
+                        ? util::FormatCompact(result.generate_seconds)
+                        : "-");
+      std::fflush(stdout);
+    }
+    table.AddRow(row);
+    std::printf("finished %s\n", model.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table VIII: wall-clock minutes for the entire training process
+// as the node count grows (fixed epoch budget per model, single CPU core;
+// the sweep is 0.1k-3k instead of the paper's 0.1k-100k — DESIGN.md §2.2).
+//
+// Expected shape: CPGAN's subgraph-sampled training scales best among the
+// learning-based models (near-flat in n once n >> n_s), while the
+// full-adjacency models grow ~quadratically and hit the memory wall.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cpgan;
+  const std::vector<int> sizes = {100, 300, 1000, 3000};
+  const std::vector<std::string> models = {
+      "MMSB", "Kronecker", "GraphRNN-S", "VGAE", "Graphite",
+      "SBMGNN", "NetGAN", "CondGen-R", "CPGAN"};
+  std::printf(
+      "Table VIII analogue: training minutes vs node count (fixed epoch "
+      "budget)\n\n");
+
+  std::vector<std::string> headers = {"Model"};
+  for (int n : sizes) headers.push_back(std::to_string(n));
+  util::Table table(headers);
+
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    for (int n : sizes) {
+      graph::Graph observed = data::MakeScaledDataset("google_like", n, 7);
+      bench::RunOptions options;
+      options.seed = 901;
+      options.learned_epochs = 60;
+      bench::ModelRun result = bench::RunModel(model, observed, options);
+      row.push_back(result.feasible
+                        ? util::FormatCompact(result.fit_seconds / 60.0)
+                        : "-");
+      std::fflush(stdout);
+    }
+    table.AddRow(row);
+    std::printf("finished %s\n", model.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Privacy-preserving sharing of a financial guarantee network — the
+// motivating application from the paper's introduction: "in financial fraud
+// detection, generated graphs can be adopted to produce synthetic financial
+// networks without divulging private information".
+//
+// The example builds a synthetic guarantee-loan network (dense guarantee
+// rings inside institution groups), trains CPGAN on it, and emits a
+// shareable synthetic twin whose community structure — the financial
+// institution groups an analyst would study — is preserved while no original
+// edge (individual guarantee relationship) needs to be disclosed.
+//
+//   ./build/examples/financial_network [output-edge-list]
+
+#include <cstdio>
+
+#include "community/louvain.h"
+#include "core/cpgan.h"
+#include "data/synthetic.h"
+#include "eval/community_eval.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace cpgan;
+  const char* output = argc > 1 ? argv[1] : "synthetic_guarantee_network.txt";
+
+  // A guarantee-loan network: institution groups form dense guarantee
+  // rings; a few cross-group guarantees tie the market together.
+  data::CommunityGraphParams params;
+  params.num_nodes = 600;
+  params.num_edges = 2600;
+  params.num_communities = 25;     // institution groups
+  params.intra_fraction = 0.9;     // most guarantees stay inside a group
+  params.degree_exponent = 2.2;    // a few heavily-guaranteed hub firms
+  params.triangle_fraction = 0.2;  // guarantee rings close triangles
+  util::Rng build_rng(2024);
+  graph::Graph private_network = data::MakeCommunityGraph(params, build_rng);
+
+  util::Rng rng(1);
+  community::LouvainResult groups = community::Louvain(private_network, rng);
+  std::printf("Private guarantee network: %d firms, %lld guarantees, "
+              "%d institution groups (modularity %.3f)\n",
+              private_network.num_nodes(),
+              static_cast<long long>(private_network.num_edges()),
+              groups.FinalPartition().num_communities(), groups.modularity);
+
+  // Train the community-preserving generator on the private network.
+  core::CpganConfig config;
+  config.epochs = 400;
+  config.subgraph_size = 256;
+  config.feature_dim = 32;
+  config.latent_dim = 32;
+  config.seed = 99;
+  core::Cpgan model(config);
+  core::TrainStats stats = model.Fit(private_network);
+  std::printf("CPGAN trained in %.1fs\n", stats.train_seconds);
+
+  // Generate the shareable synthetic twin.
+  graph::Graph synthetic = model.Generate();
+
+  // How much private detail leaks? Count exact edge overlap.
+  int64_t overlap = 0;
+  for (const auto& [u, v] : synthetic.Edges()) {
+    if (private_network.HasEdge(u, v)) ++overlap;
+  }
+  eval::CommunityMetrics preserved =
+      eval::EvaluateCommunityPreservation(private_network, synthetic, rng);
+  util::Rng stats_rng(3);
+  graph::GraphSummary real_summary =
+      graph::ComputeSummary(private_network, stats_rng);
+  graph::GraphSummary synth_summary =
+      graph::ComputeSummary(synthetic, stats_rng);
+
+  std::printf("\nSynthetic twin: %lld guarantees, %.1f%% exact-edge overlap "
+              "with the private network\n",
+              static_cast<long long>(synthetic.num_edges()),
+              100.0 * static_cast<double>(overlap) /
+                  static_cast<double>(synthetic.num_edges()));
+  std::printf("Institution-group preservation: NMI=%.3f ARI=%.3f\n",
+              preserved.nmi, preserved.ari);
+  std::printf("Structure (real vs synthetic): mean degree %.2f vs %.2f, "
+              "clustering %.3f vs %.3f, GINI %.3f vs %.3f\n",
+              real_summary.mean_degree, synth_summary.mean_degree,
+              real_summary.avg_clustering, synth_summary.avg_clustering,
+              real_summary.gini, synth_summary.gini);
+
+  if (graph::SaveEdgeList(synthetic, output)) {
+    std::printf("\nShareable synthetic network written to %s\n", output);
+  }
+  return 0;
+}

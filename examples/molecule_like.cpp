@@ -1,0 +1,93 @@
+// Multi-graph training on a family of small molecule-like graphs — the
+// paper's introduction motivates graph generation with molecule synthesis,
+// and its problem statement allows learning from a *set* of training graphs.
+// This example builds a family of ring-and-tail "molecules", trains one
+// CPGAN on the whole set with Cpgan::FitMany, and samples new members.
+//
+//   ./build/examples/molecule_like
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cpgan.h"
+#include "graph/algorithms.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cpgan;
+
+/// A "molecule": one or two carbon-style rings joined by a bridge, with
+/// hydrogen-style pendant nodes attached to ring members.
+graph::Graph MakeMolecule(util::Rng& rng) {
+  std::vector<graph::Edge> edges;
+  int ring1 = 5 + static_cast<int>(rng.UniformInt(3));  // 5-7 membered ring
+  int ring2 = 5 + static_cast<int>(rng.UniformInt(3));
+  int n = 0;
+  auto add_ring = [&edges, &n](int size) {
+    int base = n;
+    for (int i = 0; i < size; ++i) {
+      edges.emplace_back(base + i, base + (i + 1) % size);
+    }
+    n += size;
+    return base;
+  };
+  int base1 = add_ring(ring1);
+  int base2 = add_ring(ring2);
+  edges.emplace_back(base1, base2);  // bridge bond
+  // Pendant nodes on ~half the ring atoms.
+  int ring_total = n;
+  for (int v = 0; v < ring_total; ++v) {
+    if (rng.Bernoulli(0.5)) {
+      edges.emplace_back(v, n);
+      ++n;
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
+}  // namespace
+
+int main() {
+  util::Rng build_rng(7);
+  std::vector<graph::Graph> family;
+  for (int i = 0; i < 6; ++i) family.push_back(MakeMolecule(build_rng));
+  std::printf("Training family: %zu molecule-like graphs, sizes", family.size());
+  for (const graph::Graph& g : family) std::printf(" %d", g.num_nodes());
+  std::printf("\n");
+
+  core::CpganConfig config;
+  config.epochs = 240;
+  config.subgraph_size = 32;
+  config.feature_dim = 8;
+  config.hidden_dim = 16;
+  config.latent_dim = 8;
+  config.num_levels = 2;
+  config.max_pool_size = 8;
+  config.seed = 3;
+  core::Cpgan model(config);
+  core::TrainStats stats = model.FitMany(family);
+  std::printf("Trained on the set in %.1fs (final G loss %.3f)\n",
+              stats.train_seconds, stats.g_loss.back());
+
+  // Reconstruct the first molecule and sample two new ones from the prior.
+  graph::Graph reconstructed = model.Generate();
+  std::printf("\nReconstruction of molecule 0: n=%d m=%lld (original m=%lld)\n",
+              reconstructed.num_nodes(),
+              static_cast<long long>(reconstructed.num_edges()),
+              static_cast<long long>(family[0].num_edges()));
+  for (int sample = 0; sample < 2; ++sample) {
+    int n = family[sample].num_nodes();
+    graph::Graph fresh = model.GenerateWithSize(n, family[sample].num_edges());
+    util::Rng rng(10 + sample);
+    std::printf("Sampled molecule %d: n=%d m=%lld rings(triangle-free)=%s "
+                "mean_deg=%.2f CPL=%.2f\n",
+                sample, fresh.num_nodes(),
+                static_cast<long long>(fresh.num_edges()),
+                graph::CountTriangles(fresh) == 0 ? "yes" : "no",
+                fresh.MeanDegree(),
+                graph::CharacteristicPathLength(fresh, rng));
+  }
+  return 0;
+}

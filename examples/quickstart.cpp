@@ -1,0 +1,76 @@
+// Quickstart: train CPGAN on a community-structured graph and generate a
+// synthetic twin.
+//
+//   ./build/examples/quickstart [dataset-or-edgelist-path]
+//
+// Walks through the full public API: dataset loading, CPGAN configuration,
+// training, generation, and evaluation of the result with the paper's
+// community-preservation and structure metrics.
+
+#include <cstdio>
+
+#include "core/cpgan.h"
+#include "data/loader.h"
+#include "eval/community_eval.h"
+#include "eval/graph_metrics.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace cpgan;
+
+  // 1. Load a graph: a named synthetic dataset or any edge-list file.
+  std::string ref = argc > 1 ? argv[1] : "ppi_like";
+  graph::Graph observed = data::LoadGraph(ref);
+  std::printf("Loaded '%s': %d nodes, %lld edges\n", ref.c_str(),
+              observed.num_nodes(),
+              static_cast<long long>(observed.num_edges()));
+
+  // 2. Configure CPGAN. Defaults follow the paper (2 hierarchy levels,
+  //    Adam @ 1e-3); a few hundred epochs suffice at this scale.
+  core::CpganConfig config;
+  config.epochs = 300;
+  config.subgraph_size = 256;
+  config.feature_dim = 32;
+  config.latent_dim = 32;
+  config.verbose = true;
+  config.seed = 7;
+
+  // 3. Train.
+  core::Cpgan model(config);
+  core::TrainStats stats = model.Fit(observed);
+  std::printf("Trained %lld parameters in %.1fs (final G loss %.3f)\n",
+              static_cast<long long>(model.ParameterCount()),
+              stats.train_seconds, stats.g_loss.back());
+
+  // 4. Generate a synthetic twin with the same size and edge budget.
+  graph::Graph generated = model.Generate();
+  std::printf("Generated graph: %d nodes, %lld edges\n",
+              generated.num_nodes(),
+              static_cast<long long>(generated.num_edges()));
+
+  // 5. Evaluate: community preservation (Table III metrics) and structural
+  //    fidelity (Table IV metrics).
+  util::Rng rng(1);
+  eval::CommunityMetrics community =
+      eval::EvaluateCommunityPreservation(observed, generated, rng);
+  eval::GenerationMetrics structure =
+      eval::ComputeGenerationMetrics(observed, generated, rng);
+  std::printf("\nCommunity preservation: NMI=%.3f ARI=%.3f\n", community.nmi,
+              community.ari);
+  std::printf("Structure differences:  Deg=%.4f Clus=%.4f CPL=%.2f "
+              "GINI=%.3f PWE=%.3f\n",
+              structure.deg, structure.clus, structure.cpl, structure.gini,
+              structure.pwe);
+
+  // 6. Sample a brand-new graph of arbitrary size from the prior.
+  graph::Graph fresh = model.GenerateWithSize(observed.num_nodes() / 2,
+                                              observed.num_edges() / 2);
+  util::Rng stats_rng(2);
+  graph::GraphSummary summary = graph::ComputeSummary(fresh, stats_rng);
+  std::printf("\nPrior sample (half size): n=%d m=%lld mean_deg=%.2f "
+              "clustering=%.3f\n",
+              summary.num_nodes, static_cast<long long>(summary.num_edges),
+              summary.mean_degree, summary.avg_clustering);
+  return 0;
+}

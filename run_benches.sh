@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates bench_output.txt: every table/figure of the paper plus the
+# repo's own ablations. Roughly an hour on one CPU core.
+cd "$(dirname "$0")"
+: > bench_output.txt
+for b in table2_datasets micro_kernels table9_memory table7_inference_time \
+         table8_training_time table3_community table4_generation \
+         table5_reconstruction table6_ablation fig5_sensitivity \
+         fig6_robustness ablation_design; do
+  echo "===== build/bench/$b =====" >> bench_output.txt
+  ( time ./build/bench/$b ) >> bench_output.txt 2>&1
+  echo "" >> bench_output.txt
+  echo "[done] $b at $(date +%H:%M:%S)"
+done
+echo "ALL BENCHES COMPLETE"

@@ -1,0 +1,10 @@
+#!/bin/bash
+cd /root/repo
+for b in table4_generation table5_reconstruction table6_ablation \
+         fig5_sensitivity fig6_robustness ablation_design; do
+  echo "===== build/bench/$b =====" >> bench_output.txt
+  ( time ./build/bench/$b ) >> bench_output.txt 2>&1
+  echo "" >> bench_output.txt
+  echo "[done] $b at $(date +%H:%M:%S)"
+done
+echo "ALL REMAINING BENCHES COMPLETE"

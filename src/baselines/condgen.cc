@@ -1,0 +1,39 @@
+#include "baselines/condgen.h"
+
+#include "util/check.h"
+
+namespace cpgan::baselines {
+
+CondGenR::CondGenR(int epochs, uint64_t seed) : epochs_(epochs), seed_(seed) {}
+
+LearnedTrainStats CondGenR::Fit(const graph::Graph& observed) {
+  CPGAN_CHECK(FeasibleFor(observed.num_nodes()));
+  core::CpganConfig config;
+  config.use_hierarchy = false;     // no ladder pooling
+  config.num_levels = 1;
+  config.clus_weight = 0.0f;        // no community-consistency loss
+  config.concat_decoder = true;     // plain projection decoder (single level)
+  config.subgraph_size = observed.num_nodes();  // full-graph training
+  config.epochs = epochs_;
+  config.seed = seed_;
+  model_ = std::make_unique<core::Cpgan>(config);
+  core::TrainStats stats = model_->Fit(observed);
+  LearnedTrainStats out;
+  out.loss = stats.g_loss;
+  out.train_seconds = stats.train_seconds;
+  out.peak_bytes = stats.peak_bytes;
+  return out;
+}
+
+graph::Graph CondGenR::Generate() {
+  CPGAN_CHECK(model_ != nullptr);
+  return model_->Generate();
+}
+
+std::vector<double> CondGenR::EdgeProbabilities(
+    const std::vector<graph::Edge>& pairs) {
+  CPGAN_CHECK(model_ != nullptr);
+  return model_->EdgeProbabilities(pairs);
+}
+
+}  // namespace cpgan::baselines

@@ -1,0 +1,40 @@
+#ifndef CPGAN_BASELINES_CONDGEN_H_
+#define CPGAN_BASELINES_CONDGEN_H_
+
+#include <memory>
+
+#include "baselines/learned_generator.h"
+#include "core/cpgan.h"
+
+namespace cpgan::baselines {
+
+/// CondGen-R (Yang et al., 2019), the scalable variant used in the paper:
+/// a GCN variational encoder with an inner-product decoder inside a GAN,
+/// permutation-invariant via the embedding-space formulation.
+///
+/// Implemented on the shared CPGAN machinery with the hierarchy, the
+/// clustering-consistency loss, and the subgraph sampling disabled — it
+/// trains on the full graph every step, which bounds its scalability
+/// (the paper's efficiency tables stop CondGen-R at 1k nodes).
+class CondGenR : public LearnedGenerator {
+ public:
+  /// `epochs`/`seed` mirror the CPGAN defaults for fair comparisons.
+  explicit CondGenR(int epochs = 120, uint64_t seed = 1);
+
+  std::string name() const override { return "CondGen-R"; }
+  int max_feasible_nodes() const override { return 900; }
+
+  LearnedTrainStats Fit(const graph::Graph& observed) override;
+  graph::Graph Generate() override;
+  std::vector<double> EdgeProbabilities(
+      const std::vector<graph::Edge>& pairs) override;
+
+ private:
+  int epochs_;
+  uint64_t seed_;
+  std::unique_ptr<core::Cpgan> model_;
+};
+
+}  // namespace cpgan::baselines
+
+#endif  // CPGAN_BASELINES_CONDGEN_H_

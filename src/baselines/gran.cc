@@ -1,0 +1,125 @@
+#include "baselines/gran.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/memory_tracker.h"
+#include "util/timer.h"
+
+namespace cpgan::baselines {
+
+namespace t = cpgan::tensor;
+
+Gran::Gran(const GranConfig& config) : config_(config), rng_(config.seed) {}
+
+LearnedTrainStats Gran::Fit(const graph::Graph& observed) {
+  CPGAN_CHECK(!trained_);
+  CPGAN_CHECK(FeasibleFor(observed.num_nodes()));
+  util::Timer timer;
+  util::MemoryTracker::Global().ResetPeak();
+  num_nodes_ = observed.num_nodes();
+
+  std::vector<int> order = graph::BfsOrder(observed, 0);
+  std::vector<int> position(num_nodes_);
+  for (int i = 0; i < num_nodes_; ++i) position[order[i]] = i;
+  int bandwidth = 1;
+  for (const auto& [u, v] : observed.Edges()) {
+    bandwidth = std::max(bandwidth, std::abs(position[u] - position[v]));
+  }
+  bandwidth_ = std::min(bandwidth, config_.max_prev);
+
+  int block = config_.block_size;
+  int out_dim = block * bandwidth_;
+  gru_ = std::make_unique<nn::GruCell>(out_dim, config_.hidden_dim, rng_);
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{config_.hidden_dim, config_.hidden_dim, out_dim}, rng_);
+
+  std::vector<t::Tensor> params = gru_->Parameters();
+  {
+    auto more = head_->Parameters();
+    params.insert(params.end(), more.begin(), more.end());
+  }
+  t::Adam opt(params, config_.learning_rate);
+
+  LearnedTrainStats stats;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    int start = static_cast<int>(rng_.UniformInt(num_nodes_));
+    order = graph::BfsOrder(observed, start);
+    for (int i = 0; i < num_nodes_; ++i) position[order[i]] = i;
+
+    // targets[i][d] = 1 iff node at position i links back to position
+    // i - 1 - d (d < bandwidth_).
+    std::vector<std::vector<float>> targets(
+        num_nodes_, std::vector<float>(bandwidth_, 0.0f));
+    for (const auto& [u, v] : observed.Edges()) {
+      int a = std::min(position[u], position[v]);
+      int b = std::max(position[u], position[v]);
+      int back = b - a - 1;
+      if (back < bandwidth_) targets[b][back] = 1.0f;
+    }
+
+    // Blockwise teacher forcing: one GRU step per block of nodes.
+    t::Tensor h = gru_->InitialState(1);
+    t::Tensor prev = t::Constant(t::Matrix(1, out_dim, 1.0f));
+    t::Tensor loss = t::ScalarConstant(0.0f);
+    int steps = 0;
+    for (int base = 1; base < num_nodes_; base += block) {
+      h = gru_->Forward(prev, h);
+      t::Tensor logits = head_->Forward(h);
+      t::Matrix y(1, out_dim);
+      t::Matrix next_prev(1, out_dim);
+      for (int b = 0; b < block; ++b) {
+        int node = base + b;
+        if (node >= num_nodes_) break;
+        for (int d = 0; d < std::min(node, bandwidth_); ++d) {
+          float target = targets[node][d];
+          y.At(0, b * bandwidth_ + d) = target;
+          next_prev.At(0, b * bandwidth_ + d) = target;
+        }
+      }
+      loss = t::Add(loss, t::BceWithLogits(logits, y, 4.0f));
+      ++steps;
+      prev = t::Constant(std::move(next_prev));
+    }
+    loss = t::Scale(loss, 1.0f / std::max(1, steps));
+    t::Backward(loss);
+    t::ClipGradients(params, 5.0f);
+    opt.Step();
+    opt.ZeroGrad();
+    stats.loss.push_back(loss.Scalar());
+  }
+  trained_ = true;
+  stats.train_seconds = timer.Seconds();
+  stats.peak_bytes = util::MemoryTracker::Global().peak_bytes();
+  return stats;
+}
+
+graph::Graph Gran::Generate() {
+  CPGAN_CHECK(trained_);
+  int block = config_.block_size;
+  int out_dim = block * bandwidth_;
+  std::vector<graph::Edge> edges;
+  t::Tensor h = gru_->InitialState(1);
+  t::Tensor prev = t::Constant(t::Matrix(1, out_dim, 1.0f));
+  for (int base = 1; base < num_nodes_; base += block) {
+    h = gru_->Forward(prev, h);
+    t::Matrix probs = t::Sigmoid(head_->Forward(h)).value();
+    t::Matrix emitted(1, out_dim);
+    for (int b = 0; b < block; ++b) {
+      int node = base + b;
+      if (node >= num_nodes_) break;
+      for (int d = 0; d < std::min(node, bandwidth_); ++d) {
+        if (rng_.Bernoulli(probs.At(0, b * bandwidth_ + d))) {
+          edges.emplace_back(node - 1 - d, node);
+          emitted.At(0, b * bandwidth_ + d) = 1.0f;
+        }
+      }
+    }
+    prev = t::Constant(std::move(emitted));
+  }
+  return graph::Graph(num_nodes_, edges);
+}
+
+}  // namespace cpgan::baselines

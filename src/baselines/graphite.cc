@@ -1,0 +1,35 @@
+#include "baselines/graphite.h"
+
+#include "tensor/ops.h"
+
+namespace cpgan::baselines {
+
+namespace t = cpgan::tensor;
+
+Graphite::Graphite(const VgaeConfig& config) : Vgae(config) {}
+
+void Graphite::BuildExtra(util::Rng& rng) {
+  refine1_ = std::make_unique<nn::Linear>(config_.latent_dim,
+                                          config_.latent_dim, rng);
+  refine2_ = std::make_unique<nn::Linear>(config_.latent_dim,
+                                          config_.latent_dim, rng);
+}
+
+std::vector<t::Tensor> Graphite::ExtraParameters() const {
+  std::vector<t::Tensor> params = refine1_->Parameters();
+  std::vector<t::Tensor> more = refine2_->Parameters();
+  params.insert(params.end(), more.begin(), more.end());
+  return params;
+}
+
+t::Tensor Graphite::DecodeLogits(const t::Tensor& z) const {
+  // Soft adjacency implied by the current codes, row-normalized.
+  t::Tensor soft = t::Sigmoid(t::Matmul(z, t::Transpose(z)));
+  t::Tensor sums = t::AddConst(t::RowSum(soft), 1e-6f);
+  t::Tensor norm = t::MulColVec(soft, t::Reciprocal(sums));
+  t::Tensor refined = t::Relu(refine1_->Forward(t::Matmul(norm, z)));
+  t::Tensor out = t::Add(refine2_->Forward(refined), z);  // residual
+  return AddEdgeBias(t::Matmul(out, t::Transpose(out)));
+}
+
+}  // namespace cpgan::baselines

@@ -1,0 +1,37 @@
+#ifndef CPGAN_BASELINES_GRAPHITE_H_
+#define CPGAN_BASELINES_GRAPHITE_H_
+
+#include <memory>
+
+#include "baselines/vgae.h"
+#include "nn/linear.h"
+
+namespace cpgan::baselines {
+
+/// Graphite (Grover et al., 2019): VGAE with an iterative decoder that
+/// refines the latent codes through the soft adjacency it implies before the
+/// final inner product:
+///   A~   = sigmoid(Z Z^T) (row-normalized)
+///   Z'   = relu(A~ Z W1)
+///   Z''  = Z' W2 + Z            (residual)
+///   logits = Z'' Z''^T
+class Graphite : public Vgae {
+ public:
+  explicit Graphite(const VgaeConfig& config = {});
+
+  std::string name() const override { return "Graphite"; }
+  int max_feasible_nodes() const override { return 1300; }
+
+ protected:
+  tensor::Tensor DecodeLogits(const tensor::Tensor& z) const override;
+  void BuildExtra(util::Rng& rng) override;
+  std::vector<tensor::Tensor> ExtraParameters() const override;
+
+ private:
+  std::unique_ptr<nn::Linear> refine1_;
+  std::unique_ptr<nn::Linear> refine2_;
+};
+
+}  // namespace cpgan::baselines
+
+#endif  // CPGAN_BASELINES_GRAPHITE_H_

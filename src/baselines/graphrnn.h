@@ -1,0 +1,52 @@
+#ifndef CPGAN_BASELINES_GRAPHRNN_H_
+#define CPGAN_BASELINES_GRAPHRNN_H_
+
+#include <memory>
+
+#include "baselines/learned_generator.h"
+#include "nn/gru.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace cpgan::baselines {
+
+/// Hyper-parameters for GraphRNN-S.
+struct GraphRnnConfig {
+  int max_prev = 32;   // adjacency-vector bandwidth M (capped)
+  int hidden_dim = 64;
+  int epochs = 40;
+  float learning_rate = 3e-3f;
+  uint64_t seed = 1;
+};
+
+/// GraphRNN-S (You et al., 2018), the scalable simplified variant: nodes are
+/// emitted in BFS order; a graph-level GRU consumes the previous node's
+/// adjacency vector (connections to the last M nodes) and an MLP head emits
+/// the Bernoulli logits of the next node's adjacency vector, trained with
+/// teacher forcing. Not permutation-invariant — the BFS ordering is part of
+/// the model, which is why the paper excludes it from the community table.
+class GraphRnnS : public LearnedGenerator {
+ public:
+  explicit GraphRnnS(const GraphRnnConfig& config = {});
+
+  std::string name() const override { return "GraphRNN-S"; }
+  int max_feasible_nodes() const override { return 700; }
+
+  LearnedTrainStats Fit(const graph::Graph& observed) override;
+  graph::Graph Generate() override;
+
+ private:
+  GraphRnnConfig config_;
+  util::Rng rng_;
+  bool trained_ = false;
+  int num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  int bandwidth_ = 0;
+
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace cpgan::baselines
+
+#endif  // CPGAN_BASELINES_GRAPHRNN_H_

@@ -1,0 +1,217 @@
+#include "baselines/netgan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/memory_tracker.h"
+#include "util/timer.h"
+
+namespace cpgan::baselines {
+
+namespace t = cpgan::tensor;
+
+Netgan::Netgan(const NetganConfig& config) : config_(config), rng_(config.seed) {}
+
+std::vector<int> Netgan::SampleRealWalk(util::Rng& rng) const {
+  int n = observed_->num_nodes();
+  // Degree-proportional start, then uniform neighbor steps.
+  int current = -1;
+  for (int tries = 0; tries < 64 && current < 0; ++tries) {
+    int candidate = static_cast<int>(rng.UniformInt(n));
+    if (observed_->degree(candidate) > 0) current = candidate;
+  }
+  if (current < 0) current = 0;
+  std::vector<int> walk;
+  walk.reserve(config_.walk_length);
+  walk.push_back(current);
+  for (int step = 1; step < config_.walk_length; ++step) {
+    auto nbrs = observed_->neighbors(current);
+    if (nbrs.empty()) break;
+    current = nbrs[rng.UniformInt(static_cast<int64_t>(nbrs.size()))];
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+std::vector<int> Netgan::SampleModelWalk(util::Rng& rng) const {
+  int n = observed_->num_nodes();
+  std::vector<int> walk;
+  int current = static_cast<int>(rng.UniformInt(n));
+  walk.push_back(current);
+  t::Tensor h = walker_->InitialState(1);
+  for (int step = 1; step < config_.walk_length; ++step) {
+    t::Tensor x = t::GatherRows(embedding_.Detach(), {current});
+    h = walker_->Forward(x, h);
+    t::Matrix logits = out_proj_->Forward(h).value();
+    // Softmax sampling over nodes.
+    float max_logit = logits.At(0, 0);
+    for (int c = 1; c < n; ++c) max_logit = std::max(max_logit, logits.At(0, c));
+    std::vector<double> probs(n);
+    for (int c = 0; c < n; ++c) {
+      probs[c] = std::exp(static_cast<double>(logits.At(0, c) - max_logit));
+    }
+    current = rng.Categorical(probs);
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+LearnedTrainStats Netgan::Fit(const graph::Graph& observed) {
+  CPGAN_CHECK(!trained_);
+  CPGAN_CHECK(FeasibleFor(observed.num_nodes()));
+  util::Timer timer;
+  util::MemoryTracker::Global().ResetPeak();
+  observed_ = std::make_unique<graph::Graph>(observed);
+  int n = observed.num_nodes();
+
+  t::Matrix emb(n, config_.embedding_dim);
+  nn::XavierInit(emb, rng_);
+  embedding_ = t::Tensor(std::move(emb), /*requires_grad=*/true);
+  walker_ = std::make_unique<nn::GruCell>(config_.embedding_dim,
+                                          config_.hidden_dim, rng_);
+  out_proj_ = std::make_unique<nn::Linear>(config_.hidden_dim, n, rng_);
+
+  t::Matrix demb(n, config_.embedding_dim);
+  nn::XavierInit(demb, rng_);
+  d_embedding_ = t::Tensor(std::move(demb), /*requires_grad=*/true);
+  d_gru_ = std::make_unique<nn::GruCell>(config_.embedding_dim,
+                                         config_.hidden_dim, rng_);
+  d_head_ = std::make_unique<nn::Linear>(config_.hidden_dim, 1, rng_);
+
+  std::vector<t::Tensor> gen_params = walker_->Parameters();
+  {
+    auto more = out_proj_->Parameters();
+    gen_params.insert(gen_params.end(), more.begin(), more.end());
+    gen_params.push_back(embedding_);
+  }
+  std::vector<t::Tensor> disc_params = d_gru_->Parameters();
+  {
+    auto more = d_head_->Parameters();
+    disc_params.insert(disc_params.end(), more.begin(), more.end());
+    disc_params.push_back(d_embedding_);
+  }
+  t::Adam gen_opt(gen_params, config_.learning_rate);
+  t::Adam disc_opt(disc_params, config_.learning_rate);
+
+  int batch = config_.walks_per_epoch;
+  int steps = config_.walk_length;
+
+  LearnedTrainStats stats;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // ---- Generator (walker) step: teacher-forced walk likelihood. ----
+    std::vector<std::vector<int>> walks(batch);
+    for (int b = 0; b < batch; ++b) {
+      walks[b] = SampleRealWalk(rng_);
+      while (static_cast<int>(walks[b].size()) < steps) {
+        walks[b].push_back(walks[b].back());  // pad stalled walks
+      }
+    }
+    t::Tensor h = walker_->InitialState(batch);
+    t::Tensor nll = t::ScalarConstant(0.0f);
+    for (int step = 0; step + 1 < steps; ++step) {
+      std::vector<int> inputs(batch);
+      for (int b = 0; b < batch; ++b) inputs[b] = walks[b][step];
+      t::Tensor x = t::GatherRows(embedding_, inputs);
+      h = walker_->Forward(x, h);
+      t::Tensor probs = t::SoftmaxRows(out_proj_->Forward(h));
+      t::Matrix one_hot(batch, n);
+      for (int b = 0; b < batch; ++b) one_hot.At(b, walks[b][step + 1]) = 1.0f;
+      t::Tensor picked = t::Mul(t::Log(probs), t::Constant(std::move(one_hot)));
+      nll = t::Add(nll, t::Scale(t::SumAll(picked),
+                                 -1.0f / static_cast<float>(batch)));
+    }
+    t::Backward(nll);
+    t::ClipGradients(gen_params, 5.0f);
+    gen_opt.Step();
+    gen_opt.ZeroGrad();
+    stats.loss.push_back(nll.Scalar());
+
+    // ---- Discriminator step: real walks vs generated walks. ----
+    int d_batch = std::max(4, batch / 4);
+    auto run_disc = [&](const std::vector<std::vector<int>>& ws) {
+      t::Tensor dh = d_gru_->InitialState(static_cast<int>(ws.size()));
+      for (int step = 0; step < steps; ++step) {
+        std::vector<int> inputs(ws.size());
+        for (size_t b = 0; b < ws.size(); ++b) {
+          inputs[b] = ws[b][std::min<size_t>(step, ws[b].size() - 1)];
+        }
+        dh = d_gru_->Forward(t::GatherRows(d_embedding_, inputs), dh);
+      }
+      return d_head_->Forward(dh);  // batch x 1 logits
+    };
+    std::vector<std::vector<int>> real_walks(d_batch);
+    std::vector<std::vector<int>> fake_walks(d_batch);
+    for (int b = 0; b < d_batch; ++b) {
+      real_walks[b] = SampleRealWalk(rng_);
+      while (static_cast<int>(real_walks[b].size()) < steps) {
+        real_walks[b].push_back(real_walks[b].back());
+      }
+      fake_walks[b] = SampleModelWalk(rng_);
+    }
+    t::Tensor d_real = run_disc(real_walks);
+    t::Tensor d_fake = run_disc(fake_walks);
+    t::Tensor d_loss =
+        t::Add(t::BceWithLogits(d_real, t::Matrix(d_batch, 1, 1.0f)),
+               t::BceWithLogits(d_fake, t::Matrix(d_batch, 1, 0.0f)));
+    t::Backward(d_loss);
+    t::ClipGradients(disc_params, 5.0f);
+    disc_opt.Step();
+    disc_opt.ZeroGrad();
+    // Clear any gradients that leaked into the generator embedding via
+    // sampled walks (none — indices only), and reset generator grads.
+    for (t::Tensor& p : gen_params) p.ZeroGrad();
+  }
+  trained_ = true;
+  stats.train_seconds = timer.Seconds();
+  stats.peak_bytes = util::MemoryTracker::Global().peak_bytes();
+  return stats;
+}
+
+graph::Graph Netgan::Generate() {
+  CPGAN_CHECK(trained_);
+  int n = observed_->num_nodes();
+  int64_t target_edges = observed_->num_edges();
+  int64_t walk_budget =
+      std::max<int64_t>(1, config_.walk_multiplier * target_edges /
+                               std::max(1, config_.walk_length - 1));
+  // Transition counts from generated walks.
+  std::map<graph::Edge, double> counts;
+  for (int64_t w = 0; w < walk_budget; ++w) {
+    std::vector<int> walk = SampleModelWalk(rng_);
+    for (size_t i = 0; i + 1 < walk.size(); ++i) {
+      int u = walk[i];
+      int v = walk[i + 1];
+      if (u == v) continue;
+      counts[{std::min(u, v), std::max(u, v)}] += 1.0;
+    }
+  }
+  // Per-node best edge first, then global top-k.
+  std::vector<graph::Edge> edges;
+  std::set<graph::Edge> chosen;
+  std::vector<std::pair<double, graph::Edge>> best_of(n, {0.0, {-1, -1}});
+  for (const auto& [e, c] : counts) {
+    if (c > best_of[e.first].first) best_of[e.first] = {c, e};
+    if (c > best_of[e.second].first) best_of[e.second] = {c, e};
+  }
+  for (int v = 0; v < n; ++v) {
+    if (best_of[v].second.first >= 0 && chosen.insert(best_of[v].second).second) {
+      edges.push_back(best_of[v].second);
+    }
+  }
+  std::vector<std::pair<double, graph::Edge>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [e, c] : counts) ranked.push_back({c, e});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [c, e] : ranked) {
+    if (static_cast<int64_t>(edges.size()) >= target_edges) break;
+    if (chosen.insert(e).second) edges.push_back(e);
+  }
+  return graph::Graph(n, edges);
+}
+
+}  // namespace cpgan::baselines

@@ -1,0 +1,47 @@
+#include "baselines/sbmgnn.h"
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cpgan::baselines {
+
+namespace t = cpgan::tensor;
+
+Sbmgnn::Sbmgnn(const VgaeConfig& config, int num_blocks)
+    : Vgae(config), num_blocks_(num_blocks) {
+  CPGAN_CHECK_GE(num_blocks_, 2);
+}
+
+void Sbmgnn::BuildExtra(util::Rng& rng) {
+  to_blocks_ = std::make_unique<nn::Linear>(config_.latent_dim, num_blocks_, rng);
+  t::Matrix b(num_blocks_, num_blocks_);
+  nn::XavierInit(b, rng);
+  // Bias the diagonal so intra-block affinity starts positive.
+  for (int i = 0; i < num_blocks_; ++i) b.At(i, i) += 1.0f;
+  block_matrix_ = t::Tensor(std::move(b), /*requires_grad=*/true);
+  bias_ = t::Tensor(t::Matrix(1, 1, -3.0f), /*requires_grad=*/true);
+}
+
+std::vector<t::Tensor> Sbmgnn::ExtraParameters() const {
+  std::vector<t::Tensor> params = to_blocks_->Parameters();
+  params.push_back(block_matrix_);
+  params.push_back(bias_);
+  return params;
+}
+
+t::Tensor Sbmgnn::DecodeLogits(const t::Tensor& z) const {
+  int n = z.rows();
+  // Overlapping block memberships.
+  t::Tensor pi = t::SoftmaxRows(to_blocks_->Forward(z));
+  // Symmetrize B so the decoder is an undirected blockmodel.
+  t::Tensor b_sym = t::Scale(
+      t::Add(block_matrix_, t::Transpose(block_matrix_)), 0.5f);
+  t::Tensor logits = t::Matmul(t::Matmul(pi, b_sym), t::Transpose(pi));
+  // Broadcast the scalar bias over all pairs.
+  t::Tensor ones_col = t::Constant(t::Matrix(n, 1, 1.0f));
+  t::Tensor ones_row = t::Constant(t::Matrix(1, n, 1.0f));
+  t::Tensor bias_full = t::Matmul(t::Matmul(ones_col, bias_), ones_row);
+  return t::Add(logits, bias_full);
+}
+
+}  // namespace cpgan::baselines

@@ -1,0 +1,40 @@
+#ifndef CPGAN_BASELINES_SBMGNN_H_
+#define CPGAN_BASELINES_SBMGNN_H_
+
+#include <memory>
+
+#include "baselines/vgae.h"
+#include "nn/linear.h"
+
+namespace cpgan::baselines {
+
+/// SBMGNN (Mehta et al., 2019) — stochastic blockmodels meet GNNs.
+///
+/// Compact re-implementation keeping the defining mechanism: a GCN encoder
+/// infers non-negative overlapping block memberships pi (softmax over K
+/// blocks) and a learnable block affinity matrix B scores edges,
+///   logits = pi B pi^T + bias.
+/// As in the paper's discussion, the networks infer blockmodel parameters
+/// rather than optimizing community preservation directly.
+class Sbmgnn : public Vgae {
+ public:
+  explicit Sbmgnn(const VgaeConfig& config = {}, int num_blocks = 24);
+
+  std::string name() const override { return "SBMGNN"; }
+  int max_feasible_nodes() const override { return 1300; }
+
+ protected:
+  tensor::Tensor DecodeLogits(const tensor::Tensor& z) const override;
+  void BuildExtra(util::Rng& rng) override;
+  std::vector<tensor::Tensor> ExtraParameters() const override;
+
+ private:
+  int num_blocks_;
+  std::unique_ptr<nn::Linear> to_blocks_;  // latent -> K logits
+  tensor::Tensor block_matrix_;            // K x K affinities
+  tensor::Tensor bias_;                    // 1 x 1
+};
+
+}  // namespace cpgan::baselines
+
+#endif  // CPGAN_BASELINES_SBMGNN_H_

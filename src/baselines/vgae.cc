@@ -1,0 +1,142 @@
+#include "baselines/vgae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assembly.h"
+#include "graph/spectral.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/memory_tracker.h"
+#include "util/timer.h"
+
+namespace cpgan::baselines {
+
+namespace t = cpgan::tensor;
+
+Vgae::Vgae(const VgaeConfig& config) : config_(config), rng_(config.seed) {}
+
+Vgae::~Vgae() = default;
+
+t::Tensor Vgae::AddEdgeBias(const t::Tensor& logits) const {
+  int n = logits.rows();
+  t::Tensor ones_col = t::Constant(t::Matrix(n, 1, 1.0f));
+  t::Tensor ones_row = t::Constant(t::Matrix(1, n, 1.0f));
+  return t::Add(logits,
+                t::Matmul(t::Matmul(ones_col, edge_bias_), ones_row));
+}
+
+t::Tensor Vgae::DecodeLogits(const t::Tensor& z) const {
+  return AddEdgeBias(t::Matmul(z, t::Transpose(z)));
+}
+
+LearnedTrainStats Vgae::Fit(const graph::Graph& observed) {
+  CPGAN_CHECK(!trained_);
+  CPGAN_CHECK(FeasibleFor(observed.num_nodes()));
+  util::Timer timer;
+  util::MemoryTracker::Global().ResetPeak();
+
+  observed_ = std::make_unique<graph::Graph>(observed);
+  int n = observed.num_nodes();
+  features_ = t::Tensor(
+      graph::SpectralEmbedding(observed, config_.feature_dim, rng_),
+      /*requires_grad=*/true);
+
+  gcn_hidden_ = std::make_unique<nn::GcnConv>(config_.feature_dim,
+                                              config_.hidden_dim, rng_);
+  gcn_mu_ =
+      std::make_unique<nn::GcnConv>(config_.hidden_dim, config_.latent_dim, rng_);
+  gcn_logvar_ =
+      std::make_unique<nn::GcnConv>(config_.hidden_dim, config_.latent_dim, rng_);
+  edge_bias_ = t::Tensor(t::Matrix(1, 1, -3.0f), /*requires_grad=*/true);
+  BuildExtra(rng_);
+
+  auto a_hat = std::make_shared<t::SparseMatrix>(
+      t::NormalizedAdjacency(n, observed.Edges()));
+  t::Tensor x = features_;
+
+  t::Matrix a_dense(n, n);
+  for (const auto& [u, v] : observed.Edges()) {
+    a_dense.At(u, v) = 1.0f;
+    a_dense.At(v, u) = 1.0f;
+  }
+  double m2 = 2.0 * static_cast<double>(observed.num_edges());
+  float pos_weight = static_cast<float>(
+      std::clamp((static_cast<double>(n) * n - m2) / std::max(1.0, m2), 1.0,
+                 8.0));
+
+  std::vector<t::Tensor> params = gcn_hidden_->Parameters();
+  auto append = [&params](const std::vector<t::Tensor>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  append(gcn_mu_->Parameters());
+  append(gcn_logvar_->Parameters());
+  params.push_back(edge_bias_);
+  params.push_back(features_);
+  append(ExtraParameters());
+  t::Adam opt(params, config_.learning_rate);
+
+  LearnedTrainStats stats;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    t::Tensor hidden = t::Relu(gcn_hidden_->Forward(a_hat, x));
+    t::Tensor mu = gcn_mu_->Forward(a_hat, hidden);
+    t::Tensor logvar = gcn_logvar_->Forward(a_hat, hidden);
+    t::Matrix eps(n, config_.latent_dim);
+    eps.FillNormal(rng_, 1.0f);
+    t::Tensor z = t::Add(
+        mu, t::Mul(t::Constant(eps), t::Exp(t::Scale(logvar, 0.5f))));
+    t::Tensor logits = DecodeLogits(z);
+    t::Tensor bce = t::BceWithLogits(logits, a_dense, pos_weight);
+    // KL(N(mu, sigma^2) || N(0, I)) / n.
+    t::Tensor kl = t::Scale(
+        t::SumAll(t::Sub(t::Add(t::Exp(logvar), t::Square(mu)),
+                         t::AddConst(logvar, 1.0f))),
+        0.5f / static_cast<float>(n));
+    t::Tensor loss = t::Add(bce, t::Scale(kl, config_.kl_weight));
+    t::Backward(loss);
+    t::ClipGradients(params, 5.0f);
+    opt.Step();
+    opt.ZeroGrad();
+    stats.loss.push_back(loss.Scalar());
+    if (epoch + 1 == config_.epochs) {
+      latent_mean_ = mu.value();
+    }
+  }
+  trained_ = true;
+  stats.train_seconds = timer.Seconds();
+  stats.peak_bytes = util::MemoryTracker::Global().peak_bytes();
+  return stats;
+}
+
+graph::Graph Vgae::Generate() {
+  CPGAN_CHECK(trained_);
+  core::AssemblyOptions options;
+  options.subgraph_size = observed_->num_nodes();  // full decode, O(n^2)
+  return core::AssembleGraph(
+      observed_->num_nodes(), observed_->num_edges(),
+      [this](const std::vector<int>& ids) {
+        t::Matrix sub(static_cast<int>(ids.size()), latent_mean_.cols());
+        for (size_t i = 0; i < ids.size(); ++i) {
+          const float* src = latent_mean_.Row(ids[i]);
+          for (int c = 0; c < latent_mean_.cols(); ++c) {
+            sub.At(static_cast<int>(i), c) = src[c];
+          }
+        }
+        t::Tensor z = t::Constant(std::move(sub));
+        return t::Sigmoid(DecodeLogits(z)).value();
+      },
+      options, rng_);
+}
+
+std::vector<double> Vgae::EdgeProbabilities(
+    const std::vector<graph::Edge>& pairs) {
+  CPGAN_CHECK(trained_);
+  t::Tensor z = t::Constant(latent_mean_);
+  t::Matrix probs = t::Sigmoid(DecodeLogits(z)).value();
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) out.push_back(probs.At(u, v));
+  return out;
+}
+
+}  // namespace cpgan::baselines

@@ -1,0 +1,69 @@
+#ifndef CPGAN_BASELINES_VGAE_H_
+#define CPGAN_BASELINES_VGAE_H_
+
+#include <memory>
+
+#include "baselines/learned_generator.h"
+#include "nn/gcn.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+namespace cpgan::baselines {
+
+/// Hyper-parameters shared by the VGAE-family baselines.
+struct VgaeConfig {
+  int feature_dim = 8;
+  int hidden_dim = 32;
+  int latent_dim = 16;
+  int epochs = 120;
+  float learning_rate = 1e-2f;
+  float kl_weight = 1.0f;  // scaled by 1/n as in Kipf & Welling
+  uint64_t seed = 1;
+};
+
+/// Variational Graph Auto-Encoder (Kipf & Welling, 2016): a two-layer GCN
+/// encoder produces per-node Gaussians, the decoder is the inner product
+/// sigmoid(z_i^T z_j). Trains on the full adjacency every epoch, which is the
+/// O(n^2) behaviour that makes it infeasible on the paper's larger datasets.
+class Vgae : public LearnedGenerator {
+ public:
+  explicit Vgae(const VgaeConfig& config = {});
+  ~Vgae() override;
+
+  std::string name() const override { return "VGAE"; }
+  int max_feasible_nodes() const override { return 1300; }
+
+  LearnedTrainStats Fit(const graph::Graph& observed) override;
+  graph::Graph Generate() override;
+  std::vector<double> EdgeProbabilities(
+      const std::vector<graph::Edge>& pairs) override;
+
+ protected:
+  /// Decoder logits from latent z (n x latent): overridden by Graphite.
+  virtual tensor::Tensor DecodeLogits(const tensor::Tensor& z) const;
+
+  /// Hook for subclasses to register extra modules before training.
+  virtual void BuildExtra(util::Rng& rng) { (void)rng; }
+  /// Extra parameters contributed by subclasses.
+  virtual std::vector<tensor::Tensor> ExtraParameters() const { return {}; }
+
+  VgaeConfig config_;
+  util::Rng rng_;
+  bool trained_ = false;
+  std::unique_ptr<graph::Graph> observed_;
+  tensor::Tensor features_;  // trainable node embeddings (spectral init)
+  tensor::Matrix latent_mean_;  // posterior means after training
+
+  std::unique_ptr<nn::GcnConv> gcn_hidden_;
+  std::unique_ptr<nn::GcnConv> gcn_mu_;
+  std::unique_ptr<nn::GcnConv> gcn_logvar_;
+  /// Learnable global edge-logit bias (sparsity prior, init -3).
+  tensor::Tensor edge_bias_;
+
+  /// logits + bias broadcast over all pairs.
+  tensor::Tensor AddEdgeBias(const tensor::Tensor& logits) const;
+};
+
+}  // namespace cpgan::baselines
+
+#endif  // CPGAN_BASELINES_VGAE_H_

@@ -1,0 +1,43 @@
+#include "community/label_propagation.h"
+
+#include <unordered_map>
+
+namespace cpgan::community {
+
+Partition LabelPropagation(const graph::Graph& g, util::Rng& rng,
+                           int max_sweeps) {
+  int n = g.num_nodes();
+  std::vector<int> labels(n);
+  for (int v = 0; v < n; ++v) labels[v] = v;
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    rng.Shuffle(order);
+    bool changed = false;
+    for (int u : order) {
+      auto nbrs = g.neighbors(u);
+      if (nbrs.empty()) continue;
+      std::unordered_map<int, int> counts;
+      for (int v : nbrs) counts[labels[v]] += 1;
+      int best_label = labels[u];
+      int best_count = 0;
+      for (const auto& [label, count] : counts) {
+        if (count > best_count ||
+            (count == best_count && label == labels[u])) {
+          best_count = count;
+          best_label = label;
+        }
+      }
+      if (best_label != labels[u]) {
+        labels[u] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return Partition(std::move(labels));
+}
+
+}  // namespace cpgan::community

@@ -1,0 +1,19 @@
+#ifndef CPGAN_COMMUNITY_LABEL_PROPAGATION_H_
+#define CPGAN_COMMUNITY_LABEL_PROPAGATION_H_
+
+#include "community/partition.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::community {
+
+/// Asynchronous label propagation (Raghavan et al., 2007): each node adopts
+/// the majority label among its neighbors until a fixed point (or
+/// `max_sweeps`). A fast alternative community detector used in tests to
+/// cross-check Louvain and in examples.
+Partition LabelPropagation(const graph::Graph& g, util::Rng& rng,
+                           int max_sweeps = 50);
+
+}  // namespace cpgan::community
+
+#endif  // CPGAN_COMMUNITY_LABEL_PROPAGATION_H_

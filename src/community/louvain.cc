@@ -1,0 +1,165 @@
+#include "community/louvain.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace cpgan::community {
+namespace {
+
+/// Weighted multigraph used between aggregation levels. `adjacency[u]` maps
+/// neighbor -> edge weight; `self_loops[u]` holds twice the internal weight
+/// (so degrees stay consistent with the modularity formula).
+struct WeightedGraph {
+  std::vector<std::unordered_map<int, double>> adjacency;
+  std::vector<double> self_loops;
+  std::vector<double> weighted_degree;  // sum of incident weights + self
+  double total_weight = 0.0;            // 2m
+
+  int size() const { return static_cast<int>(adjacency.size()); }
+};
+
+WeightedGraph FromGraph(const graph::Graph& g) {
+  WeightedGraph wg;
+  wg.adjacency.resize(g.num_nodes());
+  wg.self_loops.assign(g.num_nodes(), 0.0);
+  wg.weighted_degree.assign(g.num_nodes(), 0.0);
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    for (int v : g.neighbors(u)) {
+      wg.adjacency[u][v] = 1.0;
+    }
+    wg.weighted_degree[u] = static_cast<double>(g.degree(u));
+    wg.total_weight += wg.weighted_degree[u];
+  }
+  return wg;
+}
+
+/// One local-moving pass; returns the (non-compacted) community labels and
+/// whether any node moved.
+bool LocalMoving(const WeightedGraph& wg, util::Rng& rng, double min_gain,
+                 std::vector<int>& community) {
+  int n = wg.size();
+  std::vector<double> community_degree(n, 0.0);
+  for (int v = 0; v < n; ++v) community_degree[community[v]] += wg.weighted_degree[v];
+
+  double two_m = wg.total_weight;
+  if (two_m <= 0.0) return false;
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+
+  bool any_move = false;
+  bool improved = true;
+  int sweeps = 0;
+  while (improved && sweeps < 32) {
+    improved = false;
+    ++sweeps;
+    for (int idx = 0; idx < n; ++idx) {
+      int u = order[idx];
+      int cu = community[u];
+      // Links from u to each neighboring community.
+      std::unordered_map<int, double> links;
+      for (const auto& [v, w] : wg.adjacency[u]) {
+        links[community[v]] += w;
+      }
+      community_degree[cu] -= wg.weighted_degree[u];
+      double base = links.count(cu) ? links[cu] : 0.0;
+      double best_gain = 0.0;
+      int best_comm = cu;
+      for (const auto& [c, w] : links) {
+        if (c == cu) continue;
+        // dQ (up to a constant factor) of moving u from cu to c.
+        double gain = (w - base) -
+                      wg.weighted_degree[u] *
+                          (community_degree[c] - community_degree[cu]) / two_m;
+        if (gain > best_gain + min_gain) {
+          best_gain = gain;
+          best_comm = c;
+        }
+      }
+      community[u] = best_comm;
+      community_degree[best_comm] += wg.weighted_degree[u];
+      if (best_comm != cu) {
+        improved = true;
+        any_move = true;
+      }
+    }
+  }
+  return any_move;
+}
+
+/// Aggregates communities into super-nodes.
+WeightedGraph Aggregate(const WeightedGraph& wg,
+                        const std::vector<int>& community, int num_comms) {
+  WeightedGraph out;
+  out.adjacency.resize(num_comms);
+  out.self_loops.assign(num_comms, 0.0);
+  out.weighted_degree.assign(num_comms, 0.0);
+  out.total_weight = wg.total_weight;
+  for (int u = 0; u < wg.size(); ++u) {
+    int cu = community[u];
+    out.self_loops[cu] += wg.self_loops[u];
+    for (const auto& [v, w] : wg.adjacency[u]) {
+      int cv = community[v];
+      if (cu == cv) {
+        out.self_loops[cu] += w;  // both directions visit; sums to 2*internal
+      } else {
+        out.adjacency[cu][cv] += w;
+      }
+    }
+  }
+  for (int c = 0; c < num_comms; ++c) {
+    double deg = out.self_loops[c];
+    for (const auto& [v, w] : out.adjacency[c]) deg += w;
+    out.weighted_degree[c] = deg;
+  }
+  return out;
+}
+
+}  // namespace
+
+LouvainResult Louvain(const graph::Graph& g, util::Rng& rng, double min_gain,
+                      int max_levels) {
+  LouvainResult result;
+  int n = g.num_nodes();
+  // node_to_super[v]: super-node of original node v at the current level.
+  std::vector<int> node_to_super(n);
+  for (int v = 0; v < n; ++v) node_to_super[v] = v;
+
+  WeightedGraph wg = FromGraph(g);
+  for (int level = 0; level < max_levels; ++level) {
+    std::vector<int> community(wg.size());
+    for (int v = 0; v < wg.size(); ++v) community[v] = v;
+    bool moved = LocalMoving(wg, rng, min_gain, community);
+
+    // Compact community ids.
+    std::unordered_map<int, int> compact;
+    for (int& c : community) {
+      auto [it, ignored] = compact.emplace(c, static_cast<int>(compact.size()));
+      c = it->second;
+    }
+    int num_comms = static_cast<int>(compact.size());
+
+    // Map original nodes through this level.
+    std::vector<int> labels(n);
+    for (int v = 0; v < n; ++v) {
+      node_to_super[v] = community[node_to_super[v]];
+      labels[v] = node_to_super[v];
+    }
+    result.levels.emplace_back(std::move(labels));
+
+    if (!moved || num_comms == wg.size()) break;
+    wg = Aggregate(wg, community, num_comms);
+    if (num_comms <= 1) break;
+  }
+  if (result.levels.empty()) {
+    std::vector<int> labels(n, 0);
+    if (n == 0) labels.clear();
+    result.levels.emplace_back(std::move(labels));
+  }
+  result.modularity = Modularity(g, result.FinalPartition());
+  return result;
+}
+
+}  // namespace cpgan::community

@@ -1,0 +1,33 @@
+#ifndef CPGAN_COMMUNITY_LOUVAIN_H_
+#define CPGAN_COMMUNITY_LOUVAIN_H_
+
+#include <vector>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::community {
+
+/// Result of hierarchical Louvain community detection.
+struct LouvainResult {
+  /// Partition of the *original* nodes after each aggregation level, from
+  /// finest (levels[0]) to coarsest (levels.back()). At least one level.
+  std::vector<Partition> levels;
+
+  /// Modularity of the final (coarsest) partition.
+  double modularity = 0.0;
+
+  const Partition& FinalPartition() const { return levels.back(); }
+};
+
+/// Louvain modularity maximization (Blondel et al., 2008) — the paper's
+/// default community detector both for ground-truth labels during training
+/// (Section III-F2) and for evaluation (Section IV-A). Runs the standard
+/// local-moving + aggregation loop until modularity stops improving.
+LouvainResult Louvain(const graph::Graph& g, util::Rng& rng,
+                      double min_gain = 1e-7, int max_levels = 12);
+
+}  // namespace cpgan::community
+
+#endif  // CPGAN_COMMUNITY_LOUVAIN_H_

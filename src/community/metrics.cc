@@ -1,0 +1,121 @@
+#include "community/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cpgan::community {
+namespace {
+
+double Choose2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+ContingencyTable::ContingencyTable(const Partition& a, const Partition& b)
+    : rows_(a.num_communities()),
+      cols_(b.num_communities()),
+      cells_(static_cast<size_t>(rows_) * cols_, 0),
+      row_sums_(rows_, 0),
+      col_sums_(cols_, 0),
+      total_(a.num_nodes()) {
+  CPGAN_CHECK_EQ(a.num_nodes(), b.num_nodes());
+  for (int v = 0; v < a.num_nodes(); ++v) {
+    int i = a.label(v);
+    int j = b.label(v);
+    cells_[i * cols_ + j] += 1;
+    row_sums_[i] += 1;
+    col_sums_[j] += 1;
+  }
+}
+
+double RandIndex(const Partition& a, const Partition& b) {
+  ContingencyTable t(a, b);
+  double n = static_cast<double>(t.total());
+  if (n < 2) return 1.0;
+  double sum_nij2 = 0.0;
+  for (int i = 0; i < t.rows(); ++i) {
+    for (int j = 0; j < t.cols(); ++j) {
+      sum_nij2 += Choose2(static_cast<double>(t.count(i, j)));
+    }
+  }
+  double sum_ai2 = 0.0;
+  for (int i = 0; i < t.rows(); ++i) {
+    sum_ai2 += Choose2(static_cast<double>(t.row_sum(i)));
+  }
+  double sum_bj2 = 0.0;
+  for (int j = 0; j < t.cols(); ++j) {
+    sum_bj2 += Choose2(static_cast<double>(t.col_sum(j)));
+  }
+  double pairs = Choose2(n);
+  // TP = sum_nij2, FP = sum_ai2 - TP, FN = sum_bj2 - TP,
+  // TN = pairs - TP - FP - FN.
+  double tp = sum_nij2;
+  double fp = sum_ai2 - tp;
+  double fn = sum_bj2 - tp;
+  double tn = pairs - tp - fp - fn;
+  return (tp + tn) / pairs;
+}
+
+double AdjustedRandIndex(const Partition& a, const Partition& b) {
+  ContingencyTable t(a, b);
+  double n = static_cast<double>(t.total());
+  if (n < 2) return 1.0;
+  double sum_nij2 = 0.0;
+  for (int i = 0; i < t.rows(); ++i) {
+    for (int j = 0; j < t.cols(); ++j) {
+      sum_nij2 += Choose2(static_cast<double>(t.count(i, j)));
+    }
+  }
+  double sum_ai2 = 0.0;
+  for (int i = 0; i < t.rows(); ++i) {
+    sum_ai2 += Choose2(static_cast<double>(t.row_sum(i)));
+  }
+  double sum_bj2 = 0.0;
+  for (int j = 0; j < t.cols(); ++j) {
+    sum_bj2 += Choose2(static_cast<double>(t.col_sum(j)));
+  }
+  double expected = sum_ai2 * sum_bj2 / Choose2(n);
+  double maximum = 0.5 * (sum_ai2 + sum_bj2);
+  double denom = maximum - expected;
+  if (std::fabs(denom) < 1e-12) return sum_nij2 >= maximum ? 1.0 : 0.0;
+  return (sum_nij2 - expected) / denom;
+}
+
+double MutualInformation(const Partition& a, const Partition& b) {
+  ContingencyTable t(a, b);
+  double n = static_cast<double>(t.total());
+  if (n <= 0) return 0.0;
+  double mi = 0.0;
+  for (int i = 0; i < t.rows(); ++i) {
+    for (int j = 0; j < t.cols(); ++j) {
+      double nij = static_cast<double>(t.count(i, j));
+      if (nij <= 0.0) continue;
+      double ai = static_cast<double>(t.row_sum(i));
+      double bj = static_cast<double>(t.col_sum(j));
+      mi += (nij / n) * std::log(n * nij / (ai * bj));
+    }
+  }
+  return mi;
+}
+
+double PartitionEntropy(const Partition& p) {
+  double n = static_cast<double>(p.num_nodes());
+  if (n <= 0) return 0.0;
+  double h = 0.0;
+  for (int size : p.Sizes()) {
+    if (size == 0) continue;
+    double frac = size / n;
+    h -= frac * std::log(frac);
+  }
+  return h;
+}
+
+double NormalizedMutualInformation(const Partition& a, const Partition& b) {
+  double ha = PartitionEntropy(a);
+  double hb = PartitionEntropy(b);
+  if (ha <= 0.0 && hb <= 0.0) return 1.0;  // both trivial partitions
+  if (ha <= 0.0 || hb <= 0.0) return 0.0;
+  return MutualInformation(a, b) / std::sqrt(ha * hb);
+}
+
+}  // namespace cpgan::community

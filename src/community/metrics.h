@@ -1,0 +1,49 @@
+#ifndef CPGAN_COMMUNITY_METRICS_H_
+#define CPGAN_COMMUNITY_METRICS_H_
+
+#include <vector>
+
+#include "community/partition.h"
+
+namespace cpgan::community {
+
+/// Contingency table between two partitions of the same node set:
+/// cell(i, j) = |community i of a ∩ community j of b| (Fig. 2 of the paper).
+class ContingencyTable {
+ public:
+  ContingencyTable(const Partition& a, const Partition& b);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t count(int i, int j) const { return cells_[i * cols_ + j]; }
+  int64_t row_sum(int i) const { return row_sums_[i]; }
+  int64_t col_sum(int j) const { return col_sums_[j]; }
+  int64_t total() const { return total_; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int64_t> cells_;
+  std::vector<int64_t> row_sums_;
+  std::vector<int64_t> col_sums_;
+  int64_t total_;
+};
+
+/// Rand Index (eq. 1).
+double RandIndex(const Partition& a, const Partition& b);
+
+/// Adjusted Rand Index (eq. 2): chance-corrected RI in [-1, 1].
+double AdjustedRandIndex(const Partition& a, const Partition& b);
+
+/// Mutual information in nats (eq. 3).
+double MutualInformation(const Partition& a, const Partition& b);
+
+/// Normalized mutual information: MI / sqrt(H(a) H(b)), in [0, 1].
+double NormalizedMutualInformation(const Partition& a, const Partition& b);
+
+/// Shannon entropy (nats) of the community-size distribution.
+double PartitionEntropy(const Partition& p);
+
+}  // namespace cpgan::community
+
+#endif  // CPGAN_COMMUNITY_METRICS_H_

@@ -1,0 +1,53 @@
+#include "community/partition.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace cpgan::community {
+
+Partition::Partition(std::vector<int> labels) : labels_(std::move(labels)) {
+  std::unordered_map<int, int> compact;
+  for (int& label : labels_) {
+    CPGAN_CHECK_GE(label, 0);
+    auto [it, inserted] = compact.emplace(label, static_cast<int>(compact.size()));
+    label = it->second;
+  }
+  num_communities_ = static_cast<int>(compact.size());
+}
+
+std::vector<std::vector<int>> Partition::Communities() const {
+  std::vector<std::vector<int>> communities(num_communities_);
+  for (int v = 0; v < num_nodes(); ++v) communities[labels_[v]].push_back(v);
+  return communities;
+}
+
+std::vector<int> Partition::Sizes() const {
+  std::vector<int> sizes(num_communities_, 0);
+  for (int label : labels_) sizes[label] += 1;
+  return sizes;
+}
+
+double Modularity(const graph::Graph& g, const Partition& p) {
+  CPGAN_CHECK_EQ(g.num_nodes(), p.num_nodes());
+  double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) return 0.0;
+  int k = p.num_communities();
+  std::vector<double> internal(k, 0.0);     // 2 * edges inside community
+  std::vector<double> total_degree(k, 0.0);
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    int cu = p.label(u);
+    total_degree[cu] += g.degree(u);
+    for (int v : g.neighbors(u)) {
+      if (p.label(v) == cu) internal[cu] += 1.0;  // counts both directions
+    }
+  }
+  double q = 0.0;
+  for (int c = 0; c < k; ++c) {
+    q += internal[c] / (2.0 * m) -
+         (total_degree[c] / (2.0 * m)) * (total_degree[c] / (2.0 * m));
+  }
+  return q;
+}
+
+}  // namespace cpgan::community

@@ -1,0 +1,39 @@
+#ifndef CPGAN_COMMUNITY_PARTITION_H_
+#define CPGAN_COMMUNITY_PARTITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpgan::community {
+
+/// A node-to-community assignment. Community ids are dense: [0, num_communities).
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Takes raw labels (arbitrary non-negative ints) and compacts them.
+  explicit Partition(std::vector<int> labels);
+
+  int num_nodes() const { return static_cast<int>(labels_.size()); }
+  int num_communities() const { return num_communities_; }
+  int label(int v) const { return labels_[v]; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Members of each community.
+  std::vector<std::vector<int>> Communities() const;
+
+  /// Size of each community.
+  std::vector<int> Sizes() const;
+
+ private:
+  std::vector<int> labels_;
+  int num_communities_ = 0;
+};
+
+/// Modularity Q of the partition on graph g (eq. 20 of the paper).
+double Modularity(const graph::Graph& g, const Partition& p);
+
+}  // namespace cpgan::community
+
+#endif  // CPGAN_COMMUNITY_PARTITION_H_

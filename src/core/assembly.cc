@@ -1,0 +1,97 @@
+#include "core/assembly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace cpgan::core {
+
+graph::Graph AssembleGraph(int num_nodes, int64_t target_edges,
+                           const SubgraphScorer& scorer,
+                           const AssemblyOptions& options, util::Rng& rng) {
+  CPGAN_CHECK_GE(num_nodes, 0);
+  CPGAN_CHECK_GE(target_edges, 0);
+  std::set<graph::Edge> edges;
+  if (num_nodes < 2 || target_edges == 0) {
+    return graph::Graph(num_nodes, {});
+  }
+  int ns = std::min(options.subgraph_size, num_nodes);
+  int chunks_per_pass = (num_nodes + ns - 1) / ns;
+
+  double total_pairs = 0.5 * num_nodes * (num_nodes - 1.0);
+
+  std::vector<int> perm(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) perm[i] = i;
+
+  for (int pass = 0;
+       pass < options.max_passes &&
+       static_cast<int64_t>(edges.size()) < target_edges;
+       ++pass) {
+    rng.Shuffle(perm);
+    for (int chunk = 0; chunk < chunks_per_pass; ++chunk) {
+      if (static_cast<int64_t>(edges.size()) >= target_edges) break;
+      int begin = chunk * ns;
+      int end = std::min(num_nodes, begin + ns);
+      std::vector<int> ids(perm.begin() + begin, perm.begin() + end);
+      std::sort(ids.begin(), ids.end());
+      int k = static_cast<int>(ids.size());
+      if (k < 2) continue;
+      tensor::Matrix probs = scorer(ids);
+      CPGAN_CHECK_EQ(probs.rows(), k);
+      CPGAN_CHECK_EQ(probs.cols(), k);
+
+      // Step 1: one categorical edge per node (keeps low-degree nodes in).
+      std::vector<double> row(k);
+      for (int i = 0; i < k; ++i) {
+        double total = 0.0;
+        for (int j = 0; j < k; ++j) {
+          row[j] = (j == i) ? 0.0 : std::max(0.0f, probs.At(i, j));
+          total += row[j];
+        }
+        if (total <= 0.0) continue;
+        int j = rng.Categorical(row);
+        int u = std::min(ids[i], ids[j]);
+        int v = std::max(ids[i], ids[j]);
+        edges.insert({u, v});
+        if (static_cast<int64_t>(edges.size()) >= target_edges) break;
+      }
+      if (static_cast<int64_t>(edges.size()) >= target_edges) break;
+
+      // Step 2: top-k fill proportional to the subset's share of all pairs.
+      double chunk_pairs = 0.5 * k * (k - 1.0);
+      int64_t quota = static_cast<int64_t>(
+          static_cast<double>(target_edges) * chunk_pairs / total_pairs * 1.5);
+      quota = std::max<int64_t>(quota, k / 2);
+      std::vector<std::pair<float, graph::Edge>> scored;
+      scored.reserve(static_cast<size_t>(k) * (k - 1) / 2);
+      for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+          float p = std::max(1e-9f, probs.At(i, j));
+          float key = p;
+          if (options.proportional_fill) {
+            // Efraimidis-Spirakis: ranking by u^(1/p) draws without
+            // replacement with probability proportional to p.
+            key = static_cast<float>(
+                std::pow(rng.Uniform(), 1.0 / static_cast<double>(p)));
+          }
+          scored.push_back({key, {ids[i], ids[j]}});
+        }
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (const auto& [score, e] : scored) {
+        if (quota <= 0 ||
+            static_cast<int64_t>(edges.size()) >= target_edges) {
+          break;
+        }
+        if (edges.insert(e).second) --quota;
+      }
+    }
+  }
+  std::vector<graph::Edge> edge_list(edges.begin(), edges.end());
+  return graph::Graph(num_nodes, edge_list);
+}
+
+}  // namespace cpgan::core

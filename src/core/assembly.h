@@ -1,0 +1,46 @@
+#ifndef CPGAN_CORE_ASSEMBLY_H_
+#define CPGAN_CORE_ASSEMBLY_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace cpgan::core {
+
+/// Callback that scores a sampled node subset: given sorted distinct node
+/// ids, returns a symmetric |ids| x |ids| edge-probability matrix.
+using SubgraphScorer =
+    std::function<tensor::Matrix(const std::vector<int>&)>;
+
+/// Options for graph assembly (Section III-G).
+struct AssemblyOptions {
+  /// Nodes decoded per round (n_s). Values >= num_nodes decode in one shot.
+  int subgraph_size = 256;
+
+  /// Upper bound on decoding rounds, as a multiple of ceil(n / n_s).
+  int max_passes = 8;
+
+  /// Quota-fill strategy: true selects edges by probability-proportional
+  /// sampling without replacement (preserves the decoder's relative
+  /// community densities); false takes the strict top-k entries. The paper
+  /// describes top-k; proportional filling is the lower-variance variant
+  /// that keeps block densities faithful when probabilities are diffuse.
+  bool proportional_fill = false;
+};
+
+/// Assembles a full n-node graph from subgraph probability matrices:
+/// every pass partitions a random permutation of the nodes into subsets,
+/// decodes each subset, then (1) samples one edge per node from the
+/// categorical distribution of its row (so low-degree nodes are not left
+/// out) and (2) fills the remaining per-round quota with the top-scoring
+/// entries, until `target_edges` edges exist (eq. in Section III-G).
+graph::Graph AssembleGraph(int num_nodes, int64_t target_edges,
+                           const SubgraphScorer& scorer,
+                           const AssemblyOptions& options, util::Rng& rng);
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_ASSEMBLY_H_

@@ -1,0 +1,101 @@
+#ifndef CPGAN_CORE_CONFIG_H_
+#define CPGAN_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cpgan::core {
+
+/// Hyper-parameters of the CPGAN model and its training loop.
+///
+/// Defaults follow the paper's experiment section scaled to a single CPU
+/// core: the paper uses kernel size 128 and pooling size 256 on a 24 GB GPU;
+/// we default to smaller widths so the benchmarks finish in seconds while the
+/// relative comparisons are preserved. Fig. 5's sensitivity sweep (spectral
+/// input dimension, number of hierarchy levels) is exposed through
+/// `feature_dim` and `num_levels`.
+struct CpganConfig {
+  /// Dimension of the spectral node embedding used as input features X(A).
+  int feature_dim = 8;
+
+  /// Graph-convolution kernel size (paper: 128).
+  int hidden_dim = 32;
+
+  /// Latent dimension d' of the variational module.
+  int latent_dim = 16;
+
+  /// Number of hierarchy levels k in the ladder encoder (Fig. 5: 2 is best).
+  int num_levels = 2;
+
+  /// Cluster counts per pooling step (size num_levels - 1). Empty means
+  /// derived from the graph: level l pools to max(2, n / 8^(l+1)), capped by
+  /// `max_pool_size`.
+  std::vector<int> pool_sizes;
+
+  /// Cap on any derived pooling size (paper: 256).
+  int max_pool_size = 64;
+
+  /// Training epochs (each epoch = one discriminator + one generator step on
+  /// a sampled subgraph).
+  int epochs = 120;
+
+  /// Nodes sampled per training step (n_s in Section III-E).
+  int subgraph_size = 128;
+
+  /// Adam learning rate (paper: 1e-3).
+  float learning_rate = 1e-3f;
+
+  /// Learning-rate multiplier for the "memorization" parameter group — the
+  /// trainable node features and the decoder (whose dot-product logits must
+  /// grow to separate edges from the quadratically many non-edges). The
+  /// adversarial parts keep the base rate for stability.
+  float fast_lr_multiplier = 20.0f;
+
+  /// Learning-rate decay factor and period in epochs (paper: 0.3 / 400).
+  float lr_decay = 0.3f;
+  int lr_decay_every = 400;
+
+  /// Loss weights: adversarial terms, clustering consistency (L_clus),
+  /// mapping consistency (L_rec), KL prior, and the reconstruction
+  /// likelihood of eq. (14).
+  float adv_weight = 0.1f;
+  float clus_weight = 1.0f;
+  float rec_weight = 1.0f;
+  float kl_weight = 1e-2f;
+  float bce_weight = 3.0f;
+
+  /// Gradient clip (elementwise) for adversarial stability.
+  float grad_clip = 5.0f;
+
+  /// Run the discriminator update every this many epochs (the generator
+  /// updates every epoch). 1 = the paper's strict alternation; larger values
+  /// trade adversarial pressure for wall-clock on a single core.
+  int disc_every = 2;
+
+  /// Include the Gaussian-prior sample path (second expectation of eq. 16)
+  /// every this many epochs.
+  int prior_every = 4;
+
+  /// Ablation switches (Table VI):
+  /// CPGAN-C — replace the GRU node decoding with a concatenation.
+  bool concat_decoder = false;
+  /// CPGAN-noV — disable variational inference (use means, no KL).
+  bool use_variational = true;
+  /// CPGAN-noH — disable hierarchical pooling (single level).
+  bool use_hierarchy = true;
+
+  /// Use the A + A^2 connectivity-boosted normalized adjacency in the
+  /// encoder (Section III-C1's "information can flow among nodes faster"
+  /// variant). Off by default; costs extra fill-in on dense graphs.
+  bool use_two_hop_adjacency = false;
+
+  /// RNG seed for parameters, sampling, and generation.
+  uint64_t seed = 1;
+
+  /// Emit progress logs during training.
+  bool verbose = false;
+};
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_CONFIG_H_

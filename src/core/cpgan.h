@@ -1,0 +1,135 @@
+#ifndef CPGAN_CORE_CPGAN_H_
+#define CPGAN_CORE_CPGAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "community/louvain.h"
+#include "core/config.h"
+#include "core/decoder.h"
+#include "core/discriminator.h"
+#include "core/ladder_encoder.h"
+#include "core/variational.h"
+#include "graph/graph.h"
+#include "tensor/optimizer.h"
+
+namespace cpgan::core {
+
+/// Per-training-run statistics.
+struct TrainStats {
+  std::vector<float> d_loss;     // discriminator loss per epoch
+  std::vector<float> g_loss;     // generator loss per epoch
+  std::vector<float> clus_loss;  // clustering-consistency loss per epoch
+  double train_seconds = 0.0;
+  int64_t peak_bytes = 0;        // peak tensor memory during training
+
+  /// Mean reconstruction probability on the final training subgraph's
+  /// positive / negative pairs (training-domain diagnostic).
+  float final_pos_prob = 0.0f;
+  float final_neg_prob = 0.0f;
+};
+
+/// Community-Preserving GAN — the paper's primary contribution.
+///
+/// Wires the ladder encoder, variational module, GRU decoder, and
+/// discriminator into the adversarial training loop of Section III-F, with
+/// degree-proportional subgraph sampling for scalability (Section III-E) and
+/// the assembly procedure of Section III-G for full-graph generation.
+class Cpgan {
+ public:
+  explicit Cpgan(const CpganConfig& config);
+
+  /// Trains on one observed graph. Safe to call once per instance.
+  TrainStats Fit(const graph::Graph& observed);
+
+  /// Trains on a *set* of observed graphs (the paper's problem statement
+  /// allows learning from a training set): every epoch samples its subgraph
+  /// from a uniformly chosen training graph, sharing all model parameters.
+  /// Each graph gets its own trainable feature table. Generation and edge
+  /// probabilities refer to the first graph.
+  TrainStats FitMany(const std::vector<graph::Graph>& observed);
+
+  /// Generates a graph with the observed size/edge count from the posterior
+  /// latents of the observed graph (the mode evaluated in Tables III/IV).
+  graph::Graph Generate();
+
+  /// Generates a graph of arbitrary size from the Gaussian prior
+  /// (Section III-G; "new graphs of arbitrary sizes").
+  graph::Graph GenerateWithSize(int num_nodes, int64_t num_edges);
+
+  /// Edge probability for each node pair under the trained
+  /// reconstruction path (used for NLL evaluation, Table V).
+  std::vector<double> EdgeProbabilities(const std::vector<graph::Edge>& pairs);
+
+  const CpganConfig& config() const { return config_; }
+  int64_t ParameterCount() const;
+  bool trained() const { return trained_; }
+
+  /// Persists the trained weights (all module parameters plus the trainable
+  /// node-feature table) to `path`. Requires a trained model.
+  bool SaveWeights(const std::string& path) const;
+
+  /// Restores weights saved by SaveWeights into this model. The model must
+  /// have been trained (or at least Fit) on a graph with identical shape
+  /// parameters so the architectures match. Returns false on mismatch/IO
+  /// failure.
+  bool LoadWeights(const std::string& path);
+
+ private:
+  /// Derives pooling sizes from the training subgraph size if unset.
+  std::vector<int> ResolvePoolSizes(int subgraph_nodes) const;
+
+  /// Per-graph training context for multi-graph fitting.
+  struct TrainContext {
+    graph::Graph graph{0};
+    tensor::Tensor features;                    // trainable, n x feature_dim
+    std::vector<std::vector<int>> targets;      // per pooling step
+  };
+
+  /// Clustering-consistency loss over the assignment matrices (Section
+  /// III-F2): -sum_l mean_i log S^l[i, y^l_i]. `targets` are the remapped
+  /// community labels of the graph the subgraph came from.
+  tensor::Tensor ClusteringLoss(
+      const std::vector<tensor::Tensor>& assignments,
+      const std::vector<int>& node_ids,
+      const std::vector<std::vector<int>>& targets) const;
+
+  /// Latent features of the full observed graph (per level, n x latent),
+  /// detached; drawn from the posterior when `sample` is true.
+  std::vector<tensor::Matrix> FullGraphLatents(bool sample);
+
+  /// Decoder pass over constant latents restricted to `ids`.
+  tensor::Matrix ScoreSubgraph(const std::vector<tensor::Matrix>& latents,
+                               const std::vector<int>& ids) const;
+
+  CpganConfig config_;
+  util::Rng rng_;
+  bool trained_ = false;
+
+  // Observed-graph context (populated by Fit).
+  std::unique_ptr<graph::Graph> observed_;
+  /// Trainable per-node input features (n x feature_dim), initialized from
+  /// the spectral embedding of A. The paper's default X is the identity
+  /// matrix, i.e. a free embedding row per node; a trainable table is the
+  /// subgraph-sampling-compatible equivalent (rows are gathered per batch),
+  /// warm-started with X(A)'s spectral structure.
+  tensor::Tensor features_;
+  community::LouvainResult louvain_;
+  /// targets_by_level_[l][v]: community label of original node v used to
+  /// constrain pooling step l, remapped into [0, pool_sizes[l]).
+  std::vector<std::vector<int>> targets_by_level_;
+  /// Additional training graphs beyond the primary one (FitMany).
+  std::vector<TrainContext> extra_contexts_;
+  int effective_levels_ = 1;
+
+  // Modules.
+  std::unique_ptr<LadderEncoder> encoder_;
+  std::unique_ptr<VariationalInference> vae_;
+  std::unique_ptr<GraphDecoder> decoder_;
+  std::unique_ptr<Discriminator> discriminator_;
+};
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_CPGAN_H_

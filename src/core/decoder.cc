@@ -1,0 +1,61 @@
+#include "core/decoder.h"
+
+#include "util/check.h"
+
+namespace cpgan::core {
+
+namespace t = cpgan::tensor;
+
+GraphDecoder::GraphDecoder(int latent_dim, int hidden_dim, int num_levels,
+                           bool concat_levels, util::Rng& rng)
+    : latent_dim_(latent_dim),
+      hidden_dim_(hidden_dim),
+      num_levels_(num_levels),
+      concat_levels_(concat_levels) {
+  if (concat_levels_) {
+    concat_proj_ = std::make_unique<nn::Linear>(latent_dim * num_levels,
+                                                hidden_dim, rng);
+    RegisterModule(concat_proj_.get());
+  } else {
+    gru_ = std::make_unique<nn::GruCell>(latent_dim, hidden_dim, rng);
+    RegisterModule(gru_.get());
+  }
+  g_theta_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{hidden_dim, hidden_dim, hidden_dim}, rng);
+  RegisterModule(g_theta_.get());
+  bias_ = AddZeroParameter("edge_bias", 1, 1);
+  bias_.mutable_value().At(0, 0) = -3.0f;
+}
+
+t::Tensor GraphDecoder::DecodeNodes(
+    const std::vector<t::Tensor>& z_vae) const {
+  CPGAN_CHECK(!z_vae.empty());
+  CPGAN_CHECK_EQ(static_cast<int>(z_vae.size()), num_levels_);
+  if (concat_levels_) {
+    t::Tensor stacked =
+        z_vae.size() == 1 ? z_vae[0] : t::ConcatCols(z_vae);
+    return t::Relu(concat_proj_->Forward(stacked));
+  }
+  // h_{l+1} = GRU(h_l, Z_vae^{(l+1)}), h_0 = 0 (eq. 13).
+  t::Tensor h = gru_->InitialState(z_vae[0].rows());
+  for (const t::Tensor& level : z_vae) {
+    h = gru_->Forward(level, h);
+  }
+  return h;
+}
+
+t::Tensor GraphDecoder::EdgeEmbeddings(const t::Tensor& h) const {
+  return g_theta_->Forward(h);
+}
+
+t::Tensor GraphDecoder::EdgeLogits(const t::Tensor& h) const {
+  t::Tensor e = EdgeEmbeddings(h);
+  t::Tensor logits = t::Matmul(e, t::Transpose(e));
+  // Broadcast the scalar sparsity bias over all pairs.
+  int n = logits.rows();
+  t::Tensor ones_col = t::Constant(t::Matrix(n, 1, 1.0f));
+  t::Tensor ones_row = t::Constant(t::Matrix(1, n, 1.0f));
+  return t::Add(logits, t::Matmul(t::Matmul(ones_col, bias_), ones_row));
+}
+
+}  // namespace cpgan::core

@@ -1,0 +1,27 @@
+#include "core/discriminator.h"
+
+#include "util/check.h"
+
+namespace cpgan::core {
+
+namespace t = cpgan::tensor;
+
+Discriminator::Discriminator(int num_levels, int hidden_dim, util::Rng& rng)
+    : num_levels_(num_levels), hidden_dim_(hidden_dim) {
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{num_levels * hidden_dim, hidden_dim, 1}, rng);
+  RegisterModule(mlp_.get());
+}
+
+t::Tensor Discriminator::ForwardLogit(const t::Tensor& readout) const {
+  CPGAN_CHECK_EQ(readout.rows(), num_levels_);
+  CPGAN_CHECK_EQ(readout.cols(), hidden_dim_);
+  t::Tensor flat = t::Reshape(readout, 1, num_levels_ * hidden_dim_);
+  return mlp_->Forward(flat);
+}
+
+t::Tensor Discriminator::Forward(const t::Tensor& readout) const {
+  return t::Sigmoid(ForwardLogit(readout));
+}
+
+}  // namespace cpgan::core

@@ -1,0 +1,32 @@
+#ifndef CPGAN_CORE_DISCRIMINATOR_H_
+#define CPGAN_CORE_DISCRIMINATOR_H_
+
+#include <memory>
+
+#include "nn/mlp.h"
+
+namespace cpgan::core {
+
+/// CPGAN graph discriminator head (Section III-F1): a two-layer MLP over the
+/// flattened ladder readout s (num_levels x hidden), emitting a real/fake
+/// logit. The sigmoid of eq. (15) is folded into the stable BCE-with-logits
+/// losses during training.
+class Discriminator : public nn::Module {
+ public:
+  Discriminator(int num_levels, int hidden_dim, util::Rng& rng);
+
+  /// readout: num_levels x hidden -> 1x1 logit.
+  tensor::Tensor ForwardLogit(const tensor::Tensor& readout) const;
+
+  /// sigmoid(logit): probability the graph is real.
+  tensor::Tensor Forward(const tensor::Tensor& readout) const;
+
+ private:
+  int num_levels_;
+  int hidden_dim_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_DISCRIMINATOR_H_

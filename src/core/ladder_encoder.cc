@@ -1,0 +1,114 @@
+#include "core/ladder_encoder.h"
+
+#include "nn/pairnorm.h"
+#include "util/check.h"
+
+namespace cpgan::core {
+
+namespace t = cpgan::tensor;
+
+LadderEncoder::LadderEncoder(int feature_dim, int hidden_dim,
+                             const std::vector<int>& pool_sizes,
+                             util::Rng& rng)
+    : feature_dim_(feature_dim),
+      hidden_dim_(hidden_dim),
+      pool_sizes_(pool_sizes) {
+  int levels = num_levels();
+  for (int l = 0; l < levels; ++l) {
+    int in = (l == 0) ? feature_dim_ : hidden_dim_;
+    embed_.push_back(std::make_unique<nn::GcnConv>(in, hidden_dim_, rng));
+    RegisterModule(embed_.back().get());
+  }
+  for (size_t l = 0; l < pool_sizes_.size(); ++l) {
+    CPGAN_CHECK_GE(pool_sizes_[l], 1);
+    pool_.push_back(
+        std::make_unique<nn::GcnConv>(hidden_dim_, pool_sizes_[l], rng));
+    RegisterModule(pool_.back().get());
+    depool_.push_back(
+        std::make_unique<nn::GcnConv>(hidden_dim_, pool_sizes_[l], rng));
+    RegisterModule(depool_.back().get());
+  }
+}
+
+EncoderOutput LadderEncoder::Forward(
+    const std::shared_ptr<const t::SparseMatrix>& a_hat,
+    const t::Tensor& x) const {
+  CPGAN_CHECK(a_hat != nullptr);
+  CPGAN_CHECK_EQ(x.cols(), feature_dim_);
+  EncoderOutput out;
+  t::Tensor z0 = nn::PairNorm(t::Relu(embed_[0]->Forward(a_hat, x)));
+  out.z.push_back(z0);
+  out.z_rec.push_back(z0);
+  if (pool_.empty()) {
+    BuildReadout(out);
+    return out;
+  }
+  t::Tensor s0 = t::SoftmaxRows(pool_[0]->Forward(a_hat, z0));
+  out.assignments.push_back(s0);
+  // S_depool^(0) = softmax(GCN_depool(Z, A)^T); we keep its transpose
+  // (n x c1), the matrix that chains coarse features back to fine nodes.
+  t::Tensor depool0_t =
+      t::Transpose(t::SoftmaxRows(t::Transpose(depool_[0]->Forward(a_hat, z0))));
+  // Coarsen: A1 = S^T A S (eq. 8), with the sparse level-0 adjacency.
+  t::Tensor a_s = t::Spmm(a_hat, s0);                // n x c1
+  t::Tensor a1 = t::Matmul(t::Transpose(s0), a_s);   // c1 x c1
+  t::Tensor x1 = t::Matmul(t::Transpose(s0), z0);    // c1 x hidden
+  FinishLevels(out, a1, x1, depool0_t);
+  return out;
+}
+
+EncoderOutput LadderEncoder::ForwardDense(const t::Tensor& a,
+                                          const t::Tensor& x) const {
+  CPGAN_CHECK_EQ(a.rows(), a.cols());
+  CPGAN_CHECK_EQ(a.rows(), x.rows());
+  CPGAN_CHECK_EQ(x.cols(), feature_dim_);
+  EncoderOutput out;
+  t::Tensor a_norm = nn::RowNormalizeAdjacency(a);
+  t::Tensor z0 = nn::PairNorm(t::Relu(embed_[0]->ForwardDense(a_norm, x)));
+  out.z.push_back(z0);
+  out.z_rec.push_back(z0);
+  if (pool_.empty()) {
+    BuildReadout(out);
+    return out;
+  }
+  t::Tensor s0 = t::SoftmaxRows(pool_[0]->ForwardDense(a_norm, z0));
+  out.assignments.push_back(s0);
+  t::Tensor depool0_t = t::Transpose(
+      t::SoftmaxRows(t::Transpose(depool_[0]->ForwardDense(a_norm, z0))));
+  t::Tensor a1 = t::Matmul(t::Transpose(s0), t::Matmul(a, s0));
+  t::Tensor x1 = t::Matmul(t::Transpose(s0), z0);
+  FinishLevels(out, a1, x1, depool0_t);
+  return out;
+}
+
+void LadderEncoder::FinishLevels(EncoderOutput& out, t::Tensor a_l,
+                                 t::Tensor x_l, t::Tensor depool0_t) const {
+  int levels = num_levels();
+  // `chain` maps level-l features back to level-0 nodes (eq. 11).
+  t::Tensor chain = depool0_t;  // n x c1
+  for (int l = 1; l < levels; ++l) {
+    t::Tensor a_norm = nn::RowNormalizeAdjacency(a_l);
+    t::Tensor z_l = nn::PairNorm(t::Relu(embed_[l]->ForwardDense(a_norm, x_l)));
+    out.z.push_back(z_l);
+    out.z_rec.push_back(t::Matmul(chain, z_l));
+    if (l < levels - 1) {
+      t::Tensor s_l = t::SoftmaxRows(pool_[l]->ForwardDense(a_norm, z_l));
+      out.assignments.push_back(s_l);
+      t::Tensor depool_t = t::Transpose(t::SoftmaxRows(
+          t::Transpose(depool_[l]->ForwardDense(a_norm, z_l))));
+      chain = t::Matmul(chain, depool_t);
+      a_l = t::Matmul(t::Transpose(s_l), t::Matmul(a_l, s_l));
+      x_l = t::Matmul(t::Transpose(s_l), z_l);
+    }
+  }
+  BuildReadout(out);
+}
+
+void LadderEncoder::BuildReadout(EncoderOutput& out) const {
+  std::vector<t::Tensor> means;
+  means.reserve(out.z.size());
+  for (const t::Tensor& z : out.z) means.push_back(t::ColMean(z));
+  out.readout = means.size() == 1 ? means[0] : t::ConcatRows(means);
+}
+
+}  // namespace cpgan::core

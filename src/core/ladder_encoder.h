@@ -1,0 +1,79 @@
+#ifndef CPGAN_CORE_LADDER_ENCODER_H_
+#define CPGAN_CORE_LADDER_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/gcn.h"
+#include "nn/module.h"
+
+namespace cpgan::core {
+
+/// Output of one encoder pass (Section III-C).
+struct EncoderOutput {
+  /// Per-level embedded node features Z^(l): n_l x hidden.
+  std::vector<tensor::Tensor> z;
+
+  /// Assignment matrices S^(l): n_l x n_{l+1} (softmax rows), one per
+  /// pooling step (size num_levels - 1). Eq. (7).
+  std::vector<tensor::Tensor> assignments;
+
+  /// Per-level features distributed back to level-0 nodes via transposed
+  /// pooling: each entry is n x hidden. Eq. (11).
+  std::vector<tensor::Tensor> z_rec;
+
+  /// Graph readout s: num_levels x hidden (per-level mean). Eq. (9).
+  tensor::Tensor readout;
+};
+
+/// Ladder message-transmission encoder: stacked GCN + differentiable pooling
+/// (DiffPool-style) with PairNorm after every convolution, plus the
+/// transposed-pooling path that distributes coarse community features back to
+/// the original nodes (Sections III-C1..III-C4).
+///
+/// Permutation-invariance: all layers act row-wise or through the adjacency,
+/// so E(P A P^T) = E(A) up to the row permutation of node-level outputs and
+/// exactly for the readout (eq. 5); verified in tests/core/encoder_test.cc.
+class LadderEncoder : public nn::Module {
+ public:
+  /// `pool_sizes` has num_levels-1 entries: the cluster count after each
+  /// pooling step (empty for a single-level, CPGAN-noH encoder).
+  LadderEncoder(int feature_dim, int hidden_dim,
+                const std::vector<int>& pool_sizes, util::Rng& rng);
+
+  /// Encodes a graph whose level-0 adjacency is a constant sparse matrix
+  /// (observed graphs).
+  EncoderOutput Forward(
+      const std::shared_ptr<const tensor::SparseMatrix>& a_hat,
+      const tensor::Tensor& x) const;
+
+  /// Encodes a graph whose level-0 adjacency is a dense differentiable
+  /// probability matrix (generated graphs); gradients flow into `a`.
+  EncoderOutput ForwardDense(const tensor::Tensor& a,
+                             const tensor::Tensor& x) const;
+
+  int num_levels() const { return static_cast<int>(pool_sizes_.size()) + 1; }
+  int hidden_dim() const { return hidden_dim_; }
+  const std::vector<int>& pool_sizes() const { return pool_sizes_; }
+
+ private:
+  /// Levels >= 1 (dense coarse graphs) plus readout / z_rec construction.
+  /// `a1` and `x1` are the first coarsened adjacency/features; `depool0` is
+  /// the level-0 transposed-pooling matrix S_depool^(0)T (n x c1).
+  void FinishLevels(EncoderOutput& out, tensor::Tensor a1, tensor::Tensor x1,
+                    tensor::Tensor depool0_t) const;
+
+  /// Builds the readout from out.z.
+  void BuildReadout(EncoderOutput& out) const;
+
+  int feature_dim_;
+  int hidden_dim_;
+  std::vector<int> pool_sizes_;
+  std::vector<std::unique_ptr<nn::GcnConv>> embed_;
+  std::vector<std::unique_ptr<nn::GcnConv>> pool_;
+  std::vector<std::unique_ptr<nn::GcnConv>> depool_;
+};
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_LADDER_ENCODER_H_

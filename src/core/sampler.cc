@@ -1,0 +1,40 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cpgan::core {
+
+std::vector<int> DegreeProportionalSample(const graph::Graph& g, int count,
+                                          util::Rng& rng) {
+  int n = g.num_nodes();
+  count = std::min(count, n);
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (int v = 0; v < n; ++v) {
+    weights[v] = static_cast<double>(g.degree(v));
+    total += weights[v];
+  }
+  std::vector<int> nodes;
+  if (total <= 0.0) {
+    nodes = rng.SampleWithoutReplacement(n, count);
+  } else {
+    // Give isolated nodes a small weight so they can still be selected.
+    for (double& w : weights) {
+      if (w <= 0.0) w = 0.01;
+    }
+    nodes = rng.WeightedSampleWithoutReplacement(weights, count);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::vector<int> UniformNodeSample(int n, int count, util::Rng& rng) {
+  count = std::min(count, n);
+  std::vector<int> nodes = rng.SampleWithoutReplacement(n, count);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace cpgan::core

@@ -1,0 +1,22 @@
+#ifndef CPGAN_CORE_SAMPLER_H_
+#define CPGAN_CORE_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::core {
+
+/// Samples `count` distinct nodes with probability proportional to degree
+/// (P_i = deg_i / sum deg, Section III-E), falling back to uniform for
+/// degree-0 graphs. Returns sorted node ids.
+std::vector<int> DegreeProportionalSample(const graph::Graph& g, int count,
+                                          util::Rng& rng);
+
+/// Uniformly samples `count` distinct node ids from [0, n). Sorted.
+std::vector<int> UniformNodeSample(int n, int count, util::Rng& rng);
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_SAMPLER_H_

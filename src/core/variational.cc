@@ -1,0 +1,52 @@
+#include "core/variational.h"
+
+#include "util/check.h"
+
+namespace cpgan::core {
+
+namespace t = cpgan::tensor;
+
+VariationalInference::VariationalInference(int in_dim, int hidden_dim,
+                                           int latent_dim, util::Rng& rng)
+    : latent_dim_(latent_dim) {
+  g_mu_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{in_dim, hidden_dim, latent_dim}, rng);
+  RegisterModule(g_mu_.get());
+  g_sigma_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{in_dim, hidden_dim, latent_dim}, rng);
+  RegisterModule(g_sigma_.get());
+}
+
+VariationalOutput VariationalInference::Forward(
+    const std::vector<t::Tensor>& z_rec, util::Rng& rng, bool sample) const {
+  CPGAN_CHECK(!z_rec.empty());
+  VariationalOutput out;
+  out.kl = t::ScalarConstant(0.0f);
+  for (const t::Tensor& level : z_rec) {
+    int n = level.rows();
+    t::Tensor mu = g_mu_->Forward(level);          // n x d'
+    t::Tensor s = g_sigma_->Forward(level);        // n x d'
+    // sigma_bar^2 = (1/n^2) sum_i s_i^2 = ColMean(s^2) / n  (eq. 12).
+    t::Tensor sigma2 =
+        t::AddConst(t::Scale(t::ColMean(t::Square(s)), 1.0f / n), 1e-8f);
+    if (sample) {
+      t::Matrix eps(n, latent_dim_);
+      eps.FillNormal(rng, 1.0f);
+      t::Tensor sigma_bar = t::Sqrt(sigma2);       // 1 x d'
+      out.z_vae.push_back(
+          t::Add(mu, t::MulRowVec(t::Constant(std::move(eps)), sigma_bar)));
+    } else {
+      out.z_vae.push_back(mu);
+    }
+    // KL(N(mu_bar, diag(sigma_bar^2)) || N(0, I)) per eq. (19).
+    t::Tensor mu_bar = t::ColMean(mu);
+    t::Tensor kl_level = t::Scale(
+        t::SumAll(t::Sub(t::Add(sigma2, t::Square(mu_bar)),
+                         t::AddConst(t::Log(sigma2), 1.0f))),
+        0.5f);
+    out.kl = t::Add(out.kl, kl_level);
+  }
+  return out;
+}
+
+}  // namespace cpgan::core

@@ -1,0 +1,50 @@
+#ifndef CPGAN_CORE_VARIATIONAL_H_
+#define CPGAN_CORE_VARIATIONAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.h"
+
+namespace cpgan::core {
+
+/// Output of the variational module: per-level latent features plus the
+/// KL-divergence regularizer of eq. (19).
+struct VariationalOutput {
+  /// Z_vae^(l): n x latent_dim per hierarchy level.
+  std::vector<tensor::Tensor> z_vae;
+
+  /// Sum of KL(q || N(0, I)) over levels (1x1 tensor).
+  tensor::Tensor kl;
+};
+
+/// Variational inference over the reconstructed ladder features (eq. 12).
+///
+/// One MLP pair (g_mu, g_sigma) is shared across hierarchy levels. Following
+/// DESIGN.md substitution 4, we keep per-node means mu_i = g_mu(Z_rec)_i,
+/// compute the paper's averaged statistics
+///   mu_bar      = (1/n)   sum_i g_mu(Z_rec)_i
+///   sigma_bar^2 = (1/n^2) sum_i g_sigma(Z_rec)_i^2
+/// and sample z_i = mu_i + eps_i * sigma_bar with the KL term evaluated at
+/// (mu_bar, sigma_bar^2) exactly as written in the paper.
+class VariationalInference : public nn::Module {
+ public:
+  VariationalInference(int in_dim, int hidden_dim, int latent_dim,
+                       util::Rng& rng);
+
+  /// `sample` toggles the reparameterized noise (true during training and
+  /// generation, false for deterministic reconstruction / CPGAN-noV).
+  VariationalOutput Forward(const std::vector<tensor::Tensor>& z_rec,
+                            util::Rng& rng, bool sample) const;
+
+  int latent_dim() const { return latent_dim_; }
+
+ private:
+  int latent_dim_;
+  std::unique_ptr<nn::Mlp> g_mu_;
+  std::unique_ptr<nn::Mlp> g_sigma_;
+};
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_VARIATIONAL_H_

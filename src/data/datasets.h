@@ -1,0 +1,29 @@
+#ifndef CPGAN_DATA_DATASETS_H_
+#define CPGAN_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpgan::data {
+
+/// Names of the six benchmark datasets, in the paper's Table II order. Each
+/// is a scaled-down synthetic stand-in for the corresponding real network
+/// (see DESIGN.md §3 for the substitution rationale).
+std::vector<std::string> DatasetNames();
+
+/// Builds the named dataset deterministically from `seed`. Valid names:
+/// "citeseer_like", "pubmed_like", "ppi_like", "pointcloud_like",
+/// "facebook_like", "google_like". Aborts on unknown names.
+graph::Graph MakeDataset(const std::string& name, uint64_t seed = 42);
+
+/// Scales the named dataset's construction to approximately `num_nodes`
+/// nodes, preserving its density and community granularity. Used by the
+/// efficiency sweeps (Tables VII-IX).
+graph::Graph MakeScaledDataset(const std::string& name, int num_nodes,
+                               uint64_t seed = 42);
+
+}  // namespace cpgan::data
+
+#endif  // CPGAN_DATA_DATASETS_H_

@@ -1,0 +1,25 @@
+#include "data/loader.h"
+
+#include <sys/stat.h>
+
+#include "data/datasets.h"
+#include "graph/io.h"
+#include "util/check.h"
+
+namespace cpgan::data {
+
+bool IsFilePath(const std::string& ref) {
+  struct stat st;
+  return ::stat(ref.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+graph::Graph LoadGraph(const std::string& ref, uint64_t seed) {
+  if (IsFilePath(ref)) {
+    auto loaded = graph::LoadEdgeList(ref);
+    CPGAN_CHECK_MSG(loaded.has_value(), "failed to read edge list");
+    return *loaded;
+  }
+  return MakeDataset(ref, seed);
+}
+
+}  // namespace cpgan::data

@@ -1,0 +1,21 @@
+#ifndef CPGAN_DATA_LOADER_H_
+#define CPGAN_DATA_LOADER_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cpgan::data {
+
+/// Resolves a dataset reference: if `ref` is a path to an existing edge-list
+/// file it is loaded (so users can drop in the real Citeseer/PubMed/... edge
+/// lists); otherwise `ref` is treated as a synthetic dataset name from
+/// DatasetNames(). Aborts if neither resolves.
+graph::Graph LoadGraph(const std::string& ref, uint64_t seed = 42);
+
+/// True if `ref` names a file on disk.
+bool IsFilePath(const std::string& ref);
+
+}  // namespace cpgan::data
+
+#endif  // CPGAN_DATA_LOADER_H_

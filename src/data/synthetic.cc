@@ -1,0 +1,213 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace cpgan::data {
+
+graph::Graph MakeCommunityGraph(const CommunityGraphParams& params,
+                                util::Rng& rng) {
+  int n = params.num_nodes;
+  int k = std::max(1, std::min(params.num_communities, n));
+  CPGAN_CHECK_GE(n, 2);
+
+  // Zipf-skewed community sizes.
+  std::vector<double> size_weights(k);
+  for (int c = 0; c < k; ++c) {
+    size_weights[c] = 1.0 / std::pow(c + 1.0, params.community_size_skew);
+  }
+  double weight_total = 0.0;
+  for (double w : size_weights) weight_total += w;
+  std::vector<int> community_of(n);
+  std::vector<std::vector<int>> members(k);
+  {
+    // Deterministic proportional allocation, then round-robin remainder.
+    int assigned = 0;
+    for (int c = 0; c < k; ++c) {
+      int quota = static_cast<int>(size_weights[c] / weight_total * n);
+      if (c < k - 1) quota = std::max(1, quota);
+      for (int i = 0; i < quota && assigned < n; ++i) {
+        community_of[assigned] = c;
+        members[c].push_back(assigned);
+        ++assigned;
+      }
+    }
+    int c = 0;
+    while (assigned < n) {
+      community_of[assigned] = c % k;
+      members[c % k].push_back(assigned);
+      ++assigned;
+      ++c;
+    }
+  }
+
+  // Pareto degree propensities.
+  std::vector<double> theta(n);
+  for (int v = 0; v < n; ++v) {
+    double u = std::max(1e-9, rng.Uniform());
+    theta[v] = std::pow(u, -1.0 / std::max(1.01, params.degree_exponent - 1.0));
+    theta[v] = std::min(theta[v], 50.0);  // cap extreme hubs
+  }
+
+  int64_t target = params.num_edges;
+  int64_t triangle_budget =
+      static_cast<int64_t>(params.triangle_fraction * target);
+  int64_t intra_budget = static_cast<int64_t>(
+      params.intra_fraction * static_cast<double>(target - triangle_budget));
+  int64_t inter_budget = target - triangle_budget - intra_budget;
+
+  std::set<graph::Edge> edges;
+  auto add_edge = [&edges](int u, int v) {
+    if (u == v) return false;
+    if (u > v) std::swap(u, v);
+    return edges.insert({u, v}).second;
+  };
+
+  // Community pick weight: total propensity mass per community.
+  std::vector<double> community_mass(k, 0.0);
+  std::vector<std::vector<double>> member_theta(k);
+  for (int c = 0; c < k; ++c) {
+    for (int v : members[c]) {
+      community_mass[c] += theta[v];
+      member_theta[c].push_back(theta[v]);
+    }
+  }
+  std::vector<double> intra_weight(k, 0.0);
+  for (int c = 0; c < k; ++c) {
+    intra_weight[c] =
+        members[c].size() >= 2 ? community_mass[c] * community_mass[c] : 0.0;
+  }
+
+  // Intra-community edges.
+  {
+    int64_t placed = 0;
+    int64_t attempts = 0;
+    int64_t max_attempts = 30 * intra_budget + 100;
+    while (placed < intra_budget && attempts < max_attempts) {
+      ++attempts;
+      int c = rng.Categorical(intra_weight);
+      int u = members[c][rng.Categorical(member_theta[c])];
+      int v = members[c][rng.Categorical(member_theta[c])];
+      if (add_edge(u, v)) ++placed;
+    }
+  }
+  // Inter-community edges.
+  {
+    int64_t placed = 0;
+    int64_t attempts = 0;
+    int64_t max_attempts = 30 * inter_budget + 100;
+    util::CumulativeSampler node_sampler(theta);
+    while (placed < inter_budget && attempts < max_attempts) {
+      ++attempts;
+      int u = node_sampler.Sample(rng);
+      int v = node_sampler.Sample(rng);
+      if (community_of[u] == community_of[v]) continue;
+      if (add_edge(u, v)) ++placed;
+    }
+  }
+  // Triangle closing: pick a node with >= 2 picked neighbors, connect two.
+  if (triangle_budget > 0) {
+    std::vector<std::vector<int>> adjacency(n);
+    for (const auto& [u, v] : edges) {
+      adjacency[u].push_back(v);
+      adjacency[v].push_back(u);
+    }
+    int64_t placed = 0;
+    int64_t attempts = 0;
+    int64_t max_attempts = 40 * triangle_budget + 100;
+    while (placed < triangle_budget && attempts < max_attempts) {
+      ++attempts;
+      int w = static_cast<int>(rng.UniformInt(n));
+      if (adjacency[w].size() < 2) continue;
+      int i = static_cast<int>(rng.UniformInt(
+          static_cast<int64_t>(adjacency[w].size())));
+      int j = static_cast<int>(rng.UniformInt(
+          static_cast<int64_t>(adjacency[w].size())));
+      if (i == j) continue;
+      int u = adjacency[w][i];
+      int v = adjacency[w][j];
+      if (add_edge(u, v)) {
+        adjacency[u].push_back(v);
+        adjacency[v].push_back(u);
+        ++placed;
+      }
+    }
+  }
+  // Connectivity pass: attach isolated nodes to a peer in their community
+  // (or any node when the community is a singleton) so the graph is not
+  // dominated by degree-0 fragments.
+  {
+    std::vector<int> degree(n, 0);
+    for (const auto& [u, v] : edges) {
+      degree[u] += 1;
+      degree[v] += 1;
+    }
+    for (int v = 0; v < n; ++v) {
+      if (degree[v] > 0) continue;
+      int c = community_of[v];
+      int peer = v;
+      if (members[c].size() >= 2) {
+        for (int tries = 0; tries < 8 && peer == v; ++tries) {
+          peer = members[c][rng.UniformInt(
+              static_cast<int64_t>(members[c].size()))];
+        }
+      }
+      if (peer == v) {
+        while (peer == v) peer = static_cast<int>(rng.UniformInt(n));
+      }
+      if (add_edge(v, peer)) {
+        degree[v] += 1;
+        degree[peer] += 1;
+      }
+    }
+  }
+  std::vector<graph::Edge> edge_list(edges.begin(), edges.end());
+  return graph::Graph(n, edge_list);
+}
+
+graph::Graph MakePointCloudGraph(int num_points, int num_objects, int k,
+                                 util::Rng& rng) {
+  CPGAN_CHECK_GE(num_points, 2);
+  CPGAN_CHECK_GE(num_objects, 1);
+  CPGAN_CHECK_GE(k, 1);
+  struct Point {
+    double x, y, z;
+  };
+  std::vector<Point> centers(num_objects);
+  for (Point& c : centers) {
+    c = {rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0),
+         rng.Uniform(0.0, 20.0)};
+  }
+  std::vector<Point> points(num_points);
+  for (int i = 0; i < num_points; ++i) {
+    const Point& c = centers[rng.UniformInt(num_objects)];
+    points[i] = {c.x + rng.Normal(0.0, 0.8), c.y + rng.Normal(0.0, 0.8),
+                 c.z + rng.Normal(0.0, 0.8)};
+  }
+  auto dist2 = [&points](int a, int b) {
+    double dx = points[a].x - points[b].x;
+    double dy = points[a].y - points[b].y;
+    double dz = points[a].z - points[b].z;
+    return dx * dx + dy * dy + dz * dz;
+  };
+  std::vector<graph::Edge> edges;
+  std::vector<std::pair<double, int>> nearest;
+  for (int i = 0; i < num_points; ++i) {
+    nearest.clear();
+    for (int j = 0; j < num_points; ++j) {
+      if (j == i) continue;
+      nearest.push_back({dist2(i, j), j});
+    }
+    int take = std::min<int>(k, static_cast<int>(nearest.size()));
+    std::partial_sort(nearest.begin(), nearest.begin() + take, nearest.end());
+    for (int t = 0; t < take; ++t) {
+      edges.emplace_back(i, nearest[t].second);
+    }
+  }
+  return graph::Graph(num_points, edges);
+}
+
+}  // namespace cpgan::data

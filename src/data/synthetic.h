@@ -1,0 +1,41 @@
+#ifndef CPGAN_DATA_SYNTHETIC_H_
+#define CPGAN_DATA_SYNTHETIC_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::data {
+
+/// Parameters of the community-structured synthetic graph family used as
+/// stand-ins for the paper's real datasets (DESIGN.md §2-3): a degree-
+/// corrected planted-partition process with power-law degree propensities,
+/// skewed community sizes, and an optional triangle-closing pass.
+struct CommunityGraphParams {
+  int num_nodes = 500;
+  int64_t num_edges = 1500;
+  int num_communities = 40;
+  /// Pareto tail exponent of the degree propensities (lower = heavier tail).
+  double degree_exponent = 2.5;
+  /// Fraction of edges placed inside communities.
+  double intra_fraction = 0.85;
+  /// Zipf exponent of the community-size distribution (0 = equal sizes).
+  double community_size_skew = 1.0;
+  /// Fraction of extra wedge-closing edges (raises clustering coefficient),
+  /// relative to num_edges; the total edge budget stays num_edges.
+  double triangle_fraction = 0.0;
+};
+
+/// Samples a community-structured graph. The realized edge count can fall
+/// slightly below the target on very dense blocks (duplicate rejection).
+graph::Graph MakeCommunityGraph(const CommunityGraphParams& params,
+                                util::Rng& rng);
+
+/// k-nearest-neighbor graph over 3-D points drawn from Gaussian object
+/// clusters — the stand-in for the 3D Point Cloud dataset (long CPL, many
+/// small communities).
+graph::Graph MakePointCloudGraph(int num_points, int num_objects, int k,
+                                 util::Rng& rng);
+
+}  // namespace cpgan::data
+
+#endif  // CPGAN_DATA_SYNTHETIC_H_

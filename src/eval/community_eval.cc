@@ -1,0 +1,23 @@
+#include "eval/community_eval.h"
+
+#include "community/louvain.h"
+#include "community/metrics.h"
+#include "util/check.h"
+
+namespace cpgan::eval {
+
+CommunityMetrics EvaluateCommunityPreservation(const graph::Graph& observed,
+                                               const graph::Graph& generated,
+                                               util::Rng& rng) {
+  CPGAN_CHECK_EQ(observed.num_nodes(), generated.num_nodes());
+  community::LouvainResult obs = community::Louvain(observed, rng);
+  community::LouvainResult gen = community::Louvain(generated, rng);
+  CommunityMetrics metrics;
+  metrics.nmi = community::NormalizedMutualInformation(obs.FinalPartition(),
+                                                       gen.FinalPartition());
+  metrics.ari = community::AdjustedRandIndex(obs.FinalPartition(),
+                                             gen.FinalPartition());
+  return metrics;
+}
+
+}  // namespace cpgan::eval

@@ -1,0 +1,24 @@
+#ifndef CPGAN_EVAL_COMMUNITY_EVAL_H_
+#define CPGAN_EVAL_COMMUNITY_EVAL_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::eval {
+
+/// Community-preservation scores of Table III (higher is better).
+struct CommunityMetrics {
+  double nmi = 0.0;
+  double ari = 0.0;
+};
+
+/// Runs Louvain on both graphs and compares the resulting partitions under
+/// the identity node correspondence (Section II-A's bijective-mapping
+/// assumption). Both graphs must have the same node count.
+CommunityMetrics EvaluateCommunityPreservation(const graph::Graph& observed,
+                                               const graph::Graph& generated,
+                                               util::Rng& rng);
+
+}  // namespace cpgan::eval
+
+#endif  // CPGAN_EVAL_COMMUNITY_EVAL_H_

@@ -1,0 +1,41 @@
+#include "eval/graph_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/mmd.h"
+#include "graph/algorithms.h"
+#include "graph/stats.h"
+
+namespace cpgan::eval {
+
+GenerationMetrics ComputeGenerationMetrics(const graph::Graph& observed,
+                                           const graph::Graph& generated,
+                                           util::Rng& rng) {
+  GenerationMetrics m;
+  int max_degree = 1;
+  for (int v = 0; v < observed.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, observed.degree(v));
+  }
+  for (int v = 0; v < generated.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, generated.degree(v));
+  }
+  m.deg = Mmd({graph::DegreeHistogram(observed, max_degree)},
+              {graph::DegreeHistogram(generated, max_degree)},
+              MmdKernel::kGaussianEmd, /*sigma=*/static_cast<double>(
+                  std::max(1, max_degree / 10)));
+  m.clus = Mmd({graph::ClusteringHistogram(observed, 20)},
+               {graph::ClusteringHistogram(generated, 20)},
+               MmdKernel::kGaussianTv, /*sigma=*/0.2);
+  m.cpl = std::fabs(graph::CharacteristicPathLength(observed, rng) -
+                    graph::CharacteristicPathLength(generated, rng));
+  std::vector<int> deg_obs = observed.Degrees();
+  std::vector<int> deg_gen = generated.Degrees();
+  m.gini = std::fabs(graph::GiniCoefficient(deg_obs) -
+                     graph::GiniCoefficient(deg_gen));
+  m.pwe = std::fabs(graph::PowerLawExponent(deg_obs) -
+                    graph::PowerLawExponent(deg_gen));
+  return m;
+}
+
+}  // namespace cpgan::eval

@@ -1,0 +1,27 @@
+#ifndef CPGAN_EVAL_GRAPH_METRICS_H_
+#define CPGAN_EVAL_GRAPH_METRICS_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::eval {
+
+/// The five generation-quality metrics of Table IV. Every field is an
+/// absolute difference / discrepancy against the observed graph (lower is
+/// better).
+struct GenerationMetrics {
+  double deg = 0.0;   // MMD of degree distributions
+  double clus = 0.0;  // MMD of clustering-coefficient distributions
+  double cpl = 0.0;   // |characteristic path length difference|
+  double gini = 0.0;  // |Gini coefficient difference|
+  double pwe = 0.0;   // |power-law exponent difference|
+};
+
+/// Computes the Table IV metrics of `generated` against `observed`.
+GenerationMetrics ComputeGenerationMetrics(const graph::Graph& observed,
+                                           const graph::Graph& generated,
+                                           util::Rng& rng);
+
+}  // namespace cpgan::eval
+
+#endif  // CPGAN_EVAL_GRAPH_METRICS_H_

@@ -1,0 +1,72 @@
+#include "eval/mmd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cpgan::eval {
+namespace {
+
+std::vector<double> Normalized(const std::vector<double>& h) {
+  double total = 0.0;
+  for (double v : h) total += v;
+  std::vector<double> out(h.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (size_t i = 0; i < h.size(); ++i) out[i] = h[i] / total;
+  return out;
+}
+
+double Kernel(const std::vector<double>& p, const std::vector<double>& q,
+              MmdKernel kernel, double sigma) {
+  double dist = kernel == MmdKernel::kGaussianEmd ? Emd1D(p, q)
+                                                  : TotalVariation(p, q);
+  return std::exp(-dist * dist / (2.0 * sigma * sigma));
+}
+
+}  // namespace
+
+double Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
+  size_t size = std::max(p.size(), q.size());
+  std::vector<double> pn = Normalized(p);
+  std::vector<double> qn = Normalized(q);
+  pn.resize(size, 0.0);
+  qn.resize(size, 0.0);
+  double cdf_diff = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < size; ++i) {
+    cdf_diff += pn[i] - qn[i];
+    total += std::fabs(cdf_diff);
+  }
+  return total;
+}
+
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  size_t size = std::max(p.size(), q.size());
+  std::vector<double> pn = Normalized(p);
+  std::vector<double> qn = Normalized(q);
+  pn.resize(size, 0.0);
+  qn.resize(size, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < size; ++i) total += std::fabs(pn[i] - qn[i]);
+  return 0.5 * total;
+}
+
+double Mmd(const std::vector<std::vector<double>>& a,
+           const std::vector<std::vector<double>>& b, MmdKernel kernel,
+           double sigma) {
+  CPGAN_CHECK(!a.empty() && !b.empty());
+  auto mean_kernel = [&](const std::vector<std::vector<double>>& x,
+                         const std::vector<std::vector<double>>& y) {
+    double total = 0.0;
+    for (const auto& p : x) {
+      for (const auto& q : y) total += Kernel(p, q, kernel, sigma);
+    }
+    return total / (static_cast<double>(x.size()) * y.size());
+  };
+  double mmd2 = mean_kernel(a, a) + mean_kernel(b, b) - 2.0 * mean_kernel(a, b);
+  return std::max(0.0, mmd2);
+}
+
+}  // namespace cpgan::eval

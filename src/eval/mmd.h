@@ -1,0 +1,33 @@
+#ifndef CPGAN_EVAL_MMD_H_
+#define CPGAN_EVAL_MMD_H_
+
+#include <vector>
+
+namespace cpgan::eval {
+
+/// First Wasserstein distance between two 1-D histograms on the same grid
+/// (unit bin width): sum of |CDF differences|. Histograms are normalized
+/// internally.
+double Emd1D(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Total-variation distance between two histograms (normalized internally).
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q);
+
+/// Kernel choice for MMD over distributions.
+enum class MmdKernel {
+  kGaussianEmd,  // k(p,q) = exp(-EMD(p,q)^2 / (2 sigma^2)) — GraphRNN's metric
+  kGaussianTv,   // k(p,q) = exp(-TV(p,q)^2  / (2 sigma^2)) — GRAN's metric
+};
+
+/// Squared maximum mean discrepancy between two sets of histograms under the
+/// chosen kernel (biased estimator). Each histogram is one graph's
+/// distribution (e.g. its degree histogram); singleton sets compare two
+/// graphs directly, which is the Table IV setting.
+double Mmd(const std::vector<std::vector<double>>& a,
+           const std::vector<std::vector<double>>& b,
+           MmdKernel kernel = MmdKernel::kGaussianEmd, double sigma = 1.0);
+
+}  // namespace cpgan::eval
+
+#endif  // CPGAN_EVAL_MMD_H_

@@ -1,0 +1,50 @@
+#include "eval/nll.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpgan::eval {
+
+double EdgeNll(const std::vector<double>& positive_probs,
+               const std::vector<double>& negative_probs) {
+  constexpr double kEps = 1e-6;
+  double total = 0.0;
+  int64_t count = 0;
+  for (double p : positive_probs) {
+    total += -std::log(std::clamp(p, kEps, 1.0 - kEps));
+    ++count;
+  }
+  for (double p : negative_probs) {
+    total += -std::log(std::clamp(1.0 - p, kEps, 1.0 - kEps));
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+double LinkPredictionAuc(const std::vector<double>& positive_probs,
+                         const std::vector<double>& negative_probs) {
+  if (positive_probs.empty() || negative_probs.empty()) return 0.5;
+  // Rank all scores; AUC = (sum of positive ranks - p(p+1)/2) / (p * n).
+  std::vector<std::pair<double, int>> scored;  // (score, is_positive)
+  scored.reserve(positive_probs.size() + negative_probs.size());
+  for (double p : positive_probs) scored.push_back({p, 1});
+  for (double p : negative_probs) scored.push_back({p, 0});
+  std::sort(scored.begin(), scored.end());
+  double rank_sum = 0.0;
+  size_t i = 0;
+  while (i < scored.size()) {
+    size_t j = i;
+    while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+    // Average rank for the tie group (1-based ranks).
+    double avg_rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (scored[k].second == 1) rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  double p = static_cast<double>(positive_probs.size());
+  double n = static_cast<double>(negative_probs.size());
+  return (rank_sum - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+}  // namespace cpgan::eval

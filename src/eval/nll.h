@@ -1,0 +1,25 @@
+#ifndef CPGAN_EVAL_NLL_H_
+#define CPGAN_EVAL_NLL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpgan::eval {
+
+/// Mean negative log-likelihood of edge predictions: positives contribute
+/// -log p, sampled non-edges contribute -log (1 - p). Probabilities are
+/// clamped away from {0, 1} for stability. Used for Table V's Train/Test NLL
+/// columns.
+double EdgeNll(const std::vector<double>& positive_probs,
+               const std::vector<double>& negative_probs);
+
+/// Area under the ROC curve for link prediction: the probability that a
+/// uniformly chosen positive pair outranks a uniformly chosen negative pair
+/// (ties count 1/2). Rank-based, O((p+n) log(p+n)).
+double LinkPredictionAuc(const std::vector<double>& positive_probs,
+                         const std::vector<double>& negative_probs);
+
+}  // namespace cpgan::eval
+
+#endif  // CPGAN_EVAL_NLL_H_

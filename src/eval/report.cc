@@ -1,0 +1,37 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cpgan::eval {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double Stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+std::string FormatMeanStdE2(const std::vector<double>& values) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f±%.1f", Mean(values) * 100.0,
+                Stddev(values) * 100.0);
+  return std::string(buffer);
+}
+
+std::string FormatMeanStd(const std::vector<double>& values) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3g±%.2g", Mean(values),
+                Stddev(values));
+  return std::string(buffer);
+}
+
+}  // namespace cpgan::eval

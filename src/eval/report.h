@@ -1,0 +1,24 @@
+#ifndef CPGAN_EVAL_REPORT_H_
+#define CPGAN_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace cpgan::eval {
+
+/// Mean of a sample (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (0 for fewer than two values).
+double Stddev(const std::vector<double>& values);
+
+/// Formats "mean±std" in units of 1e-2 like the paper's Table III
+/// ("72.5±0.4" for mean 0.725, std 0.004).
+std::string FormatMeanStdE2(const std::vector<double>& values);
+
+/// Formats "mean±std" in natural units.
+std::string FormatMeanStd(const std::vector<double>& values);
+
+}  // namespace cpgan::eval
+
+#endif  // CPGAN_EVAL_REPORT_H_

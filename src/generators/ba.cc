@@ -1,0 +1,64 @@
+#include "generators/ba.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace cpgan::generators {
+
+BaGenerator::BaGenerator(int num_nodes, int edges_per_node)
+    : num_nodes_(num_nodes), edges_per_node_(edges_per_node) {
+  CPGAN_CHECK_GE(num_nodes, 0);
+  CPGAN_CHECK_GE(edges_per_node, 1);
+}
+
+void BaGenerator::Fit(const graph::Graph& observed, util::Rng& rng) {
+  (void)rng;
+  num_nodes_ = observed.num_nodes();
+  if (num_nodes_ > 0) {
+    double ratio =
+        static_cast<double>(observed.num_edges()) / std::max(1, num_nodes_);
+    edges_per_node_ = std::max(1, static_cast<int>(ratio + 0.5));
+  }
+}
+
+graph::Graph BaGenerator::Generate(util::Rng& rng) const {
+  int n = num_nodes_;
+  int m = std::min(edges_per_node_, std::max(1, n - 1));
+  std::vector<graph::Edge> edges;
+  if (n <= 1) return graph::Graph(n, edges);
+
+  // `targets` is the repeated-endpoint list realizing preferential
+  // attachment: each endpoint appears once per incident edge.
+  std::vector<int> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * m * 2);
+
+  // Seed: a small clique over the first m+1 nodes.
+  int seed = std::min(n, m + 1);
+  for (int u = 0; u < seed; ++u) {
+    for (int v = u + 1; v < seed; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (int v = seed; v < n; ++v) {
+    std::unordered_set<int> chosen;
+    while (static_cast<int>(chosen.size()) < m) {
+      int target = endpoints.empty()
+                       ? static_cast<int>(rng.UniformInt(v))
+                       : endpoints[rng.UniformInt(
+                             static_cast<int64_t>(endpoints.size()))];
+      if (target != v) chosen.insert(target);
+    }
+    for (int target : chosen) {
+      edges.emplace_back(target, v);
+      endpoints.push_back(target);
+      endpoints.push_back(v);
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
+}  // namespace cpgan::generators

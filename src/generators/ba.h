@@ -1,0 +1,29 @@
+#ifndef CPGAN_GENERATORS_BA_H_
+#define CPGAN_GENERATORS_BA_H_
+
+#include "generators/generator.h"
+
+namespace cpgan::generators {
+
+/// Barabasi-Albert preferential-attachment model. Fit matches the number of
+/// nodes and sets the per-node attachment count so the expected edge count
+/// tracks the observed graph.
+class BaGenerator : public GraphGenerator {
+ public:
+  BaGenerator() = default;
+  BaGenerator(int num_nodes, int edges_per_node);
+
+  std::string name() const override { return "B-A"; }
+  void Fit(const graph::Graph& observed, util::Rng& rng) override;
+  graph::Graph Generate(util::Rng& rng) const override;
+
+  int edges_per_node() const { return edges_per_node_; }
+
+ private:
+  int num_nodes_ = 0;
+  int edges_per_node_ = 1;
+};
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_BA_H_

@@ -1,0 +1,100 @@
+#include "generators/bter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "graph/algorithms.h"
+
+namespace cpgan::generators {
+
+void BterGenerator::Fit(const graph::Graph& observed, util::Rng& rng) {
+  (void)rng;
+  num_nodes_ = observed.num_nodes();
+  degrees_ = observed.Degrees();
+  int max_degree = 0;
+  for (int d : degrees_) max_degree = std::max(max_degree, d);
+  std::vector<double> cc_sum(max_degree + 1, 0.0);
+  std::vector<int> cc_count(max_degree + 1, 0);
+  std::vector<double> cc = graph::LocalClusteringCoefficients(observed);
+  for (int v = 0; v < num_nodes_; ++v) {
+    cc_sum[degrees_[v]] += cc[v];
+    cc_count[degrees_[v]] += 1;
+  }
+  clustering_by_degree_.assign(max_degree + 1, 0.0);
+  for (int d = 0; d <= max_degree; ++d) {
+    if (cc_count[d] > 0) clustering_by_degree_[d] = cc_sum[d] / cc_count[d];
+  }
+}
+
+graph::Graph BterGenerator::Generate(util::Rng& rng) const {
+  int n = num_nodes_;
+  std::vector<graph::Edge> edges;
+  std::set<graph::Edge> seen;
+  if (n < 2) return graph::Graph(n, edges);
+
+  // Sort node ids by target degree ascending; degree-1 nodes skip phase 1.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return degrees_[a] < degrees_[b];
+  });
+
+  std::vector<double> excess(n, 0.0);
+  size_t i = 0;
+  while (i < order.size() && degrees_[order[i]] <= 1) {
+    excess[order[i]] = degrees_[order[i]];
+    ++i;
+  }
+  // Phase 1: affinity blocks of size d_min + 1.
+  while (i < order.size()) {
+    int d_min = degrees_[order[i]];
+    size_t block_size = static_cast<size_t>(d_min) + 1;
+    size_t end = std::min(order.size(), i + block_size);
+    double cc = d_min < static_cast<int>(clustering_by_degree_.size())
+                    ? clustering_by_degree_[d_min]
+                    : 0.0;
+    double p = std::clamp(std::cbrt(std::max(cc, 0.0)), 0.0, 1.0);
+    for (size_t a = i; a < end; ++a) {
+      for (size_t b = a + 1; b < end; ++b) {
+        if (rng.Bernoulli(p)) {
+          int u = order[a];
+          int v = order[b];
+          if (u > v) std::swap(u, v);
+          if (seen.insert({u, v}).second) edges.emplace_back(u, v);
+        }
+      }
+    }
+    double internal_expected = static_cast<double>(end - i - 1) * p;
+    for (size_t a = i; a < end; ++a) {
+      excess[order[a]] =
+          std::max(0.0, static_cast<double>(degrees_[order[a]]) -
+                            internal_expected);
+    }
+    i = end;
+  }
+
+  // Phase 2: Chung-Lu over the excess degrees.
+  double excess_total = std::accumulate(excess.begin(), excess.end(), 0.0);
+  int64_t phase2_edges = static_cast<int64_t>(excess_total / 2.0);
+  if (phase2_edges > 0) {
+    util::CumulativeSampler sampler(excess);
+    int64_t attempts = 0;
+    int64_t placed = 0;
+    int64_t max_attempts = 20 * phase2_edges + 100;
+    while (placed < phase2_edges && attempts < max_attempts) {
+      ++attempts;
+      int u = sampler.Sample(rng);
+      int v = sampler.Sample(rng);
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) continue;
+      edges.emplace_back(u, v);
+      ++placed;
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
+}  // namespace cpgan::generators

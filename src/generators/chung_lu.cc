@@ -1,0 +1,47 @@
+#include "generators/chung_lu.h"
+
+#include <numeric>
+#include <set>
+
+namespace cpgan::generators {
+
+ChungLuGenerator::ChungLuGenerator(std::vector<int> target_degrees)
+    : degrees_(std::move(target_degrees)) {}
+
+void ChungLuGenerator::Fit(const graph::Graph& observed, util::Rng& rng) {
+  (void)rng;
+  degrees_ = observed.Degrees();
+}
+
+graph::Graph ChungLuGenerator::Generate(util::Rng& rng) const {
+  int n = static_cast<int>(degrees_.size());
+  int64_t total = std::accumulate(degrees_.begin(), degrees_.end(), int64_t{0});
+  int64_t m = total / 2;
+  std::vector<graph::Edge> edges;
+  if (n < 2 || m == 0) return graph::Graph(n, edges);
+
+  // Endpoint pool with each node repeated degree-many times.
+  std::vector<int> pool;
+  pool.reserve(total);
+  for (int v = 0; v < n; ++v) {
+    for (int i = 0; i < degrees_[v]; ++i) pool.push_back(v);
+  }
+
+  std::set<graph::Edge> seen;
+  int64_t placed = 0;
+  int64_t attempts = 0;
+  int64_t max_attempts = 20 * m + 100;
+  while (placed < m && attempts < max_attempts) {
+    ++attempts;
+    int u = pool[rng.UniformInt(static_cast<int64_t>(pool.size()))];
+    int v = pool[rng.UniformInt(static_cast<int64_t>(pool.size()))];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    edges.emplace_back(u, v);
+    ++placed;
+  }
+  return graph::Graph(n, edges);
+}
+
+}  // namespace cpgan::generators

@@ -1,0 +1,31 @@
+#ifndef CPGAN_GENERATORS_CHUNG_LU_H_
+#define CPGAN_GENERATORS_CHUNG_LU_H_
+
+#include <vector>
+
+#include "generators/generator.h"
+
+namespace cpgan::generators {
+
+/// Chung-Lu model: edges placed with probability proportional to the product
+/// of the target degrees. Fit copies the observed degree sequence; Generate
+/// uses m rounds of endpoint sampling proportional to degree (the standard
+/// O(m) approximation).
+class ChungLuGenerator : public GraphGenerator {
+ public:
+  ChungLuGenerator() = default;
+  explicit ChungLuGenerator(std::vector<int> target_degrees);
+
+  std::string name() const override { return "Chung-Lu"; }
+  void Fit(const graph::Graph& observed, util::Rng& rng) override;
+  graph::Graph Generate(util::Rng& rng) const override;
+
+  const std::vector<int>& target_degrees() const { return degrees_; }
+
+ private:
+  std::vector<int> degrees_;
+};
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_CHUNG_LU_H_

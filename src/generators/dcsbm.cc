@@ -1,0 +1,50 @@
+#include "generators/dcsbm.h"
+
+#include <set>
+
+#include "community/louvain.h"
+
+namespace cpgan::generators {
+
+void DcsbmGenerator::Fit(const graph::Graph& observed, util::Rng& rng) {
+  SbmGenerator::Fit(observed, rng);
+  theta_.assign(observed.num_nodes(), 1.0);
+  for (int v = 0; v < observed.num_nodes(); ++v) {
+    theta_[v] = static_cast<double>(observed.degree(v)) + 0.1;
+  }
+}
+
+graph::Graph DcsbmGenerator::Generate(util::Rng& rng) const {
+  int n = partition_.num_nodes();
+  std::vector<graph::Edge> edges;
+  std::set<graph::Edge> seen;
+  // Precompute per-block endpoint weights.
+  std::vector<std::vector<double>> weights(block_members_.size());
+  for (size_t b = 0; b < block_members_.size(); ++b) {
+    weights[b].reserve(block_members_[b].size());
+    for (int v : block_members_[b]) weights[b].push_back(theta_[v]);
+  }
+  for (const auto& [pair, expected] : block_edges_) {
+    const auto& [r, s] = pair;
+    const std::vector<int>& members_r = block_members_[r];
+    const std::vector<int>& members_s = block_members_[s];
+    if (members_r.empty() || members_s.empty()) continue;
+    int64_t count = rng.Poisson(expected);
+    int64_t attempts = 0;
+    int64_t placed = 0;
+    int64_t max_attempts = 20 * count + 50;
+    while (placed < count && attempts < max_attempts) {
+      ++attempts;
+      int u = members_r[rng.Categorical(weights[r])];
+      int v = members_s[rng.Categorical(weights[s])];
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) continue;
+      edges.emplace_back(u, v);
+      ++placed;
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
+}  // namespace cpgan::generators

@@ -1,0 +1,26 @@
+#ifndef CPGAN_GENERATORS_DCSBM_H_
+#define CPGAN_GENERATORS_DCSBM_H_
+
+#include "generators/sbm.h"
+
+namespace cpgan::generators {
+
+/// Degree-corrected stochastic block model (Karrer & Newman, 2011): the SBM
+/// block structure plus a per-node propensity theta_v proportional to the
+/// observed degree, so heavy-tailed degree sequences survive generation.
+class DcsbmGenerator : public SbmGenerator {
+ public:
+  DcsbmGenerator() = default;
+
+  std::string name() const override { return "DCSBM"; }
+  void Fit(const graph::Graph& observed, util::Rng& rng) override;
+  graph::Graph Generate(util::Rng& rng) const override;
+
+ private:
+  /// theta_[v]: within-block endpoint weight of node v.
+  std::vector<double> theta_;
+};
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_DCSBM_H_

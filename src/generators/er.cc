@@ -1,0 +1,61 @@
+#include "generators/er.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cpgan::generators {
+
+ErGenerator::ErGenerator(int num_nodes, double p)
+    : num_nodes_(num_nodes), p_(p) {
+  CPGAN_CHECK_GE(num_nodes, 0);
+  CPGAN_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+void ErGenerator::Fit(const graph::Graph& observed, util::Rng& rng) {
+  (void)rng;
+  num_nodes_ = observed.num_nodes();
+  double pairs = 0.5 * num_nodes_ * (num_nodes_ - 1.0);
+  p_ = pairs > 0.0 ? static_cast<double>(observed.num_edges()) / pairs : 0.0;
+}
+
+graph::Graph ErGenerator::Generate(util::Rng& rng) const {
+  std::vector<graph::Edge> edges;
+  if (num_nodes_ >= 2 && p_ > 0.0) {
+    if (p_ >= 1.0) {
+      for (int u = 0; u < num_nodes_; ++u) {
+        for (int v = u + 1; v < num_nodes_; ++v) edges.emplace_back(u, v);
+      }
+      return graph::Graph(num_nodes_, edges);
+    }
+    // Geometric skipping over the strictly-upper-triangular pair index.
+    int64_t total_pairs =
+        static_cast<int64_t>(num_nodes_) * (num_nodes_ - 1) / 2;
+    double log1mp = std::log(1.0 - p_);
+    int64_t index = -1;
+    while (true) {
+      double u = rng.Uniform();
+      int64_t skip =
+          static_cast<int64_t>(std::floor(std::log(1.0 - u) / log1mp));
+      index += 1 + skip;
+      if (index >= total_pairs) break;
+      // Invert pair index -> (row, col).
+      int64_t row = static_cast<int64_t>(
+          (2.0 * num_nodes_ - 1.0 -
+           std::sqrt((2.0 * num_nodes_ - 1.0) * (2.0 * num_nodes_ - 1.0) -
+                     8.0 * static_cast<double>(index))) /
+          2.0);
+      // Fix potential floating point off-by-one.
+      auto row_start = [this](int64_t r) {
+        return r * num_nodes_ - r * (r + 1) / 2;
+      };
+      while (row > 0 && row_start(row) > index) --row;
+      while (row_start(row + 1) <= index) ++row;
+      int64_t col = row + 1 + (index - row_start(row));
+      edges.emplace_back(static_cast<int>(row), static_cast<int>(col));
+    }
+  }
+  return graph::Graph(num_nodes_, edges);
+}
+
+}  // namespace cpgan::generators

@@ -1,0 +1,31 @@
+#ifndef CPGAN_GENERATORS_ER_H_
+#define CPGAN_GENERATORS_ER_H_
+
+#include "generators/generator.h"
+
+namespace cpgan::generators {
+
+/// Erdos-Renyi G(n, p) model. Fit matches the observed edge density; the
+/// generator uses geometric skipping so sampling is O(n + m) rather than
+/// O(n^2).
+class ErGenerator : public GraphGenerator {
+ public:
+  ErGenerator() = default;
+
+  /// Directly parameterized constructor for tests/examples.
+  ErGenerator(int num_nodes, double p);
+
+  std::string name() const override { return "E-R"; }
+  void Fit(const graph::Graph& observed, util::Rng& rng) override;
+  graph::Graph Generate(util::Rng& rng) const override;
+
+  double edge_probability() const { return p_; }
+
+ private:
+  int num_nodes_ = 0;
+  double p_ = 0.0;
+};
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_ER_H_

@@ -1,0 +1,33 @@
+#ifndef CPGAN_GENERATORS_GENERATOR_H_
+#define CPGAN_GENERATORS_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::generators {
+
+/// Interface shared by every graph generator in the repo — the traditional
+/// models here, and (via adapters) the learning-based models. The protocol
+/// mirrors the paper's problem statement: Fit() learns a generative model
+/// from one observed graph, Generate() simulates a new graph with a similar
+/// structural distribution.
+class GraphGenerator {
+ public:
+  virtual ~GraphGenerator() = default;
+
+  /// Model name as it appears in the paper's tables (e.g. "E-R", "BTER").
+  virtual std::string name() const = 0;
+
+  /// Estimates model parameters from the observed graph.
+  virtual void Fit(const graph::Graph& observed, util::Rng& rng) = 0;
+
+  /// Samples a new graph from the fitted model. Requires a prior Fit().
+  virtual graph::Graph Generate(util::Rng& rng) const = 0;
+};
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_GENERATOR_H_

@@ -1,0 +1,42 @@
+#ifndef CPGAN_GENERATORS_KRONECKER_H_
+#define CPGAN_GENERATORS_KRONECKER_H_
+
+#include <array>
+
+#include "generators/generator.h"
+
+namespace cpgan::generators {
+
+/// Stochastic Kronecker graph model (Leskovec et al., 2010) with a 2x2
+/// initiator matrix [[a, b], [b, c]].
+///
+/// Fit is a lightweight KronFit: the Kronecker power k is ceil(log2 n), and
+/// the initiator is chosen from a coarse grid so that the expected edge count
+/// (a + 2b + c)^k and the degree-distribution skew (Gini) best match the
+/// observed graph. Generation places m edges by the standard top-down
+/// quadrant descent, which is O(m log n).
+class KroneckerGenerator : public GraphGenerator {
+ public:
+  KroneckerGenerator() = default;
+  KroneckerGenerator(int power, double a, double b, double c,
+                     int64_t target_edges, int target_nodes);
+
+  std::string name() const override { return "Kronecker"; }
+  void Fit(const graph::Graph& observed, util::Rng& rng) override;
+  graph::Graph Generate(util::Rng& rng) const override;
+
+  std::array<double, 3> initiator() const { return {a_, b_, c_}; }
+  int power() const { return power_; }
+
+ private:
+  int power_ = 1;
+  double a_ = 0.9;
+  double b_ = 0.55;
+  double c_ = 0.15;
+  int64_t target_edges_ = 0;
+  int target_nodes_ = 0;
+};
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_KRONECKER_H_

@@ -1,0 +1,66 @@
+#include "generators/mmsb.h"
+
+#include <algorithm>
+
+#include "community/louvain.h"
+#include "generators/sbm.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cpgan::generators {
+
+void MmsbGenerator::Fit(const graph::Graph& observed, util::Rng& rng) {
+  num_nodes_ = observed.num_nodes();
+  // Variational-EM analogue: MAP block assignments from the same random-init
+  // blockmodel estimation as SBM, softened into mixed memberships.
+  SbmGenerator point_estimate;
+  point_estimate.Fit(observed, rng);
+  const community::Partition& part = point_estimate.partition();
+  num_blocks_ = std::max(2, part.num_communities());
+
+  // Soft memberships: concentrated on the MAP block with smoothing.
+  memberships_.assign(num_nodes_, std::vector<double>(num_blocks_,
+                                                      smoothing_ / num_blocks_));
+  for (int v = 0; v < num_nodes_; ++v) {
+    memberships_[v][part.label(v)] += 1.0 - smoothing_;
+  }
+
+  // Block matrix from observed block-pair densities.
+  std::vector<double> block_size(num_blocks_, 0.0);
+  for (int v = 0; v < num_nodes_; ++v) block_size[part.label(v)] += 1.0;
+  block_matrix_.assign(num_blocks_, std::vector<double>(num_blocks_, 0.0));
+  for (const auto& [u, v] : observed.Edges()) {
+    int r = part.label(u);
+    int s = part.label(v);
+    block_matrix_[r][s] += 1.0;
+    block_matrix_[s][r] += 1.0;
+  }
+  for (int r = 0; r < num_blocks_; ++r) {
+    for (int s = 0; s < num_blocks_; ++s) {
+      double pairs = (r == s) ? block_size[r] * (block_size[r] - 1.0)
+                              : block_size[r] * block_size[s];
+      block_matrix_[r][s] =
+          pairs > 0.0 ? std::min(1.0, block_matrix_[r][s] / pairs) : 0.0;
+    }
+  }
+}
+
+graph::Graph MmsbGenerator::Generate(util::Rng& rng) const {
+  std::vector<graph::Edge> edges;
+  if (!Feasible()) {
+    CPGAN_LOG(Warning) << "MMSB generation infeasible at n=" << num_nodes_
+                       << " (O(n^2) pair sweep); returning empty graph "
+                          "(paper reports OOM).";
+    return graph::Graph(num_nodes_, edges);
+  }
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v = u + 1; v < num_nodes_; ++v) {
+      int r = rng.Categorical(memberships_[u]);
+      int s = rng.Categorical(memberships_[v]);
+      if (rng.Bernoulli(block_matrix_[r][s])) edges.emplace_back(u, v);
+    }
+  }
+  return graph::Graph(num_nodes_, edges);
+}
+
+}  // namespace cpgan::generators

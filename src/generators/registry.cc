@@ -1,0 +1,34 @@
+#include "generators/registry.h"
+
+#include "generators/ba.h"
+#include "generators/bter.h"
+#include "generators/chung_lu.h"
+#include "generators/dcsbm.h"
+#include "generators/er.h"
+#include "generators/kronecker.h"
+#include "generators/mmsb.h"
+#include "generators/sbm.h"
+#include "generators/ws.h"
+
+namespace cpgan::generators {
+
+std::vector<std::string> TraditionalGeneratorNames() {
+  return {"E-R", "B-A",  "Chung-Lu", "W-S",  "SBM",
+          "DCSBM", "BTER", "Kronecker", "MMSB"};
+}
+
+std::unique_ptr<GraphGenerator> MakeTraditionalGenerator(
+    const std::string& name) {
+  if (name == "E-R") return std::make_unique<ErGenerator>();
+  if (name == "B-A") return std::make_unique<BaGenerator>();
+  if (name == "Chung-Lu") return std::make_unique<ChungLuGenerator>();
+  if (name == "W-S") return std::make_unique<WsGenerator>();
+  if (name == "SBM") return std::make_unique<SbmGenerator>();
+  if (name == "DCSBM") return std::make_unique<DcsbmGenerator>();
+  if (name == "BTER") return std::make_unique<BterGenerator>();
+  if (name == "Kronecker") return std::make_unique<KroneckerGenerator>();
+  if (name == "MMSB") return std::make_unique<MmsbGenerator>();
+  return nullptr;
+}
+
+}  // namespace cpgan::generators

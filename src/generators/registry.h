@@ -1,0 +1,23 @@
+#ifndef CPGAN_GENERATORS_REGISTRY_H_
+#define CPGAN_GENERATORS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "generators/generator.h"
+
+namespace cpgan::generators {
+
+/// Names of every traditional generator, in the paper's table order.
+std::vector<std::string> TraditionalGeneratorNames();
+
+/// Creates a traditional generator by its table name ("E-R", "B-A",
+/// "Chung-Lu", "W-S", "SBM", "DCSBM", "BTER", "Kronecker", "MMSB").
+/// Returns nullptr for unknown names.
+std::unique_ptr<GraphGenerator> MakeTraditionalGenerator(
+    const std::string& name);
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_REGISTRY_H_

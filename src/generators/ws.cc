@@ -1,0 +1,60 @@
+#include "generators/ws.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace cpgan::generators {
+
+WsGenerator::WsGenerator(int num_nodes, int ring_degree,
+                         double rewire_probability)
+    : num_nodes_(num_nodes), ring_degree_(ring_degree),
+      beta_(rewire_probability) {
+  CPGAN_CHECK_GE(ring_degree, 2);
+  CPGAN_CHECK(rewire_probability >= 0.0 && rewire_probability <= 1.0);
+}
+
+void WsGenerator::Fit(const graph::Graph& observed, util::Rng& rng) {
+  (void)rng;
+  num_nodes_ = observed.num_nodes();
+  int k = static_cast<int>(observed.MeanDegree() + 0.5);
+  if (k % 2 == 1) ++k;
+  ring_degree_ = std::max(2, k);
+  // Lattice clustering for even k is ~ 3(k-2) / (4(k-1)); estimate beta from
+  // how far the observed clustering has decayed: C(beta) ~ C_lattice (1-b)^3.
+  double c_lattice =
+      3.0 * (ring_degree_ - 2.0) / std::max(1.0, 4.0 * (ring_degree_ - 1.0));
+  double c_obs = graph::AverageClusteringCoefficient(observed);
+  if (c_lattice <= 1e-9 || c_obs <= 0.0) {
+    beta_ = 1.0;
+  } else {
+    double ratio = std::clamp(c_obs / c_lattice, 1e-4, 1.0);
+    beta_ = std::clamp(1.0 - std::cbrt(ratio), 0.0, 1.0);
+  }
+}
+
+graph::Graph WsGenerator::Generate(util::Rng& rng) const {
+  int n = num_nodes_;
+  std::vector<graph::Edge> edges;
+  if (n < 3) return graph::Graph(n, edges);
+  int half = std::min(ring_degree_ / 2, (n - 1) / 2);
+  for (int u = 0; u < n; ++u) {
+    for (int j = 1; j <= half; ++j) {
+      int v = (u + j) % n;
+      if (rng.Bernoulli(beta_)) {
+        // Rewire: keep u, choose a random new endpoint.
+        int w = static_cast<int>(rng.UniformInt(n));
+        if (w != u) {
+          edges.emplace_back(std::min(u, w), std::max(u, w));
+          continue;
+        }
+      }
+      edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
+}  // namespace cpgan::generators

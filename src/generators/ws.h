@@ -1,0 +1,32 @@
+#ifndef CPGAN_GENERATORS_WS_H_
+#define CPGAN_GENERATORS_WS_H_
+
+#include "generators/generator.h"
+
+namespace cpgan::generators {
+
+/// Watts-Strogatz small-world model: a ring lattice with even degree k whose
+/// edges are rewired with probability beta. Fit matches k to the observed
+/// mean degree and tunes beta from the observed clustering coefficient
+/// relative to the lattice's.
+class WsGenerator : public GraphGenerator {
+ public:
+  WsGenerator() = default;
+  WsGenerator(int num_nodes, int ring_degree, double rewire_probability);
+
+  std::string name() const override { return "W-S"; }
+  void Fit(const graph::Graph& observed, util::Rng& rng) override;
+  graph::Graph Generate(util::Rng& rng) const override;
+
+  int ring_degree() const { return ring_degree_; }
+  double rewire_probability() const { return beta_; }
+
+ private:
+  int num_nodes_ = 0;
+  int ring_degree_ = 2;
+  double beta_ = 0.1;
+};
+
+}  // namespace cpgan::generators
+
+#endif  // CPGAN_GENERATORS_WS_H_

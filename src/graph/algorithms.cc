@@ -1,0 +1,237 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace cpgan::graph {
+
+std::vector<int> BfsDistances(const Graph& g, int source) {
+  CPGAN_CHECK(source >= 0 && source < g.num_nodes());
+  std::vector<int> dist(g.num_nodes(), -1);
+  std::queue<int> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    for (int v : g.neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> ConnectedComponents(const Graph& g) {
+  std::vector<int> component(g.num_nodes(), -1);
+  int next_id = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < g.num_nodes(); ++s) {
+    if (component[s] >= 0) continue;
+    component[s] = next_id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (int v : g.neighbors(u)) {
+        if (component[v] < 0) {
+          component[v] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+std::vector<int> LargestComponent(const Graph& g) {
+  std::vector<int> component = ConnectedComponents(g);
+  int k = 0;
+  for (int c : component) k = std::max(k, c + 1);
+  std::vector<int> counts(k, 0);
+  for (int c : component) counts[c] += 1;
+  int best = 0;
+  for (int c = 1; c < k; ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  std::vector<int> nodes;
+  nodes.reserve(counts.empty() ? 0 : counts[best]);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (component[v] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g) {
+  std::vector<double> coeffs(g.num_nodes(), 0.0);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.neighbors(v);
+    int d = static_cast<int>(nbrs.size());
+    if (d < 2) continue;
+    int64_t links = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    coeffs[v] = 2.0 * static_cast<double>(links) /
+                (static_cast<double>(d) * (d - 1));
+  }
+  return coeffs;
+}
+
+double AverageClusteringCoefficient(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  std::vector<double> coeffs = LocalClusteringCoefficients(g);
+  double total = 0.0;
+  for (double c : coeffs) total += c;
+  return total / g.num_nodes();
+}
+
+double CharacteristicPathLength(const Graph& g, util::Rng& rng,
+                                int num_sources) {
+  std::vector<int> comp = LargestComponent(g);
+  if (comp.size() < 2) return 0.0;
+  Graph sub = g.InducedSubgraph(comp);
+  int n = sub.num_nodes();
+  std::vector<int> sources;
+  if (n <= num_sources) {
+    sources.resize(n);
+    for (int i = 0; i < n; ++i) sources[i] = i;
+  } else {
+    sources = rng.SampleWithoutReplacement(n, num_sources);
+  }
+  double total = 0.0;
+  int64_t pairs = 0;
+  for (int s : sources) {
+    std::vector<int> dist = BfsDistances(sub, s);
+    for (int v = 0; v < n; ++v) {
+      if (v == s) continue;
+      if (dist[v] > 0) {
+        total += dist[v];
+        ++pairs;
+      }
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+std::vector<int> BfsOrder(const Graph& g, int start) {
+  CPGAN_CHECK(start >= 0 && start < g.num_nodes());
+  std::vector<int> order;
+  order.reserve(g.num_nodes());
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::queue<int> frontier;
+  seen[start] = true;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    order.push_back(u);
+    for (int v : g.neighbors(u)) {  // sorted, so ties break by id
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (!seen[v]) order.push_back(v);
+  }
+  return order;
+}
+
+std::vector<double> PageRank(const Graph& g, double alpha, int iterations) {
+  int n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int u = 0; u < n; ++u) {
+      int d = g.degree(u);
+      if (d == 0) {
+        dangling += rank[u];
+        continue;
+      }
+      double share = rank[u] / d;
+      for (int v : g.neighbors(u)) next[v] += share;
+    }
+    double teleport = (1.0 - alpha) / n + alpha * dangling / n;
+    for (int v = 0; v < n; ++v) next[v] = alpha * next[v] + teleport;
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<int> CoreNumbers(const Graph& g) {
+  int n = g.num_nodes();
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (int v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort nodes by degree (Batagelj-Zaversnik peeling).
+  std::vector<int> bin(max_degree + 2, 0);
+  for (int v = 0; v < n; ++v) bin[degree[v]] += 1;
+  int start = 0;
+  for (int d = 0; d <= max_degree; ++d) {
+    int count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<int> position(n);
+  std::vector<int> ordered(n);
+  {
+    std::vector<int> cursor(bin.begin(), bin.end() - 1);
+    for (int v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      ordered[position[v]] = v;
+      cursor[degree[v]] += 1;
+    }
+  }
+  std::vector<int> core = degree;
+  for (int i = 0; i < n; ++i) {
+    int v = ordered[i];
+    for (int u : g.neighbors(v)) {
+      if (core[u] > core[v]) {
+        // Move u one bucket down: swap it with the first node of its bucket.
+        int du = core[u];
+        int pu = position[u];
+        int pw = bin[du];
+        int w = ordered[pw];
+        if (u != w) {
+          std::swap(ordered[pu], ordered[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        bin[du] += 1;
+        core[u] -= 1;
+      }
+    }
+  }
+  return core;
+}
+
+int64_t CountTriangles(const Graph& g) {
+  int64_t triangles = 0;
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.neighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= u) continue;
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace cpgan::graph

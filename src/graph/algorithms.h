@@ -1,0 +1,50 @@
+#ifndef CPGAN_GRAPH_ALGORITHMS_H_
+#define CPGAN_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+
+/// BFS distances from `source`; unreachable nodes get -1.
+std::vector<int> BfsDistances(const Graph& g, int source);
+
+/// Connected-component id per node (ids are 0..k-1 in discovery order).
+std::vector<int> ConnectedComponents(const Graph& g);
+
+/// Node ids of the largest connected component.
+std::vector<int> LargestComponent(const Graph& g);
+
+/// Local clustering coefficient per node (0 for degree < 2).
+std::vector<double> LocalClusteringCoefficients(const Graph& g);
+
+/// Mean of the local clustering coefficients.
+double AverageClusteringCoefficient(const Graph& g);
+
+/// Characteristic path length: mean shortest-path length within the largest
+/// connected component, estimated by BFS from up to `num_sources` sampled
+/// sources (exact when the component is small enough).
+double CharacteristicPathLength(const Graph& g, util::Rng& rng,
+                                int num_sources = 64);
+
+/// BFS visiting order from `start` (ties broken by node id); nodes outside
+/// the start's component are appended in id order. Used by GraphRNN-S.
+std::vector<int> BfsOrder(const Graph& g, int start);
+
+/// Total number of triangles in the graph.
+int64_t CountTriangles(const Graph& g);
+
+/// PageRank scores via power iteration (damping `alpha`, uniform teleport;
+/// dangling mass redistributed uniformly). Scores sum to 1.
+std::vector<double> PageRank(const Graph& g, double alpha = 0.85,
+                             int iterations = 50);
+
+/// Core number of every node (the largest k such that the node belongs to
+/// the k-core), via the standard peeling algorithm in O(m + n).
+std::vector<int> CoreNumbers(const Graph& g);
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_ALGORITHMS_H_

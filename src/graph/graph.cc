@@ -1,0 +1,84 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cpgan::graph {
+
+Graph::Graph(int num_nodes) : num_nodes_(num_nodes) {
+  CPGAN_CHECK_GE(num_nodes, 0);
+  offsets_.assign(num_nodes_ + 1, 0);
+}
+
+Graph::Graph(int num_nodes, const std::vector<Edge>& edges)
+    : num_nodes_(num_nodes) {
+  CPGAN_CHECK_GE(num_nodes, 0);
+  std::vector<Edge> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    CPGAN_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+    if (u == v) continue;
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+  offsets_.assign(num_nodes_ + 1, 0);
+  adjacency_.reserve(directed.size());
+  for (const auto& [u, v] : directed) {
+    offsets_[u + 1] += 1;
+    adjacency_.push_back(v);
+  }
+  for (int i = 0; i < num_nodes_; ++i) offsets_[i + 1] += offsets_[i];
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  CPGAN_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::vector<int> Graph::Degrees() const {
+  std::vector<int> degrees(num_nodes_);
+  for (int v = 0; v < num_nodes_; ++v) degrees[v] = degree(v);
+  return degrees;
+}
+
+double Graph::MeanDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / num_nodes_;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& nodes) const {
+  std::vector<int> relabel(num_nodes_, -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    CPGAN_CHECK(nodes[i] >= 0 && nodes[i] < num_nodes_);
+    CPGAN_CHECK_EQ(relabel[nodes[i]], -1);  // nodes must be distinct
+    relabel[nodes[i]] = static_cast<int>(i);
+  }
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int v : neighbors(nodes[i])) {
+      int rv = relabel[v];
+      if (rv >= 0 && static_cast<int>(i) < rv) {
+        edges.emplace_back(static_cast<int>(i), rv);
+      }
+    }
+  }
+  return Graph(static_cast<int>(nodes.size()), edges);
+}
+
+}  // namespace cpgan::graph

@@ -1,0 +1,68 @@
+#ifndef CPGAN_GRAPH_GRAPH_H_
+#define CPGAN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cpgan::graph {
+
+/// An undirected edge (u, v); canonical form has u <= v.
+using Edge = std::pair<int, int>;
+
+/// Immutable undirected simple graph in CSR form.
+///
+/// The constructor symmetrizes, deduplicates, and drops self-loops, so the
+/// invariants are: no parallel edges, no self-loops, neighbor lists sorted.
+/// This matches the paper's problem statement (undirected simple graphs with
+/// symmetric adjacency matrices).
+class Graph {
+ public:
+  /// Empty graph with n isolated nodes.
+  explicit Graph(int num_nodes = 0);
+
+  /// Builds from an edge list over nodes [0, num_nodes).
+  Graph(int num_nodes, const std::vector<Edge>& edges);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Number of undirected edges m.
+  int64_t num_edges() const { return static_cast<int64_t>(adjacency_.size()) / 2; }
+
+  /// Degree of node v.
+  int degree(int v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of node v.
+  std::span<const int> neighbors(int v) const {
+    return {adjacency_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// True if the undirected edge {u, v} exists (binary search).
+  bool HasEdge(int u, int v) const;
+
+  /// Canonical (u < v) edge list.
+  std::vector<Edge> Edges() const;
+
+  /// Degrees of every node.
+  std::vector<int> Degrees() const;
+
+  /// Mean degree 2m / n.
+  double MeanDegree() const;
+
+  /// Returns the subgraph induced by `nodes` with vertices relabeled to
+  /// [0, nodes.size()) in the given order.
+  Graph InducedSubgraph(const std::vector<int>& nodes) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<int64_t> offsets_;
+  std::vector<int> adjacency_;
+};
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_GRAPH_H_

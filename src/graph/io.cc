@@ -1,0 +1,50 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace cpgan::graph {
+
+std::optional<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  std::unordered_map<long, int> relabel;
+  std::vector<Edge> edges;
+  std::string line;
+  auto intern = [&relabel](long raw) {
+    auto [it, inserted] =
+        relabel.emplace(raw, static_cast<int>(relabel.size()));
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    long u = 0;
+    long v = 0;
+    if (!(ss >> u >> v)) continue;
+    if (u < 0 || v < 0) continue;
+    // Intern in reading order (argument evaluation order is unspecified).
+    int iu = intern(u);
+    int iv = intern(v);
+    edges.emplace_back(iu, iv);
+  }
+  return Graph(static_cast<int>(relabel.size()), edges);
+}
+
+bool SaveEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const auto& [u, v] : g.Edges()) {
+    if (std::fprintf(f, "%d %d\n", u, v) < 0) {
+      ok = false;
+      break;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace cpgan::graph

@@ -1,0 +1,22 @@
+#ifndef CPGAN_GRAPH_IO_H_
+#define CPGAN_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cpgan::graph {
+
+/// Loads a whitespace-separated edge list ("u v" per line; lines beginning
+/// with '#' or '%' are comments). Node ids may be arbitrary non-negative
+/// integers; they are compacted to [0, n). Returns nullopt on IO error.
+std::optional<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes the canonical edge list, one "u v" per line. Returns false on IO
+/// error.
+bool SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_IO_H_

@@ -1,0 +1,55 @@
+#include "graph/spectral.h"
+
+#include <cmath>
+
+#include "tensor/sparse.h"
+#include "util/check.h"
+
+namespace cpgan::graph {
+namespace {
+
+/// Gram-Schmidt orthonormalization of the columns of `m` in place.
+void Orthonormalize(tensor::Matrix& m) {
+  int n = m.rows();
+  int k = m.cols();
+  for (int c = 0; c < k; ++c) {
+    for (int prev = 0; prev < c; ++prev) {
+      double dot = 0.0;
+      for (int r = 0; r < n; ++r) dot += m.At(r, c) * m.At(r, prev);
+      for (int r = 0; r < n; ++r) {
+        m.At(r, c) -= static_cast<float>(dot) * m.At(r, prev);
+      }
+    }
+    double norm = 0.0;
+    for (int r = 0; r < n; ++r) norm += static_cast<double>(m.At(r, c)) * m.At(r, c);
+    norm = std::sqrt(norm);
+    float inv = norm > 1e-9 ? static_cast<float>(1.0 / norm) : 0.0f;
+    for (int r = 0; r < n; ++r) m.At(r, c) *= inv;
+  }
+}
+
+}  // namespace
+
+tensor::Matrix SpectralEmbedding(const Graph& g, int dim, util::Rng& rng,
+                                 int iterations) {
+  CPGAN_CHECK_GE(dim, 1);
+  int n = g.num_nodes();
+  int k = std::min(dim, n);
+  tensor::SparseMatrix a_hat = tensor::NormalizedAdjacency(n, g.Edges());
+  tensor::Matrix q(n, k);
+  q.FillNormal(rng, 1.0f);
+  Orthonormalize(q);
+  for (int it = 0; it < iterations; ++it) {
+    q = a_hat.Multiply(q);
+    Orthonormalize(q);
+  }
+  if (k == dim) return q;
+  // Pad with zero columns when the graph is smaller than the requested dim.
+  tensor::Matrix out(n, dim);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < k; ++c) out.At(r, c) = q.At(r, c);
+  }
+  return out;
+}
+
+}  // namespace cpgan::graph

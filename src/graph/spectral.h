@@ -1,0 +1,20 @@
+#ifndef CPGAN_GRAPH_SPECTRAL_H_
+#define CPGAN_GRAPH_SPECTRAL_H_
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+
+/// Spectral node embedding: the top-`dim` eigenvector directions of the
+/// symmetric normalized adjacency D^{-1/2}(A+I)D^{-1/2}, computed by
+/// orthogonal (subspace) power iteration. The paper uses spectral embeddings
+/// of the adjacency matrix as the default node features X = X(A) of the
+/// ladder encoder; Fig. 5 sweeps this dimension.
+tensor::Matrix SpectralEmbedding(const Graph& g, int dim, util::Rng& rng,
+                                 int iterations = 30);
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_SPECTRAL_H_

@@ -1,0 +1,39 @@
+#include "graph/split.h"
+
+#include "util/check.h"
+
+namespace cpgan::graph {
+
+EdgeSplit RandomEdgeSplit(const Graph& g, double train_fraction,
+                          util::Rng& rng) {
+  CPGAN_CHECK(train_fraction > 0.0 && train_fraction <= 1.0);
+  std::vector<Edge> edges = g.Edges();
+  rng.Shuffle(edges);
+  size_t train_count =
+      static_cast<size_t>(train_fraction * static_cast<double>(edges.size()));
+  if (train_count == 0 && !edges.empty()) train_count = 1;
+
+  EdgeSplit split;
+  split.train_edges.assign(edges.begin(), edges.begin() + train_count);
+  split.test_edges.assign(edges.begin() + train_count, edges.end());
+  split.train = Graph(g.num_nodes(), split.train_edges);
+
+  // Sample an equal number of non-edges (rejection sampling; graphs here are
+  // sparse so this terminates quickly).
+  int n = g.num_nodes();
+  size_t want = split.test_edges.size();
+  int64_t attempts = 0;
+  int64_t max_attempts = static_cast<int64_t>(want) * 100 + 1000;
+  while (split.negative_edges.size() < want && attempts < max_attempts) {
+    ++attempts;
+    int u = static_cast<int>(rng.UniformInt(n));
+    int v = static_cast<int>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (g.HasEdge(u, v)) continue;
+    split.negative_edges.emplace_back(u, v);
+  }
+  return split;
+}
+
+}  // namespace cpgan::graph

@@ -1,0 +1,28 @@
+#ifndef CPGAN_GRAPH_SPLIT_H_
+#define CPGAN_GRAPH_SPLIT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+
+/// Result of a random edge holdout (Section IV-C's 80/20 reconstruction
+/// protocol).
+struct EdgeSplit {
+  Graph train;                    // graph with only the training edges
+  std::vector<Edge> train_edges;  // canonical training edges
+  std::vector<Edge> test_edges;   // held-out positive edges
+  std::vector<Edge> negative_edges;  // sampled non-edges, |test_edges| many
+};
+
+/// Randomly keeps `train_fraction` of the edges in the training graph and
+/// holds out the rest, along with an equal number of sampled non-edges for
+/// NLL / link-prediction evaluation.
+EdgeSplit RandomEdgeSplit(const Graph& g, double train_fraction,
+                          util::Rng& rng);
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_SPLIT_H_

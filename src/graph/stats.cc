@@ -1,0 +1,105 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace cpgan::graph {
+
+double GiniCoefficient(const std::vector<int>& degrees) {
+  if (degrees.empty()) return 0.0;
+  std::vector<int> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  int n = static_cast<int>(sorted.size());
+  for (int i = 0; i < n; ++i) {
+    total += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double PowerLawExponent(const std::vector<int>& degrees, int dmin) {
+  CPGAN_CHECK_GE(dmin, 1);
+  double log_sum = 0.0;
+  int64_t count = 0;
+  for (int d : degrees) {
+    if (d < dmin) continue;
+    log_sum += std::log(static_cast<double>(d) / (dmin - 0.5));
+    ++count;
+  }
+  if (count == 0 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+double DegreeAssortativity(const Graph& g) {
+  // Pearson correlation over directed edge endpoints (each undirected edge
+  // contributes both orientations, which symmetrizes the estimator).
+  double sum_x = 0.0, sum_y = 0.0, sum_xy = 0.0, sum_x2 = 0.0, sum_y2 = 0.0;
+  int64_t count = 0;
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    double du = g.degree(u);
+    for (int v : g.neighbors(u)) {
+      double dv = g.degree(v);
+      sum_x += du;
+      sum_y += dv;
+      sum_xy += du * dv;
+      sum_x2 += du * du;
+      sum_y2 += dv * dv;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  double n = static_cast<double>(count);
+  double cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+  double var_x = sum_x2 / n - (sum_x / n) * (sum_x / n);
+  double var_y = sum_y2 / n - (sum_y / n) * (sum_y / n);
+  double denom = std::sqrt(var_x * var_y);
+  return denom > 1e-12 ? cov / denom : 0.0;
+}
+
+std::vector<double> DegreeHistogram(const Graph& g, int max_degree) {
+  CPGAN_CHECK_GE(max_degree, 1);
+  std::vector<double> hist(max_degree + 1, 0.0);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    int d = std::min(g.degree(v), max_degree);
+    hist[d] += 1.0;
+  }
+  if (g.num_nodes() > 0) {
+    for (double& h : hist) h /= g.num_nodes();
+  }
+  return hist;
+}
+
+std::vector<double> ClusteringHistogram(const Graph& g, int bins) {
+  CPGAN_CHECK_GE(bins, 1);
+  std::vector<double> hist(bins, 0.0);
+  std::vector<double> coeffs = LocalClusteringCoefficients(g);
+  for (double c : coeffs) {
+    int b = std::min(static_cast<int>(c * bins), bins - 1);
+    hist[b] += 1.0;
+  }
+  if (!coeffs.empty()) {
+    for (double& h : hist) h /= static_cast<double>(coeffs.size());
+  }
+  return hist;
+}
+
+GraphSummary ComputeSummary(const Graph& g, util::Rng& rng) {
+  GraphSummary s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.mean_degree = g.MeanDegree();
+  s.cpl = CharacteristicPathLength(g, rng);
+  std::vector<int> degrees = g.Degrees();
+  s.gini = GiniCoefficient(degrees);
+  s.power_law_exponent = PowerLawExponent(degrees);
+  s.avg_clustering = AverageClusteringCoefficient(g);
+  return s;
+}
+
+}  // namespace cpgan::graph

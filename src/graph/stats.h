@@ -1,0 +1,51 @@
+#ifndef CPGAN_GRAPH_STATS_H_
+#define CPGAN_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+
+/// Gini coefficient of the degree sequence — the paper's inequality measure
+/// for degree distributions (Table II's GINI column).
+double GiniCoefficient(const std::vector<int>& degrees);
+
+/// Power-law exponent of the degree distribution via the discrete MLE of
+/// Clauset et al. (alpha = 1 + n / sum ln(d / (dmin - 0.5)) over d >= dmin).
+/// Degrees below `dmin` (default 1) are ignored; returns 0 when empty.
+double PowerLawExponent(const std::vector<int>& degrees, int dmin = 1);
+
+/// Degree assortativity: the Pearson correlation of the degrees at the two
+/// ends of every edge (Newman, 2002). Positive for social-style networks,
+/// negative for hub-and-spoke topologies; 0 when undefined (no variance).
+double DegreeAssortativity(const Graph& g);
+
+/// Normalized degree histogram up to `max_degree` (inclusive); tail mass is
+/// folded into the last bucket. Used by the MMD metrics.
+std::vector<double> DegreeHistogram(const Graph& g, int max_degree);
+
+/// Histogram of local clustering coefficients with `bins` equal-width bins
+/// over [0, 1]; normalized to sum to 1.
+std::vector<double> ClusteringHistogram(const Graph& g, int bins);
+
+/// Scalar summary of a graph in the shape of the paper's Table II row.
+struct GraphSummary {
+  int num_nodes = 0;
+  int64_t num_edges = 0;
+  int num_communities = 0;  // filled by callers with a community detector
+  double mean_degree = 0.0;
+  double cpl = 0.0;
+  double gini = 0.0;
+  double power_law_exponent = 0.0;
+  double avg_clustering = 0.0;
+};
+
+/// Computes all summary fields except num_communities.
+GraphSummary ComputeSummary(const Graph& g, util::Rng& rng);
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_STATS_H_

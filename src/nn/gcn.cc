@@ -1,0 +1,38 @@
+#include "nn/gcn.h"
+
+namespace cpgan::nn {
+
+GcnConv::GcnConv(int in_features, int out_features, util::Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = AddParameter("weight", in_features, out_features, rng);
+  bias_ = AddZeroParameter("bias", 1, out_features);
+}
+
+tensor::Tensor GcnConv::Forward(
+    const std::shared_ptr<const tensor::SparseMatrix>& a_hat,
+    const tensor::Tensor& x) const {
+  CPGAN_CHECK_EQ(x.cols(), in_features_);
+  tensor::Tensor xw = tensor::Matmul(x, weight_);
+  tensor::Tensor out = tensor::Spmm(a_hat, xw);
+  return tensor::AddRowVec(out, bias_);
+}
+
+tensor::Tensor GcnConv::ForwardDense(const tensor::Tensor& a_hat,
+                                     const tensor::Tensor& x) const {
+  CPGAN_CHECK_EQ(x.cols(), in_features_);
+  tensor::Tensor xw = tensor::Matmul(x, weight_);
+  tensor::Tensor out = tensor::Matmul(a_hat, xw);
+  return tensor::AddRowVec(out, bias_);
+}
+
+tensor::Tensor RowNormalizeAdjacency(const tensor::Tensor& a) {
+  CPGAN_CHECK_EQ(a.rows(), a.cols());
+  // A + I for self-loops, then divide each row by its sum.
+  tensor::Matrix eye(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) eye.At(i, i) = 1.0f;
+  tensor::Tensor with_loops = tensor::Add(a, tensor::Constant(std::move(eye)));
+  tensor::Tensor sums = tensor::AddConst(tensor::RowSum(with_loops), 1e-6f);
+  return tensor::MulColVec(with_loops, tensor::Reciprocal(sums));
+}
+
+}  // namespace cpgan::nn

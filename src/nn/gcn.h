@@ -1,0 +1,47 @@
+#ifndef CPGAN_NN_GCN_H_
+#define CPGAN_NN_GCN_H_
+
+#include <memory>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cpgan::nn {
+
+/// Graph convolution layer (Kipf & Welling):
+///   Z = A_hat X W + b
+/// where A_hat is the normalized adjacency (eq. 6 of the paper). The layer
+/// supports both a constant sparse A_hat (level-0 graphs) and a dense,
+/// differentiable A_hat (coarsened graphs produced by DiffPool, eq. 8), where
+/// gradients flow through the adjacency as well.
+class GcnConv : public Module {
+ public:
+  GcnConv(int in_features, int out_features, util::Rng& rng);
+
+  /// Sparse-adjacency forward: Z = spmm(a_hat, X) W + b.
+  tensor::Tensor Forward(const std::shared_ptr<const tensor::SparseMatrix>& a_hat,
+                         const tensor::Tensor& x) const;
+
+  /// Dense-adjacency forward (adjacency participates in autograd). The caller
+  /// is responsible for normalizing `a_hat` if desired (see
+  /// RowNormalizeAdjacency).
+  tensor::Tensor ForwardDense(const tensor::Tensor& a_hat,
+                              const tensor::Tensor& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;
+};
+
+/// Differentiably row-normalizes a dense non-negative adjacency with added
+/// self-loops: rows sum to one. Used for coarsened-level graph convolutions.
+tensor::Tensor RowNormalizeAdjacency(const tensor::Tensor& a);
+
+}  // namespace cpgan::nn
+
+#endif  // CPGAN_NN_GCN_H_

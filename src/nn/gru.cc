@@ -1,0 +1,35 @@
+#include "nn/gru.h"
+
+namespace cpgan::nn {
+
+GruCell::GruCell(int input_size, int hidden_size, util::Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_x_ = AddParameter("w_x", input_size, 3 * hidden_size, rng);
+  w_h_ = AddParameter("w_h", hidden_size, 3 * hidden_size, rng);
+  b_ = AddZeroParameter("b", 1, 3 * hidden_size);
+}
+
+tensor::Tensor GruCell::Forward(const tensor::Tensor& x,
+                                const tensor::Tensor& h) const {
+  using namespace cpgan::tensor;  // NOLINT(build/namespaces): local op DSL
+  CPGAN_CHECK_EQ(x.cols(), input_size_);
+  CPGAN_CHECK_EQ(h.cols(), hidden_size_);
+  CPGAN_CHECK_EQ(x.rows(), h.rows());
+  Tensor gates_x = AddRowVec(Matmul(x, w_x_), b_);
+  Tensor gates_h = Matmul(h, w_h_);
+  Tensor r = Sigmoid(Add(SliceCols(gates_x, 0, hidden_size_),
+                         SliceCols(gates_h, 0, hidden_size_)));
+  Tensor z = Sigmoid(Add(SliceCols(gates_x, hidden_size_, hidden_size_),
+                         SliceCols(gates_h, hidden_size_, hidden_size_)));
+  Tensor n = Tanh(Add(SliceCols(gates_x, 2 * hidden_size_, hidden_size_),
+                      Mul(r, SliceCols(gates_h, 2 * hidden_size_,
+                                       hidden_size_))));
+  // h' = (1 - z) o n + z o h = n - z o n + z o h
+  return Add(Sub(n, Mul(z, n)), Mul(z, h));
+}
+
+tensor::Tensor GruCell::InitialState(int batch) const {
+  return tensor::Constant(tensor::Matrix(batch, hidden_size_));
+}
+
+}  // namespace cpgan::nn

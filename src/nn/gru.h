@@ -1,0 +1,41 @@
+#ifndef CPGAN_NN_GRU_H_
+#define CPGAN_NN_GRU_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cpgan::nn {
+
+/// Gated Recurrent Unit cell (Cho et al., 2014), used by the CPGAN graph
+/// decoder (eq. 13) to fold the k hierarchy-level features into a single node
+/// representation, and by the sequential baselines (GraphRNN-S, NetGAN).
+///
+///   r = sigmoid(x W_xr + h W_hr + b_r)
+///   z = sigmoid(x W_xz + h W_hz + b_z)
+///   n = tanh  (x W_xn + (r o h) W_hn + b_n)
+///   h' = (1 - z) o n + z o h
+class GruCell : public Module {
+ public:
+  GruCell(int input_size, int hidden_size, util::Rng& rng);
+
+  /// x: batch x input, h: batch x hidden -> batch x hidden.
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& h) const;
+
+  /// Zero-valued initial hidden state for a batch.
+  tensor::Tensor InitialState(int batch) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  tensor::Tensor w_x_;  // input x (3*hidden): [r | z | n]
+  tensor::Tensor w_h_;  // hidden x (3*hidden)
+  tensor::Tensor b_;    // 1 x (3*hidden)
+};
+
+}  // namespace cpgan::nn
+
+#endif  // CPGAN_NN_GRU_H_

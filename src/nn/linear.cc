@@ -1,0 +1,18 @@
+#include "nn/linear.h"
+
+namespace cpgan::nn {
+
+Linear::Linear(int in_features, int out_features, util::Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = AddParameter("weight", in_features, out_features, rng);
+  if (bias) bias_ = AddZeroParameter("bias", 1, out_features);
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  CPGAN_CHECK_EQ(x.cols(), in_features_);
+  tensor::Tensor out = tensor::Matmul(x, weight_);
+  if (bias_.defined()) out = tensor::AddRowVec(out, bias_);
+  return out;
+}
+
+}  // namespace cpgan::nn

@@ -1,0 +1,29 @@
+#ifndef CPGAN_NN_LINEAR_H_
+#define CPGAN_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cpgan::nn {
+
+/// Affine layer y = x W + b (bias optional).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, util::Rng& rng, bool bias = true);
+
+  /// x: n x in -> n x out.
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  tensor::Tensor weight_;  // in x out
+  tensor::Tensor bias_;    // 1 x out (undefined when bias disabled)
+};
+
+}  // namespace cpgan::nn
+
+#endif  // CPGAN_NN_LINEAR_H_

@@ -1,0 +1,39 @@
+#include "nn/mlp.h"
+
+namespace cpgan::nn {
+
+tensor::Tensor ApplyActivation(const tensor::Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return tensor::Relu(x);
+    case Activation::kTanh:
+      return tensor::Tanh(x);
+    case Activation::kSigmoid:
+      return tensor::Sigmoid(x);
+  }
+  return x;
+}
+
+Mlp::Mlp(const std::vector<int>& sizes, util::Rng& rng, Activation hidden,
+         Activation output)
+    : hidden_(hidden), output_(output) {
+  CPGAN_CHECK_GE(sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(sizes[i], sizes[i + 1], rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+tensor::Tensor Mlp::Forward(const tensor::Tensor& x) const {
+  tensor::Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    bool last = (i + 1 == layers_.size());
+    h = ApplyActivation(h, last ? output_ : hidden_);
+  }
+  return h;
+}
+
+}  // namespace cpgan::nn

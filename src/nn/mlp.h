@@ -1,0 +1,44 @@
+#ifndef CPGAN_NN_MLP_H_
+#define CPGAN_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace cpgan::nn {
+
+/// Activation applied between MLP layers.
+enum class Activation {
+  kNone,
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
+/// Applies the activation as a differentiable op.
+tensor::Tensor ApplyActivation(const tensor::Tensor& x, Activation act);
+
+/// Multi-layer perceptron with a hidden activation and optional output
+/// activation (default none, so it can emit logits).
+class Mlp : public Module {
+ public:
+  /// `sizes` lists layer widths, e.g. {in, hidden, out}.
+  Mlp(const std::vector<int>& sizes, util::Rng& rng,
+      Activation hidden = Activation::kRelu,
+      Activation output = Activation::kNone);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int in_features() const { return layers_.front()->in_features(); }
+  int out_features() const { return layers_.back()->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_;
+  Activation output_;
+};
+
+}  // namespace cpgan::nn
+
+#endif  // CPGAN_NN_MLP_H_

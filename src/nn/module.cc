@@ -1,0 +1,54 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace cpgan::nn {
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<tensor::Tensor> out;
+  for (const auto& [name, p] : params_) out.push_back(p);
+  for (const Module* sub : submodules_) {
+    auto sub_params = sub->Parameters();
+    out.insert(out.end(), sub_params.begin(), sub_params.end());
+  }
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const tensor::Tensor& p : Parameters()) total += p.value().size();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (tensor::Tensor& p : Parameters()) p.ZeroGrad();
+}
+
+tensor::Tensor Module::AddParameter(const std::string& name, int rows,
+                                    int cols, util::Rng& rng) {
+  tensor::Matrix w(rows, cols);
+  XavierInit(w, rng);
+  tensor::Tensor param(std::move(w), /*requires_grad=*/true);
+  params_.emplace_back(name, param);
+  return param;
+}
+
+tensor::Tensor Module::AddZeroParameter(const std::string& name, int rows,
+                                        int cols) {
+  tensor::Tensor param(tensor::Matrix(rows, cols), /*requires_grad=*/true);
+  params_.emplace_back(name, param);
+  return param;
+}
+
+void Module::RegisterModule(Module* submodule) {
+  submodules_.push_back(submodule);
+}
+
+void XavierInit(tensor::Matrix& w, util::Rng& rng) {
+  float fan_in = static_cast<float>(w.rows());
+  float fan_out = static_cast<float>(w.cols());
+  float limit = std::sqrt(6.0f / (fan_in + fan_out));
+  w.FillUniform(rng, -limit, limit);
+}
+
+}  // namespace cpgan::nn

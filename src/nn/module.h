@@ -1,0 +1,54 @@
+#ifndef CPGAN_NN_MODULE_H_
+#define CPGAN_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cpgan::nn {
+
+/// Base class for neural modules: owns named parameters and exposes them for
+/// optimizers and serialization. Submodules register their parameters into
+/// the parent via RegisterModule.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its registered submodules.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+ protected:
+  /// Creates and registers a trainable parameter initialized with
+  /// Glorot/Xavier uniform scaling for a (fan_in, fan_out) weight.
+  tensor::Tensor AddParameter(const std::string& name, int rows, int cols,
+                              util::Rng& rng);
+
+  /// Creates and registers a zero-initialized parameter (biases).
+  tensor::Tensor AddZeroParameter(const std::string& name, int rows, int cols);
+
+  /// Registers a submodule whose parameters are reported by Parameters().
+  void RegisterModule(Module* submodule);
+
+ private:
+  std::vector<std::pair<std::string, tensor::Tensor>> params_;
+  std::vector<Module*> submodules_;
+};
+
+/// Fills `w` with Glorot/Xavier uniform values based on its shape.
+void XavierInit(tensor::Matrix& w, util::Rng& rng);
+
+}  // namespace cpgan::nn
+
+#endif  // CPGAN_NN_MODULE_H_

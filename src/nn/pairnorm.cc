@@ -1,0 +1,13 @@
+#include "nn/pairnorm.h"
+
+namespace cpgan::nn {
+
+tensor::Tensor PairNorm(const tensor::Tensor& x, float scale, float eps) {
+  using namespace cpgan::tensor;  // NOLINT(build/namespaces): local op DSL
+  Tensor centered = Sub(x, Matmul(Constant(Matrix(x.rows(), 1, 1.0f)),
+                                  ColMean(x)));
+  Tensor norms = AddConst(RowL2Norm(centered), eps);
+  return Scale(MulColVec(centered, Reciprocal(norms)), scale);
+}
+
+}  // namespace cpgan::nn

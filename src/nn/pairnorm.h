@@ -1,0 +1,21 @@
+#ifndef CPGAN_NN_PAIRNORM_H_
+#define CPGAN_NN_PAIRNORM_H_
+
+#include "tensor/ops.h"
+
+namespace cpgan::nn {
+
+/// PairNorm (Zhao & Akoglu, ICLR 2020), used after each GCN in the ladder
+/// encoder to allow stacking convolution/pooling layers without
+/// over-smoothing (Section III-C2 of the paper).
+///
+/// Centers features across nodes, then rescales every row to a constant
+/// norm `scale`:
+///   xc_i   = x_i - mean_rows(x)
+///   out_i  = scale * xc_i / (||xc_i||_2 + eps)
+tensor::Tensor PairNorm(const tensor::Tensor& x, float scale = 1.0f,
+                        float eps = 1e-6f);
+
+}  // namespace cpgan::nn
+
+#endif  // CPGAN_NN_PAIRNORM_H_

@@ -1,0 +1,51 @@
+#include "nn/topk_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cpgan::nn {
+
+namespace t = cpgan::tensor;
+
+TopKPool::TopKPool(int feature_dim, double ratio, util::Rng& rng)
+    : feature_dim_(feature_dim), ratio_(ratio) {
+  CPGAN_CHECK(ratio > 0.0 && ratio <= 1.0);
+  projection_ = AddParameter("projection", feature_dim, 1, rng);
+}
+
+TopKPoolOutput TopKPool::Forward(const t::Tensor& x,
+                                 const t::Tensor& adjacency) const {
+  CPGAN_CHECK_EQ(x.cols(), feature_dim_);
+  CPGAN_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  CPGAN_CHECK_EQ(adjacency.rows(), x.rows());
+  int n = x.rows();
+  int keep = std::max(1, static_cast<int>(std::ceil(ratio_ * n)));
+
+  // Scores y = X p / ||p|| (n x 1).
+  float norm = std::max(projection_.value().Norm(), 1e-6f);
+  t::Tensor scores = t::Scale(t::Matmul(x, projection_), 1.0f / norm);
+
+  // Select the top-k scoring nodes (selection itself uses forward values;
+  // gradients flow through the sigmoid gate below).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const t::Matrix& score_values = scores.value();
+  std::stable_sort(order.begin(), order.end(), [&score_values](int a, int b) {
+    return score_values.At(a, 0) > score_values.At(b, 0);
+  });
+  std::vector<int> kept(order.begin(), order.begin() + keep);
+
+  TopKPoolOutput out;
+  out.kept = kept;
+  t::Tensor gate = t::Sigmoid(t::GatherRows(scores, kept));  // k x 1
+  out.features = t::MulColVec(t::GatherRows(x, kept), gate);
+  // A' = A[kept][:, kept].
+  t::Tensor rows = t::GatherRows(adjacency, kept);
+  out.adjacency = t::Transpose(t::GatherRows(t::Transpose(rows), kept));
+  return out;
+}
+
+}  // namespace cpgan::nn

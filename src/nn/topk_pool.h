@@ -1,0 +1,47 @@
+#ifndef CPGAN_NN_TOPK_POOL_H_
+#define CPGAN_NN_TOPK_POOL_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cpgan::nn {
+
+/// Output of a top-k pooling step.
+struct TopKPoolOutput {
+  /// Gated features of the kept nodes: k x d.
+  tensor::Tensor features;
+  /// Coarsened dense adjacency over the kept nodes: k x k.
+  tensor::Tensor adjacency;
+  /// Indices of the kept nodes in the input ordering (descending score).
+  std::vector<int> kept;
+};
+
+/// Graph U-Nets-style top-k pooling (Gao & Ji, 2019), the node-*selection*
+/// alternative to DiffPool's node-*clustering* that the paper contrasts with
+/// in Section II-B2 ("Graph U-Nets chooses specific nodes to realize
+/// upsampling and downsampling").
+///
+/// Scores nodes with a learnable projection y = X p / ||p||, keeps the
+/// ceil(ratio * n) highest-scoring nodes, and gates their features by
+/// sigmoid(y) so the selection is trainable through the gate.
+class TopKPool : public Module {
+ public:
+  TopKPool(int feature_dim, double ratio, util::Rng& rng);
+
+  /// x: n x d features; adjacency: dense n x n. Returns the pooled graph.
+  TopKPoolOutput Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& adjacency) const;
+
+  double ratio() const { return ratio_; }
+
+ private:
+  int feature_dim_;
+  double ratio_;
+  tensor::Tensor projection_;  // d x 1
+};
+
+}  // namespace cpgan::nn
+
+#endif  // CPGAN_NN_TOPK_POOL_H_

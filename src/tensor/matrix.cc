@@ -1,0 +1,179 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/memory_tracker.h"
+
+namespace cpgan::tensor {
+
+Matrix::Matrix() = default;
+
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  CPGAN_CHECK(rows >= 0 && cols >= 0);
+  data_.assign(size(), 0.0f);
+  Register();
+}
+
+Matrix::Matrix(int rows, int cols, float fill) : rows_(rows), cols_(cols) {
+  CPGAN_CHECK(rows >= 0 && cols >= 0);
+  data_.assign(size(), fill);
+  Register();
+}
+
+Matrix::Matrix(const Matrix& other)
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+  Register();
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  Unregister();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = other.data_;
+  Register();
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  Unregister();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+  return *this;
+}
+
+Matrix::~Matrix() { Unregister(); }
+
+void Matrix::Register() {
+  util::MemoryTracker::Global().Allocate(data_.capacity() * sizeof(float));
+}
+
+void Matrix::Unregister() {
+  util::MemoryTracker::Global().Release(data_.capacity() * sizeof(float));
+}
+
+void Matrix::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Matrix::FillNormal(util::Rng& rng, float stddev) {
+  for (float& v : data_) v = static_cast<float>(rng.Normal(0.0, stddev));
+}
+
+void Matrix::FillUniform(util::Rng& rng, float lo, float hi) {
+  for (float& v : data_) v = static_cast<float>(rng.Uniform(lo, hi));
+}
+
+float Matrix::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  CPGAN_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  CPGAN_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = Row(r);
+    for (int c = 0; c < cols_; ++c) out.At(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  MatmulAccum(a, b, out);
+  return out;
+}
+
+void MatmulAccum(const Matrix& a, const Matrix& b, Matrix& out) {
+  CPGAN_CHECK_EQ(a.cols(), b.rows());
+  CPGAN_CHECK_EQ(out.rows(), a.rows());
+  CPGAN_CHECK_EQ(out.cols(), b.cols());
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.cols();
+  // i-k-j loop order: streams through B and the output row contiguously.
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+Matrix MatmulTN(const Matrix& a, const Matrix& b) {
+  CPGAN_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.Row(i);
+    const float* brow = b.Row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      float v = arow[kk];
+      if (v == 0.0f) continue;
+      float* orow = out.Row(kk);
+      for (int j = 0; j < m; ++j) orow[j] += v * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatmulNT(const Matrix& a, const Matrix& b) {
+  CPGAN_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.rows();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int j = 0; j < m; ++j) {
+      const float* brow = b.Row(j);
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace cpgan::tensor

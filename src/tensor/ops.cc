@@ -1,0 +1,676 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace cpgan::tensor {
+namespace {
+
+constexpr float kLogEps = 1e-12f;
+
+using internal::Node;
+
+float StableSoftplus(float x) {
+  // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
+  float m = x > 0.0f ? x : 0.0f;
+  return m + std::log1p(std::exp(-std::fabs(x)));
+}
+
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+/// Applies fn(value) elementwise and wires a backward of the form
+/// dx = g * dfn(x, y).
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseUnary(const Tensor& x, Fwd fwd, Bwd bwd) {
+  Matrix out(x.rows(), x.cols());
+  const Matrix& xv = x.value();
+  for (int64_t i = 0; i < xv.size(); ++i) {
+    out.data()[i] = fwd(xv.data()[i]);
+  }
+  return Tensor::MakeNode(
+      std::move(out), {x}, [bwd](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        Matrix dx(g.rows(), g.cols());
+        const Matrix& xv = input->value;
+        const Matrix& yv = self.value;
+        for (int64_t i = 0; i < g.size(); ++i) {
+          dx.data()[i] = g.data()[i] * bwd(xv.data()[i], yv.data()[i]);
+        }
+        input->AccumulateGrad(dx);
+      });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CPGAN_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddInPlace(b.value());
+  return Tensor::MakeNode(std::move(out), {a, b},
+                          [](const Matrix& g, Node& self) {
+                            for (int i = 0; i < 2; ++i) {
+                              Node* input = self.inputs[i].get();
+                              if (input->requires_grad) input->AccumulateGrad(g);
+                            }
+                          });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CPGAN_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.Axpy(-1.0f, b.value());
+  return Tensor::MakeNode(std::move(out), {a, b},
+                          [](const Matrix& g, Node& self) {
+                            Node* a_in = self.inputs[0].get();
+                            Node* b_in = self.inputs[1].get();
+                            if (a_in->requires_grad) a_in->AccumulateGrad(g);
+                            if (b_in->requires_grad) {
+                              Matrix neg = g;
+                              neg.Scale(-1.0f);
+                              b_in->AccumulateGrad(neg);
+                            }
+                          });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CPGAN_CHECK(a.value().SameShape(b.value()));
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.value().data()[i] * b.value().data()[i];
+  }
+  return Tensor::MakeNode(
+      std::move(out), {a, b}, [](const Matrix& g, Node& self) {
+        Node* a_in = self.inputs[0].get();
+        Node* b_in = self.inputs[1].get();
+        if (a_in->requires_grad) {
+          Matrix da(g.rows(), g.cols());
+          for (int64_t i = 0; i < g.size(); ++i) {
+            da.data()[i] = g.data()[i] * b_in->value.data()[i];
+          }
+          a_in->AccumulateGrad(da);
+        }
+        if (b_in->requires_grad) {
+          Matrix db(g.rows(), g.cols());
+          for (int64_t i = 0; i < g.size(); ++i) {
+            db.data()[i] = g.data()[i] * a_in->value.data()[i];
+          }
+          b_in->AccumulateGrad(db);
+        }
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CPGAN_CHECK(a.value().SameShape(b.value()));
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.value().data()[i] / b.value().data()[i];
+  }
+  return Tensor::MakeNode(
+      std::move(out), {a, b}, [](const Matrix& g, Node& self) {
+        Node* a_in = self.inputs[0].get();
+        Node* b_in = self.inputs[1].get();
+        if (a_in->requires_grad) {
+          Matrix da(g.rows(), g.cols());
+          for (int64_t i = 0; i < g.size(); ++i) {
+            da.data()[i] = g.data()[i] / b_in->value.data()[i];
+          }
+          a_in->AccumulateGrad(da);
+        }
+        if (b_in->requires_grad) {
+          Matrix db(g.rows(), g.cols());
+          for (int64_t i = 0; i < g.size(); ++i) {
+            float bv = b_in->value.data()[i];
+            db.data()[i] = -g.data()[i] * a_in->value.data()[i] / (bv * bv);
+          }
+          b_in->AccumulateGrad(db);
+        }
+      });
+}
+
+Tensor AddRowVec(const Tensor& x, const Tensor& v) {
+  CPGAN_CHECK_EQ(v.rows(), 1);
+  CPGAN_CHECK_EQ(v.cols(), x.cols());
+  Matrix out = x.value();
+  const float* vec = v.value().Row(0);
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] += vec[c];
+  }
+  return Tensor::MakeNode(
+      std::move(out), {x, v}, [](const Matrix& g, Node& self) {
+        Node* x_in = self.inputs[0].get();
+        Node* v_in = self.inputs[1].get();
+        if (x_in->requires_grad) x_in->AccumulateGrad(g);
+        if (v_in->requires_grad) {
+          Matrix dv(1, g.cols());
+          for (int r = 0; r < g.rows(); ++r) {
+            const float* row = g.Row(r);
+            for (int c = 0; c < g.cols(); ++c) dv.At(0, c) += row[c];
+          }
+          v_in->AccumulateGrad(dv);
+        }
+      });
+}
+
+Tensor MulRowVec(const Tensor& x, const Tensor& v) {
+  CPGAN_CHECK_EQ(v.rows(), 1);
+  CPGAN_CHECK_EQ(v.cols(), x.cols());
+  Matrix out = x.value();
+  const float* vec = v.value().Row(0);
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= vec[c];
+  }
+  return Tensor::MakeNode(
+      std::move(out), {x, v}, [](const Matrix& g, Node& self) {
+        Node* x_in = self.inputs[0].get();
+        Node* v_in = self.inputs[1].get();
+        if (x_in->requires_grad) {
+          Matrix dx(g.rows(), g.cols());
+          const float* vec = v_in->value.Row(0);
+          for (int r = 0; r < g.rows(); ++r) {
+            const float* grow = g.Row(r);
+            float* drow = dx.Row(r);
+            for (int c = 0; c < g.cols(); ++c) drow[c] = grow[c] * vec[c];
+          }
+          x_in->AccumulateGrad(dx);
+        }
+        if (v_in->requires_grad) {
+          Matrix dv(1, g.cols());
+          for (int r = 0; r < g.rows(); ++r) {
+            const float* grow = g.Row(r);
+            const float* xrow = x_in->value.Row(r);
+            for (int c = 0; c < g.cols(); ++c) {
+              dv.At(0, c) += grow[c] * xrow[c];
+            }
+          }
+          v_in->AccumulateGrad(dv);
+        }
+      });
+}
+
+Tensor MulColVec(const Tensor& x, const Tensor& v) {
+  CPGAN_CHECK_EQ(v.cols(), 1);
+  CPGAN_CHECK_EQ(v.rows(), x.rows());
+  Matrix out = x.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    float scale = v.value().At(r, 0);
+    float* row = out.Row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= scale;
+  }
+  return Tensor::MakeNode(
+      std::move(out), {x, v}, [](const Matrix& g, Node& self) {
+        Node* x_in = self.inputs[0].get();
+        Node* v_in = self.inputs[1].get();
+        if (x_in->requires_grad) {
+          Matrix dx(g.rows(), g.cols());
+          for (int r = 0; r < g.rows(); ++r) {
+            float scale = v_in->value.At(r, 0);
+            const float* grow = g.Row(r);
+            float* drow = dx.Row(r);
+            for (int c = 0; c < g.cols(); ++c) drow[c] = grow[c] * scale;
+          }
+          x_in->AccumulateGrad(dx);
+        }
+        if (v_in->requires_grad) {
+          Matrix dv(g.rows(), 1);
+          for (int r = 0; r < g.rows(); ++r) {
+            const float* grow = g.Row(r);
+            const float* xrow = x_in->value.Row(r);
+            double acc = 0.0;
+            for (int c = 0; c < g.cols(); ++c) acc += grow[c] * xrow[c];
+            dv.At(r, 0) = static_cast<float>(acc);
+          }
+          v_in->AccumulateGrad(dv);
+        }
+      });
+}
+
+Tensor Scale(const Tensor& x, float alpha) {
+  Matrix out = x.value();
+  out.Scale(alpha);
+  return Tensor::MakeNode(std::move(out), {x},
+                          [alpha](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (!input->requires_grad) return;
+                            Matrix dx = g;
+                            dx.Scale(alpha);
+                            input->AccumulateGrad(dx);
+                          });
+}
+
+Tensor AddConst(const Tensor& x, float c) {
+  Matrix out = x.value();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += c;
+  return Tensor::MakeNode(std::move(out), {x},
+                          [](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (input->requires_grad) input->AccumulateGrad(g);
+                          });
+}
+
+Tensor Neg(const Tensor& x) { return Scale(x, -1.0f); }
+
+Tensor Relu(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float xv, float) { return xv > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return StableSigmoid(v); },
+                          [](float, float yv) { return yv * (1.0f - yv); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return std::tanh(v); },
+                          [](float, float yv) { return 1.0f - yv * yv; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return std::exp(v); },
+                          [](float, float yv) { return yv; });
+}
+
+Tensor Log(const Tensor& x) {
+  return ElementwiseUnary(
+      x,
+      [](float v) { return std::log(v > kLogEps ? v : kLogEps); },
+      [](float xv, float) { return 1.0f / (xv > kLogEps ? xv : kLogEps); });
+}
+
+Tensor Square(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return v * v; },
+                          [](float xv, float) { return 2.0f * xv; });
+}
+
+Tensor Sqrt(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::sqrt(v > 0.0f ? v : 0.0f); },
+      [](float, float yv) { return 0.5f / (yv > 1e-6f ? yv : 1e-6f); });
+}
+
+Tensor Softplus(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return StableSoftplus(v); },
+                          [](float xv, float) { return StableSigmoid(xv); });
+}
+
+Tensor LogSigmoid(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return -StableSoftplus(-v); },
+      [](float xv, float) { return 1.0f - StableSigmoid(xv); });
+}
+
+Tensor Reciprocal(const Tensor& x) {
+  return ElementwiseUnary(x, [](float v) { return 1.0f / v; },
+                          [](float, float yv) { return -yv * yv; });
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  Matrix out(x.rows(), x.cols());
+  const Matrix& xv = x.value();
+  for (int r = 0; r < xv.rows(); ++r) {
+    const float* row = xv.Row(r);
+    float* orow = out.Row(r);
+    float maxv = row[0];
+    for (int c = 1; c < xv.cols(); ++c) maxv = std::max(maxv, row[c]);
+    double total = 0.0;
+    for (int c = 0; c < xv.cols(); ++c) {
+      orow[c] = std::exp(row[c] - maxv);
+      total += orow[c];
+    }
+    float inv = static_cast<float>(1.0 / total);
+    for (int c = 0; c < xv.cols(); ++c) orow[c] *= inv;
+  }
+  return Tensor::MakeNode(
+      std::move(out), {x}, [](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        const Matrix& y = self.value;
+        Matrix dx(g.rows(), g.cols());
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* grow = g.Row(r);
+          const float* yrow = y.Row(r);
+          double dot = 0.0;
+          for (int c = 0; c < g.cols(); ++c) dot += grow[c] * yrow[c];
+          float* drow = dx.Row(r);
+          for (int c = 0; c < g.cols(); ++c) {
+            drow[c] = yrow[c] * (grow[c] - static_cast<float>(dot));
+          }
+        }
+        input->AccumulateGrad(dx);
+      });
+}
+
+Tensor Dropout(const Tensor& x, float p, util::Rng& rng, bool train) {
+  if (!train || p <= 0.0f) return x;
+  CPGAN_CHECK_LT(p, 1.0f);
+  auto mask = std::make_shared<Matrix>(x.rows(), x.cols());
+  float keep_scale = 1.0f / (1.0f - p);
+  Matrix out(x.rows(), x.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    float m = rng.Bernoulli(p) ? 0.0f : keep_scale;
+    mask->data()[i] = m;
+    out.data()[i] = x.value().data()[i] * m;
+  }
+  return Tensor::MakeNode(std::move(out), {x},
+                          [mask](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (!input->requires_grad) return;
+                            Matrix dx(g.rows(), g.cols());
+                            for (int64_t i = 0; i < g.size(); ++i) {
+                              dx.data()[i] = g.data()[i] * mask->data()[i];
+                            }
+                            input->AccumulateGrad(dx);
+                          });
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  Matrix out = Matmul(a.value(), b.value());
+  return Tensor::MakeNode(
+      std::move(out), {a, b}, [](const Matrix& g, Node& self) {
+        Node* a_in = self.inputs[0].get();
+        Node* b_in = self.inputs[1].get();
+        if (a_in->requires_grad) a_in->AccumulateGrad(MatmulNT(g, b_in->value));
+        if (b_in->requires_grad) b_in->AccumulateGrad(MatmulTN(a_in->value, g));
+      });
+}
+
+Tensor Spmm(std::shared_ptr<const SparseMatrix> s, const Tensor& x) {
+  CPGAN_CHECK(s != nullptr);
+  Matrix out = s->Multiply(x.value());
+  return Tensor::MakeNode(std::move(out), {x},
+                          [s](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (!input->requires_grad) return;
+                            input->AccumulateGrad(s->MultiplyTransposed(g));
+                          });
+}
+
+Tensor Transpose(const Tensor& x) {
+  return Tensor::MakeNode(x.value().Transposed(), {x},
+                          [](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (!input->requires_grad) return;
+                            input->AccumulateGrad(g.Transposed());
+                          });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  CPGAN_CHECK(!parts.empty());
+  int cols = parts[0].cols();
+  int rows = 0;
+  for (const Tensor& part : parts) {
+    CPGAN_CHECK_EQ(part.cols(), cols);
+    rows += part.rows();
+  }
+  Matrix out(rows, cols);
+  int offset = 0;
+  for (const Tensor& part : parts) {
+    for (int r = 0; r < part.rows(); ++r) {
+      const float* src = part.value().Row(r);
+      float* dst = out.Row(offset + r);
+      for (int c = 0; c < cols; ++c) dst[c] = src[c];
+    }
+    offset += part.rows();
+  }
+  return Tensor::MakeNode(
+      std::move(out), parts, [](const Matrix& g, Node& self) {
+        int offset = 0;
+        for (auto& input : self.inputs) {
+          int r_count = input->value.rows();
+          if (input->requires_grad) {
+            Matrix slice(r_count, g.cols());
+            for (int r = 0; r < r_count; ++r) {
+              const float* src = g.Row(offset + r);
+              float* dst = slice.Row(r);
+              for (int c = 0; c < g.cols(); ++c) dst[c] = src[c];
+            }
+            input->AccumulateGrad(slice);
+          }
+          offset += r_count;
+        }
+      });
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  CPGAN_CHECK(!parts.empty());
+  int rows = parts[0].rows();
+  int cols = 0;
+  for (const Tensor& part : parts) {
+    CPGAN_CHECK_EQ(part.rows(), rows);
+    cols += part.cols();
+  }
+  Matrix out(rows, cols);
+  int offset = 0;
+  for (const Tensor& part : parts) {
+    for (int r = 0; r < rows; ++r) {
+      const float* src = part.value().Row(r);
+      float* dst = out.Row(r) + offset;
+      for (int c = 0; c < part.cols(); ++c) dst[c] = src[c];
+    }
+    offset += part.cols();
+  }
+  return Tensor::MakeNode(
+      std::move(out), parts, [](const Matrix& g, Node& self) {
+        int offset = 0;
+        for (auto& input : self.inputs) {
+          int c_count = input->value.cols();
+          if (input->requires_grad) {
+            Matrix slice(g.rows(), c_count);
+            for (int r = 0; r < g.rows(); ++r) {
+              const float* src = g.Row(r) + offset;
+              float* dst = slice.Row(r);
+              for (int c = 0; c < c_count; ++c) dst[c] = src[c];
+            }
+            input->AccumulateGrad(slice);
+          }
+          offset += c_count;
+        }
+      });
+}
+
+Tensor GatherRows(const Tensor& x, std::vector<int> indices) {
+  Matrix out(static_cast<int>(indices.size()), x.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int idx = indices[i];
+    CPGAN_CHECK(idx >= 0 && idx < x.rows());
+    const float* src = x.value().Row(idx);
+    float* dst = out.Row(static_cast<int>(i));
+    for (int c = 0; c < x.cols(); ++c) dst[c] = src[c];
+  }
+  auto shared_indices = std::make_shared<std::vector<int>>(std::move(indices));
+  return Tensor::MakeNode(
+      std::move(out), {x}, [shared_indices](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        Matrix dx(input->value.rows(), input->value.cols());
+        for (size_t i = 0; i < shared_indices->size(); ++i) {
+          const float* src = g.Row(static_cast<int>(i));
+          float* dst = dx.Row((*shared_indices)[i]);
+          for (int c = 0; c < g.cols(); ++c) dst[c] += src[c];
+        }
+        input->AccumulateGrad(dx);
+      });
+}
+
+Tensor SliceCols(const Tensor& x, int start, int len) {
+  CPGAN_CHECK(start >= 0 && len >= 0 && start + len <= x.cols());
+  Matrix out(x.rows(), len);
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* src = x.value().Row(r) + start;
+    float* dst = out.Row(r);
+    for (int c = 0; c < len; ++c) dst[c] = src[c];
+  }
+  return Tensor::MakeNode(
+      std::move(out), {x}, [start, len](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        Matrix dx(input->value.rows(), input->value.cols());
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* src = g.Row(r);
+          float* dst = dx.Row(r) + start;
+          for (int c = 0; c < len; ++c) dst[c] = src[c];
+        }
+        input->AccumulateGrad(dx);
+      });
+}
+
+Tensor Reshape(const Tensor& x, int rows, int cols) {
+  CPGAN_CHECK_EQ(static_cast<int64_t>(rows) * cols, x.value().size());
+  Matrix out(rows, cols);
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = x.value().data()[i];
+  return Tensor::MakeNode(
+      std::move(out), {x}, [](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        Matrix dx(input->value.rows(), input->value.cols());
+        for (int64_t i = 0; i < g.size(); ++i) dx.data()[i] = g.data()[i];
+        input->AccumulateGrad(dx);
+      });
+}
+
+Tensor SumAll(const Tensor& x) {
+  Matrix out(1, 1);
+  out.At(0, 0) = x.value().Sum();
+  return Tensor::MakeNode(std::move(out), {x},
+                          [](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (!input->requires_grad) return;
+                            Matrix dx(input->value.rows(), input->value.cols(),
+                                      g.At(0, 0));
+                            input->AccumulateGrad(dx);
+                          });
+}
+
+Tensor MeanAll(const Tensor& x) {
+  return Scale(SumAll(x), 1.0f / static_cast<float>(x.value().size()));
+}
+
+Tensor ColMean(const Tensor& x) {
+  Matrix out(1, x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* row = x.value().Row(r);
+    for (int c = 0; c < x.cols(); ++c) out.At(0, c) += row[c];
+  }
+  float inv = 1.0f / static_cast<float>(x.rows());
+  out.Scale(inv);
+  return Tensor::MakeNode(std::move(out), {x},
+                          [inv](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (!input->requires_grad) return;
+                            Matrix dx(input->value.rows(), input->value.cols());
+                            for (int r = 0; r < dx.rows(); ++r) {
+                              float* drow = dx.Row(r);
+                              for (int c = 0; c < dx.cols(); ++c) {
+                                drow[c] = g.At(0, c) * inv;
+                              }
+                            }
+                            input->AccumulateGrad(dx);
+                          });
+}
+
+Tensor RowSum(const Tensor& x) {
+  Matrix out(x.rows(), 1);
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* row = x.value().Row(r);
+    double acc = 0.0;
+    for (int c = 0; c < x.cols(); ++c) acc += row[c];
+    out.At(r, 0) = static_cast<float>(acc);
+  }
+  return Tensor::MakeNode(std::move(out), {x},
+                          [](const Matrix& g, Node& self) {
+                            Node* input = self.inputs[0].get();
+                            if (!input->requires_grad) return;
+                            Matrix dx(input->value.rows(), input->value.cols());
+                            for (int r = 0; r < dx.rows(); ++r) {
+                              float gv = g.At(r, 0);
+                              float* drow = dx.Row(r);
+                              for (int c = 0; c < dx.cols(); ++c) drow[c] = gv;
+                            }
+                            input->AccumulateGrad(dx);
+                          });
+}
+
+Tensor RowMean(const Tensor& x) {
+  return Scale(RowSum(x), 1.0f / static_cast<float>(x.cols()));
+}
+
+Tensor RowL2Norm(const Tensor& x) {
+  Matrix out(x.rows(), 1);
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* row = x.value().Row(r);
+    double acc = 0.0;
+    for (int c = 0; c < x.cols(); ++c) acc += static_cast<double>(row[c]) * row[c];
+    out.At(r, 0) = static_cast<float>(std::sqrt(acc));
+  }
+  return Tensor::MakeNode(
+      std::move(out), {x}, [](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        Matrix dx(input->value.rows(), input->value.cols());
+        for (int r = 0; r < dx.rows(); ++r) {
+          float norm = self.value.At(r, 0);
+          float scale = g.At(r, 0) / (norm > 1e-6f ? norm : 1e-6f);
+          const float* xrow = input->value.Row(r);
+          float* drow = dx.Row(r);
+          for (int c = 0; c < dx.cols(); ++c) drow[c] = scale * xrow[c];
+        }
+        input->AccumulateGrad(dx);
+      });
+}
+
+Tensor BceWithLogits(const Tensor& logits, const Matrix& targets,
+                     float pos_weight) {
+  CPGAN_CHECK(logits.value().SameShape(targets));
+  auto shared_targets = std::make_shared<Matrix>(targets);
+  const Matrix& x = logits.value();
+  double total = 0.0;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    float xv = x.data()[i];
+    float t = targets.data()[i];
+    // pos_weight * t * softplus(-x) + (1 - t) * softplus(x)
+    total += pos_weight * t * StableSoftplus(-xv) +
+             (1.0f - t) * StableSoftplus(xv);
+  }
+  Matrix out(1, 1);
+  float inv = 1.0f / static_cast<float>(x.size());
+  out.At(0, 0) = static_cast<float>(total) * inv;
+  return Tensor::MakeNode(
+      std::move(out), {logits},
+      [shared_targets, pos_weight, inv](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        float gv = g.At(0, 0) * inv;
+        Matrix dx(input->value.rows(), input->value.cols());
+        for (int64_t i = 0; i < dx.size(); ++i) {
+          float xv = input->value.data()[i];
+          float t = shared_targets->data()[i];
+          float s = StableSigmoid(xv);
+          // d/dx [pw * t * softplus(-x) + (1-t) * softplus(x)]
+          dx.data()[i] = gv * (-pos_weight * t * (1.0f - s) + (1.0f - t) * s);
+        }
+        input->AccumulateGrad(dx);
+      });
+}
+
+Tensor MseLoss(const Tensor& a, const Tensor& b) {
+  return MeanAll(Square(Sub(a, b)));
+}
+
+Tensor Constant(Matrix value) { return Tensor(std::move(value), false); }
+
+Tensor ScalarConstant(float value) {
+  Matrix m(1, 1);
+  m.At(0, 0) = value;
+  return Tensor(std::move(m), false);
+}
+
+}  // namespace cpgan::tensor

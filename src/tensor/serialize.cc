@@ -1,0 +1,60 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace cpgan::tensor {
+namespace {
+
+constexpr uint32_t kMagic = 0x4350474Eu;  // "CPGN"
+
+}  // namespace
+
+bool SaveParameters(const std::vector<Tensor>& params,
+                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  uint32_t magic = kMagic;
+  uint32_t count = static_cast<uint32_t>(params.size());
+  ok = ok && std::fwrite(&magic, sizeof(magic), 1, f) == 1;
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  for (const Tensor& p : params) {
+    int32_t rows = p.rows();
+    int32_t cols = p.cols();
+    ok = ok && std::fwrite(&rows, sizeof(rows), 1, f) == 1;
+    ok = ok && std::fwrite(&cols, sizeof(cols), 1, f) == 1;
+    size_t n = static_cast<size_t>(p.value().size());
+    ok = ok && (n == 0 || std::fwrite(p.value().data(), sizeof(float), n, f) == n);
+    if (!ok) break;
+  }
+  std::fclose(f);
+  return ok;
+}
+
+bool LoadParameters(std::vector<Tensor>& params, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  ok = ok && std::fread(&magic, sizeof(magic), 1, f) == 1 && magic == kMagic;
+  ok = ok && std::fread(&count, sizeof(count), 1, f) == 1 &&
+       count == params.size();
+  for (size_t i = 0; ok && i < params.size(); ++i) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    ok = ok && std::fread(&rows, sizeof(rows), 1, f) == 1;
+    ok = ok && std::fread(&cols, sizeof(cols), 1, f) == 1;
+    ok = ok && rows == params[i].rows() && cols == params[i].cols();
+    if (ok) {
+      size_t n = static_cast<size_t>(params[i].value().size());
+      ok = n == 0 || std::fread(params[i].mutable_value().data(), sizeof(float),
+                                n, f) == n;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace cpgan::tensor

@@ -1,0 +1,23 @@
+#ifndef CPGAN_TENSOR_SERIALIZE_H_
+#define CPGAN_TENSOR_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cpgan::tensor {
+
+/// Writes the parameter values to a simple binary container:
+/// magic, count, then (rows, cols, row-major floats) per tensor.
+/// Returns false on IO failure.
+bool SaveParameters(const std::vector<Tensor>& params,
+                    const std::string& path);
+
+/// Loads parameter values saved by SaveParameters into `params`. Shapes must
+/// match exactly. Returns false on IO failure or shape mismatch.
+bool LoadParameters(std::vector<Tensor>& params, const std::string& path);
+
+}  // namespace cpgan::tensor
+
+#endif  // CPGAN_TENSOR_SERIALIZE_H_

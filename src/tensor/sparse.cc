@@ -1,0 +1,181 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/memory_tracker.h"
+
+namespace cpgan::tensor {
+
+SparseMatrix::SparseMatrix(int rows, int cols, std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  CPGAN_CHECK(rows >= 0 && cols >= 0);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_offsets_.assign(rows_ + 1, 0);
+  col_indices_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    const Triplet& t = triplets[i];
+    CPGAN_CHECK(t.row >= 0 && t.row < rows_ && t.col >= 0 && t.col < cols_);
+    float sum = 0.0f;
+    size_t j = i;
+    while (j < triplets.size() && triplets[j].row == t.row &&
+           triplets[j].col == t.col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    col_indices_.push_back(t.col);
+    values_.push_back(sum);
+    row_offsets_[t.row + 1] += 1;
+    i = j;
+  }
+  for (int r = 0; r < rows_; ++r) row_offsets_[r + 1] += row_offsets_[r];
+  util::MemoryTracker::Global().Allocate(values_.size() * sizeof(float) +
+                                         col_indices_.size() * sizeof(int));
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  CPGAN_CHECK_EQ(cols_, dense.rows());
+  Matrix out(rows_, dense.cols());
+  const int d = dense.cols();
+  for (int r = 0; r < rows_; ++r) {
+    float* orow = out.Row(r);
+    for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      float v = values_[idx];
+      const float* drow = dense.Row(col_indices_[idx]);
+      for (int c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
+  CPGAN_CHECK_EQ(rows_, dense.rows());
+  Matrix out(cols_, dense.cols());
+  const int d = dense.cols();
+  for (int r = 0; r < rows_; ++r) {
+    const float* drow = dense.Row(r);
+    for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      float v = values_[idx];
+      float* orow = out.Row(col_indices_[idx]);
+      for (int c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::RowSums() const {
+  Matrix out(rows_, 1);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      acc += values_[idx];
+    }
+    out.At(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      out.At(r, col_indices_[idx]) = values_[idx];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      triplets.push_back({col_indices_[idx], r, values_[idx]});
+    }
+  }
+  return SparseMatrix(cols_, rows_, std::move(triplets));
+}
+
+SparseMatrix NormalizedAdjacency(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<double> degree(n, 1.0);  // self-loop contributes 1
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2 + n);
+  for (const auto& [u, v] : edges) {
+    CPGAN_CHECK(u >= 0 && u < n && v >= 0 && v < n);
+    if (u == v) continue;
+    degree[u] += 1.0;
+    degree[v] += 1.0;
+  }
+  std::vector<float> inv_sqrt(n);
+  for (int i = 0; i < n; ++i) {
+    inv_sqrt[i] = static_cast<float>(1.0 / std::sqrt(degree[i]));
+  }
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    float w = inv_sqrt[u] * inv_sqrt[v];
+    triplets.push_back({u, v, w});
+    triplets.push_back({v, u, w});
+  }
+  for (int i = 0; i < n; ++i) {
+    triplets.push_back({i, i, inv_sqrt[i] * inv_sqrt[i]});
+  }
+  return SparseMatrix(n, n, std::move(triplets));
+}
+
+SparseMatrix TwoHopNormalizedAdjacency(
+    int n, const std::vector<std::pair<int, int>>& edges,
+    float two_hop_weight) {
+  // Build one-hop neighbor lists.
+  std::vector<std::vector<int>> neighbors(n);
+  for (const auto& [u, v] : edges) {
+    CPGAN_CHECK(u >= 0 && u < n && v >= 0 && v < n);
+    if (u == v) continue;
+    neighbors[u].push_back(v);
+    neighbors[v].push_back(u);
+  }
+  // Weighted adjacency W = A + w * A2 (A2 = distinct two-hop pairs).
+  std::vector<Triplet> triplets;
+  std::vector<double> degree(n, 1.0);  // self-loop mass
+  std::vector<int> mark(n, -1);
+  std::vector<std::pair<int, float>> row;
+  for (int u = 0; u < n; ++u) {
+    row.clear();
+    for (int v : neighbors[u]) {
+      if (mark[v] != u) {
+        mark[v] = u;
+        row.push_back({v, 1.0f});
+      }
+    }
+    for (int v : neighbors[u]) {
+      for (int w : neighbors[v]) {
+        if (w == u) continue;
+        if (mark[w] != u) {
+          mark[w] = u;
+          row.push_back({w, two_hop_weight});
+        }
+      }
+    }
+    for (const auto& [v, weight] : row) {
+      triplets.push_back({u, v, weight});
+      degree[u] += weight;
+    }
+  }
+  std::vector<float> inv_sqrt(n);
+  for (int i = 0; i < n; ++i) {
+    inv_sqrt[i] = static_cast<float>(1.0 / std::sqrt(degree[i]));
+  }
+  for (Triplet& t : triplets) {
+    t.value *= inv_sqrt[t.row] * inv_sqrt[t.col];
+  }
+  for (int i = 0; i < n; ++i) {
+    triplets.push_back({i, i, inv_sqrt[i] * inv_sqrt[i]});
+  }
+  return SparseMatrix(n, n, std::move(triplets));
+}
+
+}  // namespace cpgan::tensor

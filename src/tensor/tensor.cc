@@ -1,0 +1,130 @@
+#include "tensor/tensor.h"
+
+#include <unordered_set>
+
+namespace cpgan::tensor {
+
+Tensor::Tensor(Matrix value, bool requires_grad)
+    : node_(std::make_shared<internal::Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+int Tensor::rows() const {
+  CPGAN_CHECK(defined());
+  return node_->value.rows();
+}
+
+int Tensor::cols() const {
+  CPGAN_CHECK(defined());
+  return node_->value.cols();
+}
+
+const Matrix& Tensor::value() const {
+  CPGAN_CHECK(defined());
+  return node_->value;
+}
+
+Matrix& Tensor::mutable_value() {
+  CPGAN_CHECK(defined());
+  return node_->value;
+}
+
+const Matrix& Tensor::grad() const {
+  CPGAN_CHECK(defined());
+  if (!node_->grad_initialized) {
+    // Lazily materialize a zero gradient of matching shape.
+    node_->grad = Matrix(node_->value.rows(), node_->value.cols());
+    node_->grad_initialized = true;
+  }
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  CPGAN_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Tensor::ZeroGrad() {
+  CPGAN_CHECK(defined());
+  node_->grad = Matrix();
+  node_->grad_initialized = false;
+}
+
+float Tensor::Scalar() const {
+  CPGAN_CHECK(defined());
+  CPGAN_CHECK(node_->value.rows() == 1 && node_->value.cols() == 1);
+  return node_->value.At(0, 0);
+}
+
+Tensor Tensor::Detach() const {
+  CPGAN_CHECK(defined());
+  return Tensor(node_->value, /*requires_grad=*/false);
+}
+
+Tensor Tensor::MakeNode(
+    Matrix value, std::vector<Tensor> inputs,
+    std::function<void(const Matrix&, internal::Node&)> backward) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  bool any_grad = false;
+  for (const Tensor& input : inputs) {
+    CPGAN_CHECK(input.defined());
+    if (input.requires_grad()) any_grad = true;
+    node->inputs.push_back(input.node_ptr());
+  }
+  node->requires_grad = any_grad;
+  if (any_grad) node->backward = std::move(backward);
+  return Tensor(std::move(node));
+}
+
+namespace internal {
+
+void Node::AccumulateGrad(const Matrix& delta) {
+  if (!grad_initialized) {
+    grad = Matrix(value.rows(), value.cols());
+    grad_initialized = true;
+  }
+  grad.AddInPlace(delta);
+}
+
+}  // namespace internal
+
+void Backward(const Tensor& loss) {
+  CPGAN_CHECK(loss.defined());
+  CPGAN_CHECK(loss.rows() == 1 && loss.cols() == 1);
+  using internal::Node;
+
+  // Iterative post-order DFS for a topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(loss.node(), 0);
+  visited.insert(loss.node());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->inputs.size()) {
+      Node* next = node->inputs[child].get();
+      ++child;
+      if (next->requires_grad && visited.insert(next).second) {
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  Matrix seed(1, 1);
+  seed.At(0, 0) = 1.0f;
+  loss.node()->AccumulateGrad(seed);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (!node->backward) continue;
+    if (!node->grad_initialized) continue;  // unreachable from the loss
+    node->backward(node->grad, *node);
+  }
+}
+
+}  // namespace cpgan::tensor

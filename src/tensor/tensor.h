@@ -1,0 +1,96 @@
+#ifndef CPGAN_TENSOR_TENSOR_H_
+#define CPGAN_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace cpgan::tensor {
+
+namespace internal {
+struct Node;
+}  // namespace internal
+
+/// Reverse-mode autograd handle over a 2-D Matrix value.
+///
+/// A Tensor is a cheap shared handle to a graph node holding the forward
+/// value, an optional gradient accumulator, and the backward closure that
+/// scatters the node's gradient into its inputs. All differentiable
+/// operations live in tensor/ops.h; calling Backward(loss) runs a topological
+/// sweep from a scalar loss.
+class Tensor {
+ public:
+  /// Null handle.
+  Tensor() = default;
+
+  /// Leaf node wrapping `value`. If `requires_grad` is true the node
+  /// accumulates gradients (used for parameters).
+  explicit Tensor(Matrix value, bool requires_grad = false);
+
+  /// True if this handle points at a node.
+  bool defined() const { return node_ != nullptr; }
+
+  int rows() const;
+  int cols() const;
+
+  /// Forward value (must be defined).
+  const Matrix& value() const;
+  Matrix& mutable_value();
+
+  /// Accumulated gradient; zero-shaped until Backward touches this node.
+  const Matrix& grad() const;
+
+  /// True if gradients are tracked through this node.
+  bool requires_grad() const;
+
+  /// Clears the accumulated gradient (parameters between steps).
+  void ZeroGrad();
+
+  /// Convenience for 1x1 tensors.
+  float Scalar() const;
+
+  /// Detaches: returns a constant leaf with the same value.
+  Tensor Detach() const;
+
+  /// Internal: used by ops to build graph nodes.
+  static Tensor MakeNode(Matrix value, std::vector<Tensor> inputs,
+                         std::function<void(const Matrix&, internal::Node&)> backward);
+
+  internal::Node* node() const { return node_.get(); }
+  const std::shared_ptr<internal::Node>& node_ptr() const { return node_; }
+
+ private:
+  explicit Tensor(std::shared_ptr<internal::Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<internal::Node> node_;
+};
+
+namespace internal {
+
+/// Autograd graph node. Users interact via Tensor.
+struct Node {
+  Matrix value;
+  Matrix grad;
+  bool requires_grad = false;
+  bool grad_initialized = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  /// Receives this node's incoming gradient and scatters into inputs.
+  std::function<void(const Matrix&, Node&)> backward;
+
+  /// Adds `delta` into the gradient accumulator, initializing lazily.
+  void AccumulateGrad(const Matrix& delta);
+};
+
+}  // namespace internal
+
+/// Runs reverse-mode differentiation from a scalar (1x1) loss tensor.
+/// Gradients accumulate into every reachable node with requires_grad.
+void Backward(const Tensor& loss);
+
+}  // namespace cpgan::tensor
+
+#endif  // CPGAN_TENSOR_TENSOR_H_

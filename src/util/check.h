@@ -1,0 +1,38 @@
+#ifndef CPGAN_UTIL_CHECK_H_
+#define CPGAN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// CHECK-style assertion macros for programmer errors. These are enabled in
+/// all build types: a violated CHECK indicates a bug in the caller, never a
+/// data-dependent condition, so we fail fast instead of propagating a broken
+/// state into training loops.
+
+#define CPGAN_CHECK(cond)                                                        \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                                       \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+#define CPGAN_CHECK_MSG(cond, msg)                                               \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,         \
+                   __LINE__, #cond, msg);                                        \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+#define CPGAN_CHECK_EQ(a, b) CPGAN_CHECK((a) == (b))
+#define CPGAN_CHECK_NE(a, b) CPGAN_CHECK((a) != (b))
+#define CPGAN_CHECK_LT(a, b) CPGAN_CHECK((a) < (b))
+#define CPGAN_CHECK_LE(a, b) CPGAN_CHECK((a) <= (b))
+#define CPGAN_CHECK_GT(a, b) CPGAN_CHECK((a) > (b))
+#define CPGAN_CHECK_GE(a, b) CPGAN_CHECK((a) >= (b))
+
+#endif  // CPGAN_UTIL_CHECK_H_

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace cpgan::util {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+
+LogLevel GetLogLevel() { return g_min_level; }
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "warning" || name == "warn") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_min_level) return;
+  std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+}
+
+}  // namespace internal
+}  // namespace cpgan::util

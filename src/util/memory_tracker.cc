@@ -1,0 +1,19 @@
+#include "util/memory_tracker.h"
+
+namespace cpgan::util {
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::Allocate(size_t bytes) {
+  live_bytes_ += static_cast<int64_t>(bytes);
+  if (live_bytes_ > peak_bytes_) peak_bytes_ = live_bytes_;
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  live_bytes_ -= static_cast<int64_t>(bytes);
+}
+
+}  // namespace cpgan::util

@@ -1,0 +1,42 @@
+#ifndef CPGAN_UTIL_MEMORY_TRACKER_H_
+#define CPGAN_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cpgan::util {
+
+/// Tracks live and peak bytes allocated by the tensor engine.
+///
+/// The paper reports peak GPU memory during training (Table IX); this repo
+/// runs on CPU, so the analogous quantity is the peak number of bytes held by
+/// tensor storage. Matrix/sparse storage report their allocations here.
+/// Thread-compatible (this project is single-threaded).
+class MemoryTracker {
+ public:
+  /// Global tracker instance used by the tensor engine.
+  static MemoryTracker& Global();
+
+  /// Records an allocation of `bytes`.
+  void Allocate(size_t bytes);
+
+  /// Records a deallocation of `bytes`.
+  void Release(size_t bytes);
+
+  /// Currently live bytes.
+  int64_t live_bytes() const { return live_bytes_; }
+
+  /// Maximum live bytes observed since the last ResetPeak().
+  int64_t peak_bytes() const { return peak_bytes_; }
+
+  /// Resets the peak watermark to the current live volume.
+  void ResetPeak() { peak_bytes_ = live_bytes_; }
+
+ private:
+  int64_t live_bytes_ = 0;
+  int64_t peak_bytes_ = 0;
+};
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_MEMORY_TRACKER_H_

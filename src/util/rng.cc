@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+
+namespace cpgan::util {
+
+Rng::Rng(uint64_t seed) : engine_(seed) {}
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  CPGAN_CHECK_GT(n, 0);
+  return std::uniform_int_distribution<int64_t>(0, n - 1)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CPGAN_CHECK_LE(lo, hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<int64_t>(mean)(engine_);
+}
+
+int64_t Rng::Geometric(double p) {
+  CPGAN_CHECK_GT(p, 0.0);
+  if (p >= 1.0) return 0;
+  return std::geometric_distribution<int64_t>(p)(engine_);
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  CPGAN_CHECK_GT(total, 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  int last_positive = -1;
+  for (int i = 0; i < static_cast<int>(weights.size()); ++i) {
+    if (weights[i] <= 0.0) continue;
+    acc += weights[i];
+    last_positive = i;
+    if (r < acc) return i;
+  }
+  return last_positive;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  CPGAN_CHECK_GE(n, k);
+  CPGAN_CHECK_GE(k, 0);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int> indices(n);
+  for (int i = 0; i < n; ++i) indices[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int64_t j = i + UniformInt(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+std::vector<int> Rng::WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int k) {
+  int n = static_cast<int>(weights.size());
+  CPGAN_CHECK_GE(n, k);
+  // Efraimidis-Spirakis: key = u^(1/w); take the k largest keys.
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int i = 0; i < n; ++i) {
+    double w = weights[i];
+    double key = (w > 0.0) ? std::pow(Uniform(), 1.0 / w) : -1.0;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(key, i);
+    } else if (!heap.empty() && key > heap.top().first) {
+      heap.pop();
+      heap.emplace(key, i);
+    }
+  }
+  std::vector<int> result;
+  result.reserve(heap.size());
+  while (!heap.empty()) {
+    result.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+CumulativeSampler::CumulativeSampler(const std::vector<double>& weights) {
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += (w > 0.0 ? w : 0.0);
+    cumulative_.push_back(acc);
+  }
+}
+
+int CumulativeSampler::Sample(Rng& rng) const {
+  CPGAN_CHECK(!cumulative_.empty());
+  CPGAN_CHECK_GT(cumulative_.back(), 0.0);
+  double r = rng.Uniform() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), r);
+  if (it == cumulative_.end()) --it;
+  return static_cast<int>(it - cumulative_.begin());
+}
+
+}  // namespace cpgan::util

@@ -1,0 +1,94 @@
+#ifndef CPGAN_UTIL_RNG_H_
+#define CPGAN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cpgan::util {
+
+/// Seeded pseudo-random number generator used throughout the library.
+///
+/// Wraps std::mt19937_64 with the distributions the graph generators and the
+/// tensor engine need. Every stochastic component takes an Rng& so that runs
+/// are reproducible end-to-end from a single seed.
+class Rng {
+ public:
+  /// Constructs a generator from an explicit 64-bit seed.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal sample.
+  double Normal();
+
+  /// Normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Poisson sample with the given mean (mean <= 0 yields 0).
+  int64_t Poisson(double mean);
+
+  /// Geometric-like sample: number of failures before first success with
+  /// success probability p in (0, 1].
+  int64_t Geometric(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero/negative weights are treated as zero. Requires a positive total.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Returns k distinct indices drawn uniformly from [0, n) (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Returns k distinct indices from [0, n) drawn proportionally to weights
+  /// (a weighted reservoir / sequential draw; k <= n).
+  std::vector<int> WeightedSampleWithoutReplacement(
+      const std::vector<double>& weights, int k);
+
+  /// Fisher-Yates shuffles the vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (int64_t i = static_cast<int64_t>(items.size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Samples indices proportionally to fixed non-negative weights in O(log n)
+/// per draw via a cumulative table + binary search. Use for hot loops where
+/// Rng::Categorical's O(n) scan would dominate.
+class CumulativeSampler {
+ public:
+  explicit CumulativeSampler(const std::vector<double>& weights);
+
+  /// Draws one index; requires a positive total weight.
+  int Sample(Rng& rng) const;
+
+  double total_weight() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_RNG_H_

@@ -1,0 +1,75 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace cpgan::util {
+
+std::vector<std::string> Split(const std::string& text,
+                               const std::string& delims) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (delims.find(c) != std::string::npos) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string result;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) result += sep;
+    result += items[i];
+  }
+  return result;
+}
+
+std::string FormatCompact(double value, int significant) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  double magnitude = std::fabs(value);
+  char buffer[64];
+  if (magnitude != 0.0 && (magnitude < 1e-2 || magnitude >= 1e5)) {
+    std::snprintf(buffer, sizeof(buffer), "%.*e", significant - 1, value);
+  } else {
+    // Enough decimals to show `significant` significant digits.
+    int decimals = significant;
+    if (magnitude >= 1.0) {
+      int int_digits = static_cast<int>(std::floor(std::log10(magnitude))) + 1;
+      decimals = significant - int_digits;
+      if (decimals < 0) decimals = 0;
+    }
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  }
+  return std::string(buffer);
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace cpgan::util

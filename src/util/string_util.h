@@ -1,0 +1,29 @@
+#ifndef CPGAN_UTIL_STRING_UTIL_H_
+#define CPGAN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace cpgan::util {
+
+/// Splits `text` on any character in `delims`, dropping empty tokens.
+std::vector<std::string> Split(const std::string& text,
+                               const std::string& delims);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+/// Formats a double in a compact scientific/fixed style similar to the
+/// paper's tables (e.g. "1.25e-3", "15.3", "0.410").
+std::string FormatCompact(double value, int significant = 3);
+
+/// Returns true if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_STRING_UTIL_H_

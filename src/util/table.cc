@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace cpgan::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddRow(const std::string& label,
+                   const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(std::isnan(v) ? "OOM" : FormatCompact(v));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::RenderCsv() const {
+  std::string out = Join(headers_, ",") + "\n";
+  for (const auto& row : rows_) out += Join(row, ",") + "\n";
+  return out;
+}
+
+void Table::Print() const { std::printf("%s", Render().c_str()); }
+
+}  // namespace cpgan::util

@@ -1,0 +1,41 @@
+#ifndef CPGAN_UTIL_TABLE_H_
+#define CPGAN_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cpgan::util {
+
+/// Text table renderer used by the benchmark harnesses to print rows in the
+/// layout of the paper's tables.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells are padded with "", extra cells dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, remaining cells are formatted
+  /// doubles (compact format; NaN renders as "OOM" to mirror the paper).
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string Render() const;
+
+  /// Renders as comma-separated values (for machine-readable output files).
+  std::string RenderCsv() const;
+
+  /// Prints Render() to stdout.
+  void Print() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_TABLE_H_

@@ -1,0 +1,31 @@
+#ifndef CPGAN_UTIL_TIMER_H_
+#define CPGAN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cpgan::util {
+
+/// Wall-clock stopwatch used by the efficiency benchmarks (Tables VII/VIII).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_TIMER_H_

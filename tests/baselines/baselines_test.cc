@@ -1,0 +1,177 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/condgen.h"
+#include "baselines/gran.h"
+#include "baselines/graphite.h"
+#include "baselines/graphrnn.h"
+#include "baselines/netgan.h"
+#include "baselines/sbmgnn.h"
+#include "baselines/vgae.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace cpgan::baselines {
+namespace {
+
+graph::Graph SmallGraph(uint64_t seed = 21) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 90;
+  params.num_edges = 300;
+  params.num_communities = 5;
+  util::Rng rng(seed);
+  return data::MakeCommunityGraph(params, rng);
+}
+
+VgaeConfig FastVgaeConfig() {
+  VgaeConfig config;
+  config.epochs = 30;
+  config.hidden_dim = 16;
+  config.latent_dim = 8;
+  config.feature_dim = 6;
+  return config;
+}
+
+template <typename Model>
+void ExpectFitGenerateWorks(Model& model, const graph::Graph& observed) {
+  LearnedTrainStats stats = model.Fit(observed);
+  EXPECT_FALSE(stats.loss.empty());
+  for (float loss : stats.loss) EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(stats.train_seconds, 0.0);
+  graph::Graph out = model.Generate();
+  EXPECT_EQ(out.num_nodes(), observed.num_nodes());
+  EXPECT_GT(out.num_edges(), 0);
+  EXPECT_LE(out.num_edges(), 2 * observed.num_edges());
+}
+
+TEST(VgaeTest, FitGenerateSmoke) {
+  graph::Graph g = SmallGraph();
+  Vgae model(FastVgaeConfig());
+  ExpectFitGenerateWorks(model, g);
+}
+
+TEST(VgaeTest, LossDecreases) {
+  graph::Graph g = SmallGraph();
+  VgaeConfig config = FastVgaeConfig();
+  config.epochs = 120;
+  Vgae model(config);
+  LearnedTrainStats stats = model.Fit(g);
+  EXPECT_LT(stats.loss.back(), stats.loss.front());
+}
+
+TEST(VgaeTest, EdgeProbabilitiesDiscriminate) {
+  graph::Graph g = SmallGraph();
+  VgaeConfig config = FastVgaeConfig();
+  config.epochs = 200;
+  Vgae model(config);
+  model.Fit(g);
+  std::vector<graph::Edge> pos = g.Edges();
+  std::vector<graph::Edge> neg;
+  util::Rng rng(1);
+  while (neg.size() < pos.size()) {
+    int u = static_cast<int>(rng.UniformInt(g.num_nodes()));
+    int v = static_cast<int>(rng.UniformInt(g.num_nodes()));
+    if (u == v || g.HasEdge(u, v)) continue;
+    neg.emplace_back(u, v);
+  }
+  std::vector<double> p_pos = model.EdgeProbabilities(pos);
+  std::vector<double> p_neg = model.EdgeProbabilities(neg);
+  double mean_pos = 0.0;
+  double mean_neg = 0.0;
+  for (double p : p_pos) mean_pos += p;
+  for (double p : p_neg) mean_neg += p;
+  EXPECT_GT(mean_pos / p_pos.size(), mean_neg / p_neg.size());
+}
+
+TEST(GraphiteTest, FitGenerateSmoke) {
+  graph::Graph g = SmallGraph(22);
+  Graphite model(FastVgaeConfig());
+  ExpectFitGenerateWorks(model, g);
+}
+
+TEST(SbmgnnTest, FitGenerateSmoke) {
+  graph::Graph g = SmallGraph(23);
+  Sbmgnn model(FastVgaeConfig(), /*num_blocks=*/8);
+  ExpectFitGenerateWorks(model, g);
+}
+
+TEST(NetganTest, FitGenerateSmoke) {
+  graph::Graph g = SmallGraph(24);
+  NetganConfig config;
+  config.epochs = 15;
+  config.walks_per_epoch = 16;
+  config.walk_length = 8;
+  Netgan model(config);
+  ExpectFitGenerateWorks(model, g);
+}
+
+TEST(GraphRnnTest, FitGenerateSmoke) {
+  graph::Graph g = SmallGraph(25);
+  GraphRnnConfig config;
+  config.epochs = 10;
+  GraphRnnS model(config);
+  LearnedTrainStats stats = model.Fit(g);
+  EXPECT_FALSE(stats.loss.empty());
+  graph::Graph out = model.Generate();
+  EXPECT_EQ(out.num_nodes(), g.num_nodes());
+}
+
+TEST(CondGenTest, FitGenerateSmoke) {
+  graph::Graph g = SmallGraph(26);
+  CondGenR model(/*epochs=*/20, /*seed=*/2);
+  ExpectFitGenerateWorks(model, g);
+}
+
+TEST(FeasibilityTest, ThresholdsMatchPaperPattern) {
+  // The simulated memory budget must reproduce which cells read OOM:
+  // GraphRNN-S dies first, then NetGAN/CondGen, then the VGAE family.
+  GraphRnnS graphrnn;
+  Netgan netgan;
+  CondGenR condgen;
+  Vgae vgae;
+  EXPECT_LT(graphrnn.max_feasible_nodes(), netgan.max_feasible_nodes() + 1);
+  EXPECT_LE(netgan.max_feasible_nodes(), vgae.max_feasible_nodes());
+  EXPECT_FALSE(vgae.FeasibleFor(1400));   // facebook_like -> OOM
+  EXPECT_TRUE(vgae.FeasibleFor(1200));    // pubmed_like -> runs
+  EXPECT_FALSE(netgan.FeasibleFor(1200)); // NetGAN OOM on pubmed
+  EXPECT_TRUE(netgan.FeasibleFor(840));   // NetGAN runs on pointcloud
+  EXPECT_FALSE(graphrnn.FeasibleFor(840));  // GraphRNN OOM on pointcloud
+  EXPECT_TRUE(graphrnn.FeasibleFor(560));   // GraphRNN runs on citeseer
+}
+
+TEST(FeasibilityTest, InfeasibleFitAborts) {
+  Vgae model;
+  EXPECT_FALSE(model.FeasibleFor(5000));
+  EXPECT_DEATH(model.Fit(graph::Graph(5000)), "CHECK");
+}
+
+}  // namespace
+}  // namespace cpgan::baselines
+
+namespace cpgan::baselines {
+namespace {
+
+TEST(GranTest, FitGenerateSmoke) {
+  graph::Graph g = SmallGraph(27);
+  GranConfig config;
+  config.epochs = 10;
+  Gran model(config);
+  LearnedTrainStats stats = model.Fit(g);
+  EXPECT_FALSE(stats.loss.empty());
+  for (float loss : stats.loss) EXPECT_TRUE(std::isfinite(loss));
+  graph::Graph out = model.Generate();
+  EXPECT_EQ(out.num_nodes(), g.num_nodes());
+}
+
+TEST(GranTest, LossDecreasesWithTraining) {
+  graph::Graph g = SmallGraph(28);
+  GranConfig config;
+  config.epochs = 60;
+  Gran model(config);
+  LearnedTrainStats stats = model.Fit(g);
+  EXPECT_LT(stats.loss.back(), stats.loss.front());
+}
+
+}  // namespace
+}  // namespace cpgan::baselines

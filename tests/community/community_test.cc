@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "community/metrics.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace cpgan::community {
+namespace {
+
+graph::Graph TwoCliquesWithBridge() {
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(6 + i, 6 + j);
+    }
+  }
+  edges.emplace_back(0, 6);
+  return graph::Graph(12, edges);
+}
+
+TEST(PartitionTest, CompactsLabels) {
+  Partition p({7, 7, 3, 3, 9});
+  EXPECT_EQ(p.num_communities(), 3);
+  EXPECT_EQ(p.label(0), p.label(1));
+  EXPECT_NE(p.label(0), p.label(2));
+  EXPECT_EQ(p.Sizes(), (std::vector<int>{2, 2, 1}));
+  auto communities = p.Communities();
+  EXPECT_EQ(communities.size(), 3u);
+}
+
+TEST(ModularityTest, PerfectSplitPositive) {
+  graph::Graph g = TwoCliquesWithBridge();
+  std::vector<int> labels(12, 0);
+  for (int i = 6; i < 12; ++i) labels[i] = 1;
+  double q_good = Modularity(g, Partition(labels));
+  double q_trivial = Modularity(g, Partition(std::vector<int>(12, 0)));
+  EXPECT_GT(q_good, 0.3);
+  EXPECT_NEAR(q_trivial, 0.0, 1e-9);
+  EXPECT_GT(q_good, q_trivial);
+}
+
+TEST(LouvainTest, FindsTwoCliques) {
+  graph::Graph g = TwoCliquesWithBridge();
+  util::Rng rng(1);
+  LouvainResult result = Louvain(g, rng);
+  const Partition& p = result.FinalPartition();
+  EXPECT_EQ(p.num_communities(), 2);
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(p.label(i), p.label(0));
+  for (int i = 7; i < 12; ++i) EXPECT_EQ(p.label(i), p.label(6));
+  EXPECT_NE(p.label(0), p.label(6));
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(LouvainTest, HandlesEmptyAndSingleton) {
+  util::Rng rng(2);
+  LouvainResult empty = Louvain(graph::Graph(0), rng);
+  EXPECT_EQ(empty.FinalPartition().num_nodes(), 0);
+  LouvainResult singleton = Louvain(graph::Graph(3), rng);
+  EXPECT_EQ(singleton.FinalPartition().num_nodes(), 3);
+}
+
+class LouvainPlantedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LouvainPlantedTest, RecoversPlantedPartition) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 200;
+  params.num_edges = 900;
+  params.num_communities = 8;
+  params.intra_fraction = 0.95;
+  params.community_size_skew = 0.0;
+  util::Rng rng(GetParam());
+  graph::Graph g = data::MakeCommunityGraph(params, rng);
+
+  // Ground truth from the deterministic allocation in MakeCommunityGraph.
+  std::vector<int> truth(200);
+  for (int v = 0; v < 200; ++v) truth[v] = (v * 8) / 200;
+
+  util::Rng det_rng(GetParam() + 100);
+  LouvainResult result = Louvain(g, det_rng);
+  double nmi =
+      NormalizedMutualInformation(Partition(truth), result.FinalPartition());
+  EXPECT_GT(nmi, 0.7);
+  EXPECT_GT(result.modularity, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LouvainPlantedTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(LouvainTest, HierarchyCoarsens) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 300;
+  params.num_edges = 1500;
+  params.num_communities = 12;
+  util::Rng rng(5);
+  graph::Graph g = data::MakeCommunityGraph(params, rng);
+  LouvainResult result = Louvain(g, rng);
+  ASSERT_GE(result.levels.size(), 1u);
+  for (size_t l = 1; l < result.levels.size(); ++l) {
+    EXPECT_LE(result.levels[l].num_communities(),
+              result.levels[l - 1].num_communities());
+  }
+}
+
+TEST(LabelPropagationTest, FindsTwoCliques) {
+  graph::Graph g = TwoCliquesWithBridge();
+  util::Rng rng(6);
+  Partition p = LabelPropagation(g, rng);
+  EXPECT_LE(p.num_communities(), 3);
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(p.label(i), p.label(1));
+  for (int i = 7; i < 12; ++i) EXPECT_EQ(p.label(i), p.label(7));
+}
+
+TEST(MetricsTest, IdenticalPartitionsScoreOne) {
+  Partition a({0, 0, 1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(RandIndex(a, a), 1.0);
+}
+
+TEST(MetricsTest, PermutedLabelsScoreOne) {
+  Partition a({0, 0, 1, 1, 2, 2});
+  Partition b({2, 2, 0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b), 1.0);
+}
+
+TEST(MetricsTest, OrthogonalPartitionsScoreLow) {
+  // a splits first/second half, b alternates: MI is 0 by construction.
+  Partition a({0, 0, 0, 0, 1, 1, 1, 1});
+  Partition b({0, 1, 0, 1, 0, 1, 0, 1});
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 0.0, 1e-9);
+  EXPECT_LE(AdjustedRandIndex(a, b), 0.05);
+}
+
+TEST(MetricsTest, SymmetricInArguments) {
+  Partition a({0, 0, 1, 1, 1, 2});
+  Partition b({0, 1, 1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), AdjustedRandIndex(b, a));
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b),
+                   NormalizedMutualInformation(b, a));
+}
+
+TEST(MetricsTest, ContingencyTableSums) {
+  Partition a({0, 0, 1, 1});
+  Partition b({0, 1, 0, 1});
+  ContingencyTable t(a, b);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.total(), 4);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(t.row_sum(i), 2);
+    EXPECT_EQ(t.col_sum(i), 2);
+  }
+  EXPECT_EQ(t.count(0, 0), 1);
+}
+
+TEST(MetricsTest, EntropyOfUniformPartition) {
+  Partition p({0, 1, 2, 3});
+  EXPECT_NEAR(PartitionEntropy(p), std::log(4.0), 1e-9);
+}
+
+TEST(MetricsTest, MutualInformationNonNegative) {
+  Partition a({0, 0, 1, 1, 2});
+  Partition b({1, 0, 1, 0, 1});
+  EXPECT_GE(MutualInformation(a, b), -1e-12);
+}
+
+}  // namespace
+}  // namespace cpgan::community

@@ -1,0 +1,252 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/assembly.h"
+#include "core/decoder.h"
+#include "core/sampler.h"
+#include "core/variational.h"
+#include "tests/test_util.h"
+
+namespace cpgan::core {
+namespace {
+
+namespace t = cpgan::tensor;
+using cpgan::testing::TestMatrix;
+
+TEST(VariationalTest, ShapesAndNonNegativeKl) {
+  util::Rng rng(1);
+  VariationalInference vae(6, 8, 4, rng);
+  std::vector<t::Tensor> z_rec = {t::Constant(TestMatrix(10, 6, 1.0f, 1)),
+                                  t::Constant(TestMatrix(10, 6, 1.0f, 2))};
+  VariationalOutput out = vae.Forward(z_rec, rng, /*sample=*/true);
+  ASSERT_EQ(out.z_vae.size(), 2u);
+  EXPECT_EQ(out.z_vae[0].rows(), 10);
+  EXPECT_EQ(out.z_vae[0].cols(), 4);
+  // KL to the prior is non-negative by definition.
+  EXPECT_GE(out.kl.Scalar(), -1e-4f);
+}
+
+TEST(VariationalTest, DeterministicModeReturnsMeans) {
+  util::Rng rng(2);
+  VariationalInference vae(6, 8, 4, rng);
+  std::vector<t::Tensor> z_rec = {t::Constant(TestMatrix(5, 6, 1.0f, 3))};
+  util::Rng sample_rng_a(7);
+  util::Rng sample_rng_b(8);
+  VariationalOutput a = vae.Forward(z_rec, sample_rng_a, /*sample=*/false);
+  VariationalOutput b = vae.Forward(z_rec, sample_rng_b, /*sample=*/false);
+  t::Matrix diff = a.z_vae[0].value();
+  diff.Axpy(-1.0f, b.z_vae[0].value());
+  EXPECT_FLOAT_EQ(diff.Norm(), 0.0f);
+}
+
+TEST(VariationalTest, SamplingAddsSharedVarianceNoise) {
+  util::Rng rng(3);
+  VariationalInference vae(6, 8, 4, rng);
+  std::vector<t::Tensor> z_rec = {t::Constant(TestMatrix(5, 6, 1.0f, 4))};
+  util::Rng sample_rng(9);
+  VariationalOutput mean = vae.Forward(z_rec, sample_rng, /*sample=*/false);
+  VariationalOutput sampled = vae.Forward(z_rec, sample_rng, /*sample=*/true);
+  t::Matrix diff = sampled.z_vae[0].value();
+  diff.Axpy(-1.0f, mean.z_vae[0].value());
+  EXPECT_GT(diff.Norm(), 0.0f);
+}
+
+TEST(GraphDecoderTest, GruAndConcatShapes) {
+  util::Rng rng(4);
+  for (bool concat : {false, true}) {
+    GraphDecoder decoder(4, 8, 2, concat, rng);
+    std::vector<t::Tensor> z = {t::Constant(TestMatrix(7, 4, 1.0f, 5)),
+                                t::Constant(TestMatrix(7, 4, 1.0f, 6))};
+    t::Tensor h = decoder.DecodeNodes(z);
+    EXPECT_EQ(h.rows(), 7);
+    EXPECT_EQ(h.cols(), 8);
+    t::Tensor logits = decoder.EdgeLogits(h);
+    EXPECT_EQ(logits.rows(), 7);
+    EXPECT_EQ(logits.cols(), 7);
+  }
+}
+
+TEST(GraphDecoderTest, LogitsSymmetric) {
+  util::Rng rng(5);
+  GraphDecoder decoder(4, 8, 1, false, rng);
+  std::vector<t::Tensor> z = {t::Constant(TestMatrix(6, 4, 1.0f, 7))};
+  t::Matrix logits = decoder.EdgeLogits(decoder.DecodeNodes(z)).value();
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_NEAR(logits.At(i, j), logits.At(j, i), 1e-4f);
+    }
+  }
+}
+
+TEST(GraphDecoderTest, EdgeBiasShiftsLogits) {
+  util::Rng rng(6);
+  GraphDecoder decoder(4, 8, 1, false, rng);
+  EXPECT_NEAR(decoder.edge_bias(), -3.0f, 1e-6f);
+}
+
+TEST(AssemblyTest, OracleScorerRecoversGraph) {
+  // Scorer returns 1 on true edges, 0 elsewhere -> assembly must rebuild
+  // exactly the target edges.
+  int n = 30;
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i + 1 < n; i += 2) edges.emplace_back(i, i + 1);
+  graph::Graph target(n, edges);
+  auto scorer = [&target](const std::vector<int>& ids) {
+    t::Matrix probs(static_cast<int>(ids.size()),
+                    static_cast<int>(ids.size()));
+    for (size_t a = 0; a < ids.size(); ++a) {
+      for (size_t b = 0; b < ids.size(); ++b) {
+        if (a != b && target.HasEdge(ids[a], ids[b])) {
+          probs.At(static_cast<int>(a), static_cast<int>(b)) = 1.0f;
+        } else {
+          probs.At(static_cast<int>(a), static_cast<int>(b)) = 1e-4f;
+        }
+      }
+    }
+    return probs;
+  };
+  util::Rng rng(7);
+  AssemblyOptions options;
+  options.subgraph_size = n;  // single-shot decode
+  graph::Graph out =
+      AssembleGraph(n, target.num_edges(), scorer, options, rng);
+  EXPECT_EQ(out.num_edges(), target.num_edges());
+  for (const auto& [u, v] : target.Edges()) {
+    EXPECT_TRUE(out.HasEdge(u, v));
+  }
+}
+
+TEST(AssemblyTest, RespectsEdgeBudget) {
+  auto scorer = [](const std::vector<int>& ids) {
+    return t::Matrix(static_cast<int>(ids.size()),
+                     static_cast<int>(ids.size()), 0.5f);
+  };
+  util::Rng rng(8);
+  AssemblyOptions options;
+  options.subgraph_size = 16;
+  graph::Graph out = AssembleGraph(50, 60, scorer, options, rng);
+  EXPECT_LE(out.num_edges(), 60);
+  EXPECT_GE(out.num_edges(), 30);
+}
+
+TEST(AssemblyTest, SubgraphChunkingCoversAllNodes) {
+  // Uniform scores with chunked decoding: after several passes most nodes
+  // should have at least one edge thanks to the per-node categorical step.
+  auto scorer = [](const std::vector<int>& ids) {
+    return t::Matrix(static_cast<int>(ids.size()),
+                     static_cast<int>(ids.size()), 0.3f);
+  };
+  util::Rng rng(9);
+  AssemblyOptions options;
+  options.subgraph_size = 20;
+  graph::Graph out = AssembleGraph(100, 300, scorer, options, rng);
+  int isolated = 0;
+  for (int v = 0; v < out.num_nodes(); ++v) {
+    if (out.degree(v) == 0) ++isolated;
+  }
+  EXPECT_LT(isolated, 10);
+}
+
+TEST(AssemblyTest, EmptyCases) {
+  auto scorer = [](const std::vector<int>& ids) {
+    return t::Matrix(static_cast<int>(ids.size()),
+                     static_cast<int>(ids.size()), 0.5f);
+  };
+  util::Rng rng(10);
+  AssemblyOptions options;
+  EXPECT_EQ(AssembleGraph(0, 0, scorer, options, rng).num_nodes(), 0);
+  EXPECT_EQ(AssembleGraph(5, 0, scorer, options, rng).num_edges(), 0);
+  EXPECT_EQ(AssembleGraph(1, 3, scorer, options, rng).num_edges(), 0);
+}
+
+TEST(SamplerTest, DegreeProportionalPrefersHubs) {
+  // Star graph: the hub must be selected almost always.
+  std::vector<graph::Edge> edges;
+  for (int i = 1; i < 50; ++i) edges.emplace_back(0, i);
+  graph::Graph g(50, edges);
+  util::Rng rng(11);
+  int hub_hits = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> sample = DegreeProportionalSample(g, 10, rng);
+    EXPECT_EQ(sample.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    if (std::binary_search(sample.begin(), sample.end(), 0)) ++hub_hits;
+  }
+  EXPECT_GT(hub_hits, 95);
+}
+
+TEST(SamplerTest, HandlesEdgelessGraph) {
+  graph::Graph g(20);
+  util::Rng rng(12);
+  std::vector<int> sample = DegreeProportionalSample(g, 5, rng);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(SamplerTest, UniformSampleBounds) {
+  util::Rng rng(13);
+  std::vector<int> sample = UniformNodeSample(10, 20, rng);
+  EXPECT_EQ(sample.size(), 10u);  // clamped to n
+}
+
+}  // namespace
+}  // namespace cpgan::core
+
+namespace cpgan::core {
+namespace {
+
+TEST(AssemblyTest, ProportionalFillFollowsDensities) {
+  // Two blocks: intra-block probability 0.6, cross 0.05. Proportional fill
+  // must place most edges inside blocks.
+  int n = 40;
+  auto scorer = [n](const std::vector<int>& ids) {
+    tensor::Matrix probs(static_cast<int>(ids.size()),
+                         static_cast<int>(ids.size()));
+    for (size_t a = 0; a < ids.size(); ++a) {
+      for (size_t b = 0; b < ids.size(); ++b) {
+        if (a == b) continue;
+        bool same_block = (ids[a] < n / 2) == (ids[b] < n / 2);
+        probs.At(static_cast<int>(a), static_cast<int>(b)) =
+            same_block ? 0.6f : 0.05f;
+      }
+    }
+    return probs;
+  };
+  util::Rng rng(31);
+  AssemblyOptions options;
+  options.subgraph_size = n;
+  options.proportional_fill = true;
+  graph::Graph out = AssembleGraph(n, 120, scorer, options, rng);
+  int64_t intra = 0;
+  for (const auto& [u, v] : out.Edges()) {
+    if ((u < n / 2) == (v < n / 2)) ++intra;
+  }
+  EXPECT_GT(static_cast<double>(intra) / out.num_edges(), 0.6);
+}
+
+TEST(AssemblyTest, TopKFillDeterministicallyPicksHighest) {
+  // With distinct scores and no categorical noise possible (quota covers
+  // everything), top-k fill must select exactly the highest-score pairs.
+  auto scorer = [](const std::vector<int>& ids) {
+    tensor::Matrix probs(static_cast<int>(ids.size()),
+                         static_cast<int>(ids.size()));
+    for (size_t a = 0; a < ids.size(); ++a) {
+      for (size_t b = 0; b < ids.size(); ++b) {
+        if (a == b) continue;
+        // Pair (0,1) highest, then (0,2), ...
+        probs.At(static_cast<int>(a), static_cast<int>(b)) =
+            1.0f / (1.0f + ids[a] + ids[b]);
+      }
+    }
+    return probs;
+  };
+  util::Rng rng(32);
+  AssemblyOptions options;
+  options.subgraph_size = 10;
+  options.proportional_fill = false;
+  graph::Graph out = AssembleGraph(10, 3, scorer, options, rng);
+  EXPECT_TRUE(out.HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace cpgan::core

@@ -1,0 +1,182 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/ladder_encoder.h"
+#include "tests/test_util.h"
+
+namespace cpgan::core {
+namespace {
+
+namespace t = cpgan::tensor;
+using cpgan::testing::TestMatrix;
+
+std::shared_ptr<t::SparseMatrix> SmallAdjacency() {
+  return std::make_shared<t::SparseMatrix>(t::NormalizedAdjacency(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4},
+          {0, 4}}));
+}
+
+TEST(LadderEncoderTest, OutputShapes) {
+  util::Rng rng(1);
+  LadderEncoder encoder(4, 6, {3}, rng);
+  EXPECT_EQ(encoder.num_levels(), 2);
+  t::Tensor x = t::Constant(TestMatrix(8, 4, 1.0f, 1));
+  EncoderOutput out = encoder.Forward(SmallAdjacency(), x);
+  ASSERT_EQ(out.z.size(), 2u);
+  EXPECT_EQ(out.z[0].rows(), 8);
+  EXPECT_EQ(out.z[0].cols(), 6);
+  EXPECT_EQ(out.z[1].rows(), 3);
+  ASSERT_EQ(out.assignments.size(), 1u);
+  EXPECT_EQ(out.assignments[0].rows(), 8);
+  EXPECT_EQ(out.assignments[0].cols(), 3);
+  ASSERT_EQ(out.z_rec.size(), 2u);
+  EXPECT_EQ(out.z_rec[0].rows(), 8);
+  EXPECT_EQ(out.z_rec[1].rows(), 8);
+  EXPECT_EQ(out.readout.rows(), 2);
+  EXPECT_EQ(out.readout.cols(), 6);
+}
+
+TEST(LadderEncoderTest, SingleLevelHasNoPooling) {
+  util::Rng rng(2);
+  LadderEncoder encoder(4, 6, {}, rng);
+  t::Tensor x = t::Constant(TestMatrix(8, 4, 1.0f, 2));
+  EncoderOutput out = encoder.Forward(SmallAdjacency(), x);
+  EXPECT_EQ(out.z.size(), 1u);
+  EXPECT_TRUE(out.assignments.empty());
+  EXPECT_EQ(out.readout.rows(), 1);
+}
+
+TEST(LadderEncoderTest, AssignmentRowsAreDistributions) {
+  util::Rng rng(3);
+  LadderEncoder encoder(4, 6, {3}, rng);
+  t::Tensor x = t::Constant(TestMatrix(8, 4, 1.0f, 3));
+  EncoderOutput out = encoder.Forward(SmallAdjacency(), x);
+  const t::Matrix& s = out.assignments[0].value();
+  for (int r = 0; r < s.rows(); ++r) {
+    double total = 0.0;
+    for (int c = 0; c < s.cols(); ++c) {
+      EXPECT_GE(s.At(r, c), 0.0f);
+      total += s.At(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(LadderEncoderTest, ReadoutIsPermutationInvariant) {
+  // Eq. (5): E(P A P^T) = E(A) for the graph-level readout.
+  util::Rng rng(4);
+  LadderEncoder encoder(4, 6, {3}, rng);
+  int n = 8;
+  std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}, {0, 4}};
+  t::Matrix x = TestMatrix(n, 4, 1.0f, 4);
+
+  auto a1 = std::make_shared<t::SparseMatrix>(t::NormalizedAdjacency(n, edges));
+  EncoderOutput out1 = encoder.Forward(a1, t::Constant(x));
+
+  // Apply permutation P.
+  std::vector<int> perm = {3, 5, 0, 7, 1, 6, 2, 4};
+  std::vector<std::pair<int, int>> permuted_edges;
+  for (auto [u, v] : edges) permuted_edges.push_back({perm[u], perm[v]});
+  t::Matrix x_perm(n, 4);
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < 4; ++c) x_perm.At(perm[v], c) = x.At(v, c);
+  }
+  auto a2 = std::make_shared<t::SparseMatrix>(
+      t::NormalizedAdjacency(n, permuted_edges));
+  EncoderOutput out2 = encoder.Forward(a2, t::Constant(x_perm));
+
+  t::Matrix diff = out1.readout.value();
+  diff.Axpy(-1.0f, out2.readout.value());
+  EXPECT_LT(diff.Norm(), 1e-3f);
+}
+
+TEST(LadderEncoderTest, NodeOutputsPermuteWithInput) {
+  util::Rng rng(5);
+  LadderEncoder encoder(4, 6, {3}, rng);
+  int n = 8;
+  std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}, {0, 4}};
+  t::Matrix x = TestMatrix(n, 4, 1.0f, 5);
+  auto a1 = std::make_shared<t::SparseMatrix>(t::NormalizedAdjacency(n, edges));
+  EncoderOutput out1 = encoder.Forward(a1, t::Constant(x));
+
+  std::vector<int> perm = {1, 0, 3, 2, 5, 4, 7, 6};
+  std::vector<std::pair<int, int>> permuted_edges;
+  for (auto [u, v] : edges) permuted_edges.push_back({perm[u], perm[v]});
+  t::Matrix x_perm(n, 4);
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < 4; ++c) x_perm.At(perm[v], c) = x.At(v, c);
+  }
+  auto a2 = std::make_shared<t::SparseMatrix>(
+      t::NormalizedAdjacency(n, permuted_edges));
+  EncoderOutput out2 = encoder.Forward(a2, t::Constant(x_perm));
+
+  // z0 rows permute with the nodes.
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_NEAR(out1.z[0].value().At(v, c),
+                  out2.z[0].value().At(perm[v], c), 1e-3f);
+    }
+  }
+}
+
+TEST(LadderEncoderTest, DenseForwardMatchesSparseOnSameGraph) {
+  util::Rng rng(6);
+  LadderEncoder encoder(4, 6, {3}, rng);
+  int n = 8;
+  std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {4, 5}, {6, 7}};
+  t::Tensor x = t::Constant(TestMatrix(n, 4, 1.0f, 6));
+  auto sparse = std::make_shared<t::SparseMatrix>(
+      t::NormalizedAdjacency(n, edges));
+  EncoderOutput sparse_out = encoder.Forward(sparse, x);
+
+  // The dense path applies row normalization to a raw 0/1 adjacency; the
+  // sparse path uses symmetric normalization, so readouts differ in value
+  // but must share shapes and finiteness.
+  t::Matrix dense(n, n);
+  for (auto [u, v] : edges) {
+    dense.At(u, v) = 1.0f;
+    dense.At(v, u) = 1.0f;
+  }
+  EncoderOutput dense_out = encoder.ForwardDense(t::Constant(dense), x);
+  EXPECT_TRUE(dense_out.readout.value().SameShape(sparse_out.readout.value()));
+  EXPECT_TRUE(std::isfinite(dense_out.readout.value().Norm()));
+}
+
+TEST(LadderEncoderTest, GradientsFlowIntoDenseAdjacency) {
+  util::Rng rng(7);
+  LadderEncoder encoder(3, 4, {2}, rng);
+  int n = 6;
+  t::Tensor a(TestMatrix(n, n, 0.3f, 7), true);
+  // Symmetrize and shift to [0, ~0.6].
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float v = 0.3f + 0.5f * (a.value().At(i, j) + a.value().At(j, i));
+      a.mutable_value().At(i, j) = std::max(0.0f, v);
+    }
+  }
+  t::Tensor x = t::Constant(TestMatrix(n, 3, 1.0f, 8));
+  EncoderOutput out = encoder.ForwardDense(a, x);
+  t::Backward(t::SumAll(t::Square(out.readout)));
+  EXPECT_GT(a.grad().Norm(), 0.0f);
+}
+
+TEST(LadderEncoderTest, ThreeLevelLadder) {
+  util::Rng rng(8);
+  LadderEncoder encoder(4, 6, {4, 2}, rng);
+  EXPECT_EQ(encoder.num_levels(), 3);
+  t::Tensor x = t::Constant(TestMatrix(8, 4, 1.0f, 9));
+  EncoderOutput out = encoder.Forward(SmallAdjacency(), x);
+  EXPECT_EQ(out.z.size(), 3u);
+  EXPECT_EQ(out.assignments.size(), 2u);
+  EXPECT_EQ(out.z[2].rows(), 2);
+  EXPECT_EQ(out.z_rec[2].rows(), 8);
+  EXPECT_EQ(out.readout.rows(), 3);
+}
+
+}  // namespace
+}  // namespace cpgan::core

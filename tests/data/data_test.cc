@@ -1,0 +1,135 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "community/louvain.h"
+#include "data/datasets.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "graph/algorithms.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace cpgan::data {
+namespace {
+
+TEST(SyntheticTest, HitsNodeAndEdgeTargets) {
+  CommunityGraphParams params;
+  params.num_nodes = 300;
+  params.num_edges = 1000;
+  params.num_communities = 12;
+  util::Rng rng(1);
+  graph::Graph g = MakeCommunityGraph(params, rng);
+  EXPECT_EQ(g.num_nodes(), 300);
+  EXPECT_GT(g.num_edges(), 800);
+  EXPECT_LT(g.num_edges(), 1200);
+}
+
+TEST(SyntheticTest, NoIsolatedNodes) {
+  CommunityGraphParams params;
+  params.num_nodes = 400;
+  params.num_edges = 700;  // sparse: connectivity pass must kick in
+  params.num_communities = 20;
+  util::Rng rng(2);
+  graph::Graph g = MakeCommunityGraph(params, rng);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GT(g.degree(v), 0) << "node " << v;
+  }
+}
+
+TEST(SyntheticTest, IntraFractionControlsCommunityStrength) {
+  util::Rng rng_strong(3);
+  util::Rng rng_weak(3);
+  CommunityGraphParams strong;
+  strong.num_nodes = 300;
+  strong.num_edges = 1200;
+  strong.num_communities = 10;
+  strong.intra_fraction = 0.95;
+  CommunityGraphParams weak = strong;
+  weak.intra_fraction = 0.3;
+  graph::Graph g_strong = MakeCommunityGraph(strong, rng_strong);
+  graph::Graph g_weak = MakeCommunityGraph(weak, rng_weak);
+  util::Rng det(4);
+  double q_strong = community::Louvain(g_strong, det).modularity;
+  double q_weak = community::Louvain(g_weak, det).modularity;
+  EXPECT_GT(q_strong, q_weak);
+}
+
+TEST(SyntheticTest, TriangleFractionRaisesClustering) {
+  CommunityGraphParams base;
+  base.num_nodes = 250;
+  base.num_edges = 900;
+  base.num_communities = 8;
+  base.triangle_fraction = 0.0;
+  CommunityGraphParams boosted = base;
+  boosted.triangle_fraction = 0.4;
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  graph::Graph g_base = MakeCommunityGraph(base, rng_a);
+  graph::Graph g_boost = MakeCommunityGraph(boosted, rng_b);
+  EXPECT_GT(graph::AverageClusteringCoefficient(g_boost),
+            graph::AverageClusteringCoefficient(g_base));
+}
+
+TEST(PointCloudTest, KnnDegreesBounded) {
+  util::Rng rng(6);
+  graph::Graph g = MakePointCloudGraph(200, 20, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 200);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.degree(v), 3);  // at least its own k neighbors
+  }
+  // Long characteristic path length relative to density is the dataset's
+  // signature; just check connectivity structure is nontrivial.
+  EXPECT_GT(graph::AverageClusteringCoefficient(g), 0.2);
+}
+
+TEST(DatasetsTest, AllNamesBuild) {
+  for (const std::string& name : DatasetNames()) {
+    graph::Graph g = MakeDataset(name, 42);
+    EXPECT_GT(g.num_nodes(), 100) << name;
+    EXPECT_GT(g.num_edges(), 100) << name;
+  }
+}
+
+TEST(DatasetsTest, DeterministicForSeed) {
+  graph::Graph a = MakeDataset("ppi_like", 9);
+  graph::Graph b = MakeDataset("ppi_like", 9);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(DatasetsTest, ScalingPreservesDensity) {
+  graph::Graph full = MakeDataset("citeseer_like", 1);
+  graph::Graph half = MakeScaledDataset("citeseer_like", 280, 1);
+  EXPECT_EQ(half.num_nodes(), 280);
+  EXPECT_NEAR(half.MeanDegree(), full.MeanDegree(), 1.0);
+}
+
+TEST(DatasetsTest, RelativeCharacteristics) {
+  // facebook_like is the densest; pointcloud_like has the longest CPL.
+  util::Rng rng(7);
+  graph::Graph facebook = MakeDataset("facebook_like");
+  graph::Graph citeseer = MakeDataset("citeseer_like");
+  graph::Graph pointcloud = MakeDataset("pointcloud_like");
+  EXPECT_GT(facebook.MeanDegree(), 2.0 * citeseer.MeanDegree());
+  double cpl_pc = graph::CharacteristicPathLength(pointcloud, rng);
+  double cpl_fb = graph::CharacteristicPathLength(facebook, rng);
+  EXPECT_GT(cpl_pc, 2.0 * cpl_fb);
+}
+
+TEST(LoaderTest, ResolvesNamesAndFiles) {
+  EXPECT_FALSE(IsFilePath("ppi_like"));
+  graph::Graph by_name = LoadGraph("ppi_like");
+  EXPECT_GT(by_name.num_nodes(), 0);
+
+  std::string path = ::testing::TempDir() + "/loader_graph.txt";
+  graph::Graph g(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(graph::SaveEdgeList(g, path));
+  EXPECT_TRUE(IsFilePath(path));
+  graph::Graph by_file = LoadGraph(path);
+  EXPECT_EQ(by_file.num_edges(), 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cpgan::data

@@ -1,0 +1,191 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/community_eval.h"
+#include "eval/graph_metrics.h"
+#include "eval/mmd.h"
+#include "eval/nll.h"
+#include "eval/report.h"
+#include "generators/er.h"
+#include "util/rng.h"
+
+namespace cpgan::eval {
+namespace {
+
+TEST(EmdTest, IdenticalHistogramsZero) {
+  std::vector<double> h = {0.2, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(Emd1D(h, h), 0.0);
+}
+
+TEST(EmdTest, ShiftByOneBin) {
+  // Unit mass moved by one bin -> EMD 1.
+  EXPECT_DOUBLE_EQ(Emd1D({1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Emd1D({1.0, 0.0, 0.0}, {0.0, 0.0, 1.0}), 2.0);
+}
+
+TEST(EmdTest, NormalizesInputs) {
+  EXPECT_DOUBLE_EQ(Emd1D({2.0, 0.0}, {0.0, 8.0}), 1.0);
+}
+
+TEST(EmdTest, DifferentLengthsPadded) {
+  EXPECT_DOUBLE_EQ(Emd1D({1.0}, {0.0, 1.0}), 1.0);
+}
+
+TEST(TvTest, BoundsAndKnownValue) {
+  EXPECT_DOUBLE_EQ(TotalVariation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({1.0, 0.0}, {0.5, 0.5}), 0.5);
+}
+
+TEST(MmdTest, IdenticalSetsZero) {
+  std::vector<std::vector<double>> a = {{0.3, 0.7}, {0.5, 0.5}};
+  EXPECT_NEAR(Mmd(a, a), 0.0, 1e-9);
+}
+
+TEST(MmdTest, DisjointDistributionsPositive) {
+  std::vector<std::vector<double>> a = {{1.0, 0.0, 0.0, 0.0}};
+  std::vector<std::vector<double>> b = {{0.0, 0.0, 0.0, 1.0}};
+  EXPECT_GT(Mmd(a, b, MmdKernel::kGaussianEmd, 1.0), 0.5);
+  EXPECT_GT(Mmd(a, b, MmdKernel::kGaussianTv, 0.5), 0.5);
+}
+
+TEST(MmdTest, CloserDistributionsScoreLower) {
+  std::vector<std::vector<double>> base = {{1.0, 0.0, 0.0, 0.0}};
+  std::vector<std::vector<double>> near = {{0.8, 0.2, 0.0, 0.0}};
+  std::vector<std::vector<double>> far = {{0.0, 0.0, 0.0, 1.0}};
+  EXPECT_LT(Mmd(base, near), Mmd(base, far));
+}
+
+TEST(NllTest, PerfectPredictionsNearZero) {
+  EXPECT_NEAR(EdgeNll({1.0, 1.0}, {0.0, 0.0}), 0.0, 1e-4);
+}
+
+TEST(NllTest, WrongPredictionsLarge) {
+  EXPECT_GT(EdgeNll({0.01}, {0.99}), 4.0);
+}
+
+TEST(NllTest, KnownValue) {
+  // -log(0.5) for every entry.
+  EXPECT_NEAR(EdgeNll({0.5}, {0.5}), std::log(2.0), 1e-6);
+  EXPECT_DOUBLE_EQ(EdgeNll({}, {}), 0.0);
+}
+
+TEST(GenerationMetricsTest, IdenticalGraphsScoreZero) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 120;
+  params.num_edges = 400;
+  params.num_communities = 6;
+  util::Rng build(1);
+  graph::Graph g = data::MakeCommunityGraph(params, build);
+  util::Rng rng(2);
+  GenerationMetrics m = ComputeGenerationMetrics(g, g, rng);
+  EXPECT_NEAR(m.deg, 0.0, 1e-9);
+  EXPECT_NEAR(m.clus, 0.0, 1e-9);
+  EXPECT_NEAR(m.gini, 0.0, 1e-9);
+  EXPECT_NEAR(m.pwe, 0.0, 1e-9);
+  EXPECT_LT(m.cpl, 0.2);  // sampled CPL estimates may differ slightly
+}
+
+TEST(GenerationMetricsTest, RandomGraphScoresWorseThanSelf) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 150;
+  params.num_edges = 500;
+  params.num_communities = 8;
+  params.triangle_fraction = 0.3;
+  util::Rng build(3);
+  graph::Graph g = data::MakeCommunityGraph(params, build);
+  generators::ErGenerator er;
+  util::Rng rng(4);
+  er.Fit(g, rng);
+  graph::Graph random = er.Generate(rng);
+  GenerationMetrics m = ComputeGenerationMetrics(g, random, rng);
+  EXPECT_GT(m.deg + m.clus + m.gini, 0.01);
+}
+
+TEST(CommunityEvalTest, SelfComparisonIsPerfect) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 100;
+  params.num_edges = 350;
+  params.num_communities = 5;
+  params.intra_fraction = 0.95;
+  util::Rng build(5);
+  graph::Graph g = data::MakeCommunityGraph(params, build);
+  util::Rng rng(6);
+  CommunityMetrics m = EvaluateCommunityPreservation(g, g, rng);
+  EXPECT_GT(m.nmi, 0.95);
+  EXPECT_GT(m.ari, 0.9);
+}
+
+TEST(CommunityEvalTest, RandomGraphScoresLow) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 150;
+  params.num_edges = 500;
+  params.num_communities = 6;
+  params.intra_fraction = 0.95;
+  util::Rng build(7);
+  graph::Graph g = data::MakeCommunityGraph(params, build);
+  generators::ErGenerator er;
+  util::Rng rng(8);
+  er.Fit(g, rng);
+  graph::Graph random = er.Generate(rng);
+  CommunityMetrics m = EvaluateCommunityPreservation(g, random, rng);
+  EXPECT_LT(m.ari, 0.2);
+}
+
+TEST(ReportTest, MeanStd) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Stddev({1.0, 2.0, 3.0}), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Stddev({5.0}), 0.0);
+}
+
+TEST(ReportTest, FormatsLikePaper) {
+  EXPECT_EQ(FormatMeanStdE2({0.725, 0.725}), "72.5±0.0");
+  std::string s = FormatMeanStdE2({0.70, 0.75});
+  EXPECT_NE(s.find("72.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpgan::eval
+
+namespace cpgan::eval {
+namespace {
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(LinkPredictionAuc({0.9, 0.8}, {0.1, 0.2}), 1.0);
+}
+
+TEST(AucTest, ReversedSeparationIsZero) {
+  EXPECT_DOUBLE_EQ(LinkPredictionAuc({0.1}, {0.9}), 0.0);
+}
+
+TEST(AucTest, TiesGiveHalf) {
+  EXPECT_DOUBLE_EQ(LinkPredictionAuc({0.5, 0.5}, {0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(LinkPredictionAuc({}, {0.5}), 0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // pos {0.9, 0.4}, neg {0.6, 0.2}: pairs won = (0.9>0.6)+(0.9>0.2)+(0.4>0.2)
+  // = 3 of 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(LinkPredictionAuc({0.9, 0.4}, {0.6, 0.2}), 0.75);
+}
+
+}  // namespace
+}  // namespace cpgan::eval
+
+namespace cpgan::eval {
+namespace {
+
+TEST(MmdTest, MultiSampleSetsSupported) {
+  // MMD over sets of graphs (the GraphRNN-style usage): two samples per
+  // side; identical sets give 0, disjoint sets give > 0.
+  std::vector<std::vector<double>> a = {{0.9, 0.1, 0.0}, {0.8, 0.2, 0.0}};
+  std::vector<std::vector<double>> b = {{0.0, 0.1, 0.9}, {0.0, 0.2, 0.8}};
+  EXPECT_NEAR(Mmd(a, a), 0.0, 1e-9);
+  EXPECT_GT(Mmd(a, b), 0.1);
+}
+
+}  // namespace
+}  // namespace cpgan::eval

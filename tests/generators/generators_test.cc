@@ -1,0 +1,177 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "generators/ba.h"
+#include "generators/bter.h"
+#include "generators/er.h"
+#include "generators/mmsb.h"
+#include "generators/registry.h"
+#include "generators/sbm.h"
+#include "generators/ws.h"
+#include "graph/algorithms.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace cpgan::generators {
+namespace {
+
+graph::Graph TestTarget(uint64_t seed = 1) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 250;
+  params.num_edges = 900;
+  params.num_communities = 10;
+  util::Rng rng(seed);
+  return data::MakeCommunityGraph(params, rng);
+}
+
+// Parameterized sweep over every registered traditional generator.
+class AllGeneratorsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllGeneratorsTest, FitGeneratePreservesNodeCount) {
+  auto gen = MakeTraditionalGenerator(GetParam());
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(gen->name(), GetParam());
+  graph::Graph target = TestTarget();
+  util::Rng rng(2);
+  gen->Fit(target, rng);
+  graph::Graph out = gen->Generate(rng);
+  EXPECT_EQ(out.num_nodes(), target.num_nodes());
+}
+
+TEST_P(AllGeneratorsTest, EdgeCountRoughlyMatches) {
+  auto gen = MakeTraditionalGenerator(GetParam());
+  graph::Graph target = TestTarget();
+  util::Rng rng(3);
+  gen->Fit(target, rng);
+  graph::Graph out = gen->Generate(rng);
+  double ratio = static_cast<double>(out.num_edges()) /
+                 static_cast<double>(target.num_edges());
+  EXPECT_GT(ratio, 0.4) << GetParam();
+  EXPECT_LT(ratio, 2.5) << GetParam();
+}
+
+TEST_P(AllGeneratorsTest, OutputIsSimpleGraph) {
+  auto gen = MakeTraditionalGenerator(GetParam());
+  graph::Graph target = TestTarget();
+  util::Rng rng(4);
+  gen->Fit(target, rng);
+  graph::Graph out = gen->Generate(rng);
+  for (const auto& [u, v] : out.Edges()) {
+    EXPECT_NE(u, v);
+    EXPECT_TRUE(u >= 0 && u < out.num_nodes());
+    EXPECT_TRUE(v >= 0 && v < out.num_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllGeneratorsTest,
+                         ::testing::ValuesIn(TraditionalGeneratorNames()));
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeTraditionalGenerator("NoSuchModel"), nullptr);
+}
+
+TEST(ErTest, DensityMatchesParameter) {
+  ErGenerator gen(300, 0.05);
+  util::Rng rng(5);
+  graph::Graph g = gen.Generate(rng);
+  double pairs = 0.5 * 300 * 299;
+  EXPECT_NEAR(g.num_edges() / pairs, 0.05, 0.01);
+}
+
+TEST(ErTest, FitRecoversDensity) {
+  ErGenerator source(200, 0.1);
+  util::Rng rng(6);
+  graph::Graph g = source.Generate(rng);
+  ErGenerator fitted;
+  fitted.Fit(g, rng);
+  EXPECT_NEAR(fitted.edge_probability(), 0.1, 0.02);
+}
+
+TEST(ErTest, ExtremeProbabilities) {
+  util::Rng rng(7);
+  ErGenerator empty(20, 0.0);
+  EXPECT_EQ(empty.Generate(rng).num_edges(), 0);
+  ErGenerator full(20, 1.0);
+  EXPECT_EQ(full.Generate(rng).num_edges(), 190);
+}
+
+TEST(BaTest, MinimumDegreeRespected) {
+  BaGenerator gen(200, 3);
+  util::Rng rng(8);
+  graph::Graph g = gen.Generate(rng);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.degree(v), 3);
+  }
+}
+
+TEST(BaTest, ProducesSkewedDegrees) {
+  BaGenerator gen(500, 2);
+  util::Rng rng(9);
+  graph::Graph g = gen.Generate(rng);
+  EXPECT_GT(graph::GiniCoefficient(g.Degrees()), 0.2);
+}
+
+TEST(WsTest, NoRewireGivesRingLattice) {
+  WsGenerator gen(40, 4, 0.0);
+  util::Rng rng(10);
+  graph::Graph g = gen.Generate(rng);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.degree(v), 4);
+  }
+  EXPECT_GT(graph::AverageClusteringCoefficient(g), 0.3);
+}
+
+TEST(SbmTest, BlockCapRespected) {
+  SbmGenerator gen;
+  gen.set_max_blocks(4);
+  graph::Graph target = TestTarget();
+  util::Rng rng(11);
+  gen.Fit(target, rng);
+  EXPECT_LE(gen.partition().num_communities(), 4);
+}
+
+TEST(BterTest, PreservesClusteringBetterThanEr) {
+  // Target with strong clustering.
+  data::CommunityGraphParams params;
+  params.num_nodes = 200;
+  params.num_edges = 900;
+  params.num_communities = 10;
+  params.triangle_fraction = 0.3;
+  util::Rng build(12);
+  graph::Graph target = data::MakeCommunityGraph(params, build);
+
+  util::Rng rng(13);
+  BterGenerator bter;
+  bter.Fit(target, rng);
+  graph::Graph bter_out = bter.Generate(rng);
+  ErGenerator er;
+  er.Fit(target, rng);
+  graph::Graph er_out = er.Generate(rng);
+  EXPECT_GT(graph::AverageClusteringCoefficient(bter_out),
+            graph::AverageClusteringCoefficient(er_out));
+}
+
+TEST(MmsbTest, FeasibilityThreshold) {
+  MmsbGenerator gen;
+  EXPECT_GT(MmsbGenerator::max_feasible_nodes(), 1000);
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameGraph) {
+  for (const std::string& name : TraditionalGeneratorNames()) {
+    auto gen_a = MakeTraditionalGenerator(name);
+    auto gen_b = MakeTraditionalGenerator(name);
+    graph::Graph target = TestTarget();
+    util::Rng rng_a(77);
+    util::Rng rng_b(77);
+    gen_a->Fit(target, rng_a);
+    gen_b->Fit(target, rng_b);
+    graph::Graph out_a = gen_a->Generate(rng_a);
+    graph::Graph out_b = gen_b->Generate(rng_b);
+    EXPECT_EQ(out_a.Edges(), out_b.Edges()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cpgan::generators

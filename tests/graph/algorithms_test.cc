@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+namespace {
+
+Graph PathGraph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, edges);
+}
+
+Graph CompleteGraph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph(n, edges);
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = PathGraph(5);
+  std::vector<int> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsTest, UnreachableIsMinusOne) {
+  Graph g(4, {{0, 1}});
+  std::vector<int> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  std::vector<int> comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(ComponentsTest, LargestComponent) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  std::vector<int> largest = LargestComponent(g);
+  EXPECT_EQ(largest, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ClusteringTest, TriangleHasCoefficientOne) {
+  Graph g = CompleteGraph(3);
+  std::vector<double> cc = LocalClusteringCoefficients(g);
+  for (double c : cc) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, StarHasCoefficientZero) {
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, CompleteGraphMinusEdge) {
+  // K4 minus one edge: the two nodes opposite the missing edge have cc
+  // 2*2/(3*2)=2/3; the endpoints of the missing edge have cc 1.
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  std::vector<double> cc = LocalClusteringCoefficients(g);
+  EXPECT_NEAR(cc[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cc[1], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cc[2], 1.0, 1e-9);
+  EXPECT_NEAR(cc[3], 1.0, 1e-9);
+}
+
+TEST(CplTest, ExactOnSmallPath) {
+  Graph g = PathGraph(4);
+  util::Rng rng(1);
+  // Pairs: (0,1)=1 (0,2)=2 (0,3)=3 (1,2)=1 (1,3)=2 (2,3)=1 -> mean 10/6.
+  EXPECT_NEAR(CharacteristicPathLength(g, rng, 100), 10.0 / 6.0, 1e-9);
+}
+
+TEST(CplTest, IgnoresSmallComponents) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {4, 5}};
+  Graph g(6, edges);
+  util::Rng rng(2);
+  // Largest component is the path 0-1-2-3.
+  EXPECT_NEAR(CharacteristicPathLength(g, rng, 100), 10.0 / 6.0, 1e-9);
+}
+
+TEST(CplTest, SampledEstimateClose) {
+  util::Rng build_rng(3);
+  std::vector<Edge> edges;
+  int n = 200;
+  for (int i = 1; i < n; ++i) {
+    edges.emplace_back(static_cast<int>(build_rng.UniformInt(i)), i);
+  }
+  Graph g(n, edges);
+  util::Rng rng_exact(4);
+  util::Rng rng_sampled(5);
+  double exact = CharacteristicPathLength(g, rng_exact, n);
+  double sampled = CharacteristicPathLength(g, rng_sampled, 32);
+  EXPECT_NEAR(sampled, exact, exact * 0.2);
+}
+
+TEST(BfsOrderTest, StartsAtStartAndCoversAll) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  std::vector<int> order = BfsOrder(g, 1);
+  EXPECT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 1);
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(TrianglesTest, Counts) {
+  EXPECT_EQ(CountTriangles(CompleteGraph(3)), 1);
+  EXPECT_EQ(CountTriangles(CompleteGraph(4)), 4);
+  EXPECT_EQ(CountTriangles(PathGraph(10)), 0);
+}
+
+}  // namespace
+}  // namespace cpgan::graph
+
+namespace cpgan::graph {
+namespace {
+
+TEST(PageRankTest, SumsToOneAndRanksHubsHigher) {
+  std::vector<Edge> edges;
+  for (int i = 1; i < 20; ++i) edges.emplace_back(0, i);
+  Graph star(20, edges);
+  std::vector<double> pr = PageRank(star);
+  double total = 0.0;
+  for (double r : pr) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (int v = 1; v < 20; ++v) EXPECT_GT(pr[0], pr[v]);
+}
+
+TEST(PageRankTest, UniformOnRegularGraph) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 12; ++i) edges.emplace_back(i, (i + 1) % 12);
+  Graph cycle(12, edges);
+  std::vector<double> pr = PageRank(cycle);
+  for (double r : pr) EXPECT_NEAR(r, 1.0 / 12.0, 1e-6);
+}
+
+TEST(PageRankTest, HandlesDanglingAndEmpty) {
+  Graph isolated(5);
+  std::vector<double> pr = PageRank(isolated);
+  for (double r : pr) EXPECT_NEAR(r, 0.2, 1e-9);
+  EXPECT_TRUE(PageRank(Graph(0)).empty());
+}
+
+TEST(CoreNumbersTest, CliquePlusTail) {
+  // K4 (nodes 0-3) with a path 3-4-5 hanging off.
+  Graph g(6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4},
+              {4, 5}});
+  std::vector<int> core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 3);
+  EXPECT_EQ(core[1], 3);
+  EXPECT_EQ(core[2], 3);
+  EXPECT_EQ(core[3], 3);
+  EXPECT_EQ(core[4], 1);
+  EXPECT_EQ(core[5], 1);
+}
+
+TEST(CoreNumbersTest, TreeIsOneCore) {
+  Graph g(5, {{0, 1}, {0, 2}, {2, 3}, {2, 4}});
+  for (int c : CoreNumbers(g)) EXPECT_EQ(c, 1);
+}
+
+TEST(CoreNumbersTest, CoreIsAtMostDegree) {
+  util::Rng rng(77);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 200; ++i) {
+    edges.emplace_back(static_cast<int>(rng.UniformInt(50)),
+                       static_cast<int>(rng.UniformInt(50)));
+  }
+  Graph g(50, edges);
+  std::vector<int> core = CoreNumbers(g);
+  for (int v = 0; v < 50; ++v) {
+    EXPECT_LE(core[v], g.degree(v));
+    EXPECT_GE(core[v], 0);
+  }
+}
+
+}  // namespace
+}  // namespace cpgan::graph

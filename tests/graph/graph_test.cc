@@ -1,0 +1,118 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(GraphTest, DeduplicatesAndSymmetrizes) {
+  Graph g(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, DropsSelfLoops) {
+  Graph g(2, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(GraphTest, EdgesCanonical) {
+  Graph g(4, {{3, 1}, {0, 2}});
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, DegreesAndMeanDegree) {
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.Degrees(), (std::vector<int>{3, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(g.MeanDegree(), 1.5);
+}
+
+TEST(GraphTest, InducedSubgraphRelabels) {
+  Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  Graph sub = g.InducedSubgraph({1, 2, 4});
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 1);  // only 1-2 survives
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_FALSE(sub.HasEdge(0, 2));
+}
+
+// Property sweep: invariants that must hold for any random graph.
+class GraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPropertyTest, HandshakeLemma) {
+  util::Rng rng(GetParam());
+  int n = 20 + static_cast<int>(rng.UniformInt(80));
+  std::vector<Edge> edges;
+  int m = static_cast<int>(rng.UniformInt(200));
+  for (int i = 0; i < m; ++i) {
+    edges.emplace_back(static_cast<int>(rng.UniformInt(n)),
+                       static_cast<int>(rng.UniformInt(n)));
+  }
+  Graph g(n, edges);
+  int64_t degree_sum = 0;
+  for (int v = 0; v < n; ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST_P(GraphPropertyTest, HasEdgeMatchesNeighborLists) {
+  util::Rng rng(GetParam() + 1000);
+  int n = 30;
+  std::vector<Edge> edges;
+  for (int i = 0; i < 60; ++i) {
+    edges.emplace_back(static_cast<int>(rng.UniformInt(n)),
+                       static_cast<int>(rng.UniformInt(n)));
+  }
+  Graph g(n, edges);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.neighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(u, v));
+      EXPECT_TRUE(g.HasEdge(v, u));
+    }
+  }
+}
+
+TEST_P(GraphPropertyTest, InducedSubgraphEdgeSubset) {
+  util::Rng rng(GetParam() + 2000);
+  int n = 40;
+  std::vector<Edge> edges;
+  for (int i = 0; i < 100; ++i) {
+    edges.emplace_back(static_cast<int>(rng.UniformInt(n)),
+                       static_cast<int>(rng.UniformInt(n)));
+  }
+  Graph g(n, edges);
+  std::vector<int> nodes = rng.SampleWithoutReplacement(n, 15);
+  Graph sub = g.InducedSubgraph(nodes);
+  for (const auto& [a, b] : sub.Edges()) {
+    EXPECT_TRUE(g.HasEdge(nodes[a], nodes[b]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cpgan::graph

@@ -1,0 +1,112 @@
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+#include "graph/spectral.h"
+#include "graph/split.h"
+
+namespace cpgan::graph {
+namespace {
+
+TEST(SpectralTest, ShapeAndPadding) {
+  Graph g(5, {{0, 1}, {1, 2}});
+  util::Rng rng(1);
+  tensor::Matrix emb = SpectralEmbedding(g, 8, rng);
+  EXPECT_EQ(emb.rows(), 5);
+  EXPECT_EQ(emb.cols(), 8);
+  // Columns beyond n are zero-padded.
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_FLOAT_EQ(emb.At(r, 6), 0.0f);
+  }
+}
+
+TEST(SpectralTest, SeparatesTwoCliques) {
+  // Two K5 cliques joined by one bridge: the embedding rows within a clique
+  // should be much closer to each other than across cliques.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(5 + i, 5 + j);
+    }
+  }
+  edges.emplace_back(0, 5);
+  Graph g(10, edges);
+  util::Rng rng(2);
+  tensor::Matrix emb = SpectralEmbedding(g, 2, rng, 60);
+  auto dist = [&emb](int a, int b) {
+    double d = 0.0;
+    for (int c = 0; c < 2; ++c) {
+      double diff = emb.At(a, c) - emb.At(b, c);
+      d += diff * diff;
+    }
+    return std::sqrt(d);
+  };
+  double intra = dist(1, 2) + dist(6, 7);
+  double inter = dist(1, 6) + dist(2, 7);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(IoTest, RoundTrip) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::string path = ::testing::TempDir() + "/graph.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 4);
+  EXPECT_EQ(loaded->num_edges(), 3);
+  EXPECT_TRUE(loaded->HasEdge(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, SkipsCommentsAndCompactsIds) {
+  std::string path = ::testing::TempDir() + "/comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# comment\n100 200\n% other comment\n200 300\n", f);
+  std::fclose(f);
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 3);
+  EXPECT_EQ(loaded->num_edges(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadEdgeList("/does/not/exist.txt").has_value());
+}
+
+TEST(SplitTest, PartitionsEdges) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 50; ++i) edges.emplace_back(i, i + 1);
+  Graph g(51, edges);
+  util::Rng rng(3);
+  EdgeSplit split = RandomEdgeSplit(g, 0.8, rng);
+  EXPECT_EQ(split.train_edges.size() + split.test_edges.size(), 50u);
+  EXPECT_EQ(split.train_edges.size(), 40u);
+  EXPECT_EQ(split.train.num_edges(), 40);
+  // Train and test disjoint.
+  std::set<Edge> train_set(split.train_edges.begin(),
+                           split.train_edges.end());
+  for (const Edge& e : split.test_edges) {
+    EXPECT_EQ(train_set.count(e), 0u);
+  }
+}
+
+TEST(SplitTest, NegativesAreNonEdges) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 30; ++i) edges.emplace_back(i, i + 1);
+  Graph g(31, edges);
+  util::Rng rng(4);
+  EdgeSplit split = RandomEdgeSplit(g, 0.8, rng);
+  EXPECT_EQ(split.negative_edges.size(), split.test_edges.size());
+  for (const auto& [u, v] : split.negative_edges) {
+    EXPECT_FALSE(g.HasEdge(u, v));
+    EXPECT_NE(u, v);
+  }
+}
+
+}  // namespace
+}  // namespace cpgan::graph

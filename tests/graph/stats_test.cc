@@ -1,0 +1,139 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+namespace {
+
+TEST(GiniTest, EqualDegreesGiveZero) {
+  EXPECT_NEAR(GiniCoefficient({5, 5, 5, 5}), 0.0, 1e-9);
+}
+
+TEST(GiniTest, MaximalInequalityApproachesOne) {
+  std::vector<int> degrees(100, 0);
+  degrees[0] = 1000;
+  EXPECT_GT(GiniCoefficient(degrees), 0.95);
+}
+
+TEST(GiniTest, KnownSmallCase) {
+  // degrees {1, 3}: Gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1, 3}), 0.25, 1e-9);
+}
+
+TEST(GiniTest, EmptyAndZeroSafe) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0, 0}), 0.0);
+}
+
+TEST(PowerLawTest, RecoversExponentFromSample) {
+  // Sample from a *discrete* power law p(d) proportional to d^-2.5 via
+  // inverse-CDF over a finite support (the MLE assumes a discrete law).
+  util::Rng rng(1);
+  constexpr double kAlpha = 2.5;
+  constexpr int kMaxDegree = 2000;
+  std::vector<double> weights(kMaxDegree + 1, 0.0);
+  for (int d = 1; d <= kMaxDegree; ++d) {
+    weights[d] = std::pow(static_cast<double>(d), -kAlpha);
+  }
+  util::CumulativeSampler sampler(weights);
+  std::vector<int> degrees;
+  for (int i = 0; i < 20000; ++i) degrees.push_back(sampler.Sample(rng));
+  // Clauset's continuous approximation of the discrete MLE is only accurate
+  // for dmin of a few; estimate on the tail d >= 4.
+  double alpha = PowerLawExponent(degrees, 4);
+  EXPECT_NEAR(alpha, kAlpha, 0.25);
+}
+
+TEST(PowerLawTest, HigherExponentForFasterDecay) {
+  util::Rng rng(2);
+  auto sample = [&rng](double alpha) {
+    std::vector<double> weights(1001, 0.0);
+    for (int d = 1; d <= 1000; ++d) {
+      weights[d] = std::pow(static_cast<double>(d), -alpha);
+    }
+    util::CumulativeSampler sampler(weights);
+    std::vector<int> degrees;
+    for (int i = 0; i < 5000; ++i) degrees.push_back(sampler.Sample(rng));
+    return PowerLawExponent(degrees, 1);
+  };
+  EXPECT_GT(sample(3.2), sample(1.8));
+}
+
+TEST(PowerLawTest, RespectsDmin) {
+  std::vector<int> degrees = {1, 1, 1, 1, 5, 6, 7};
+  double with_all = PowerLawExponent(degrees, 1);
+  double tail_only = PowerLawExponent(degrees, 5);
+  EXPECT_NE(with_all, tail_only);
+  EXPECT_DOUBLE_EQ(PowerLawExponent({}, 1), 0.0);
+}
+
+TEST(DegreeHistogramTest, NormalizedWithTailFold) {
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  std::vector<double> hist = DegreeHistogram(g, 2);
+  ASSERT_EQ(hist.size(), 3u);
+  // Degrees: 3,1,1,1 -> bucket1 = 3/4, bucket2 (folded 3) = 1/4.
+  EXPECT_NEAR(hist[0], 0.0, 1e-9);
+  EXPECT_NEAR(hist[1], 0.75, 1e-9);
+  EXPECT_NEAR(hist[2], 0.25, 1e-9);
+}
+
+TEST(ClusteringHistogramTest, SumsToOne) {
+  Graph g(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  std::vector<double> hist = ClusteringHistogram(g, 10);
+  double total = 0.0;
+  for (double h : hist) total += h;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SummaryTest, FieldsConsistent) {
+  Graph g(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+  util::Rng rng(2);
+  GraphSummary s = ComputeSummary(g, rng);
+  EXPECT_EQ(s.num_nodes, 5);
+  EXPECT_EQ(s.num_edges, 5);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 2.0);
+  EXPECT_GT(s.cpl, 0.0);
+  EXPECT_GE(s.gini, 0.0);
+  EXPECT_GT(s.avg_clustering, 0.0);
+}
+
+}  // namespace
+}  // namespace cpgan::graph
+
+namespace cpgan::graph {
+namespace {
+
+TEST(AssortativityTest, StarIsDisassortative) {
+  std::vector<Edge> edges;
+  for (int i = 1; i < 20; ++i) edges.emplace_back(0, i);
+  Graph star(20, edges);
+  EXPECT_LT(DegreeAssortativity(star), -0.9);
+}
+
+TEST(AssortativityTest, RegularGraphUndefinedIsZero) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 10; ++i) edges.emplace_back(i, (i + 1) % 10);
+  Graph cycle(10, edges);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(cycle), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(Graph(5)), 0.0);
+}
+
+TEST(AssortativityTest, BoundedByOne) {
+  util::Rng rng(31);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 200; ++i) {
+    edges.emplace_back(static_cast<int>(rng.UniformInt(60)),
+                       static_cast<int>(rng.UniformInt(60)));
+  }
+  Graph g(60, edges);
+  double r = DegreeAssortativity(g);
+  EXPECT_GE(r, -1.0001);
+  EXPECT_LE(r, 1.0001);
+}
+
+}  // namespace
+}  // namespace cpgan::graph

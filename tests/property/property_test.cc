@@ -1,0 +1,182 @@
+// Property-style sweeps: randomized cross-checks of independent
+// implementations (brute force vs optimized, sparse vs dense, generator
+// statistics vs their analytic targets) across many seeds via TEST_P.
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include <gtest/gtest.h>
+
+#include "community/louvain.h"
+#include "community/metrics.h"
+#include "data/synthetic.h"
+#include "generators/chung_lu.h"
+#include "generators/er.h"
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "graph/stats.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace cpgan {
+namespace {
+
+graph::Graph RandomGraph(int n, int m, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < m; ++i) {
+    edges.emplace_back(static_cast<int>(rng.UniformInt(n)),
+                       static_cast<int>(rng.UniformInt(n)));
+  }
+  return graph::Graph(n, edges);
+}
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededPropertyTest, TriangleCountMatchesBruteForce) {
+  graph::Graph g = RandomGraph(25, 80, GetParam());
+  int64_t brute = 0;
+  for (int a = 0; a < g.num_nodes(); ++a) {
+    for (int b = a + 1; b < g.num_nodes(); ++b) {
+      if (!g.HasEdge(a, b)) continue;
+      for (int c = b + 1; c < g.num_nodes(); ++c) {
+        if (g.HasEdge(a, c) && g.HasEdge(b, c)) ++brute;
+      }
+    }
+  }
+  EXPECT_EQ(graph::CountTriangles(g), brute);
+}
+
+TEST_P(SeededPropertyTest, BfsMatchesDijkstraOnUnitWeights) {
+  graph::Graph g = RandomGraph(30, 60, GetParam() + 100);
+  std::vector<int> bfs = graph::BfsDistances(g, 0);
+  // Reference: uniform-cost search.
+  std::vector<int> dist(g.num_nodes(), -1);
+  std::priority_queue<std::pair<int, int>, std::vector<std::pair<int, int>>,
+                      std::greater<>>
+      pq;
+  pq.push({0, 0});
+  dist[0] = 0;
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (int v : g.neighbors(u)) {
+      if (dist[v] < 0 || dist[v] > d + 1) {
+        dist[v] = d + 1;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+  EXPECT_EQ(bfs, dist);
+}
+
+TEST_P(SeededPropertyTest, SparseDenseSpmmAgreeOnRandomMatrices) {
+  util::Rng rng(GetParam() + 200);
+  std::vector<tensor::Triplet> triplets;
+  for (int i = 0; i < 40; ++i) {
+    triplets.push_back({static_cast<int>(rng.UniformInt(12)),
+                        static_cast<int>(rng.UniformInt(9)),
+                        static_cast<float>(rng.Normal())});
+  }
+  tensor::SparseMatrix sparse(12, 9, triplets);
+  tensor::Matrix dense =
+      cpgan::testing::TestMatrix(9, 5, 1.0f, GetParam() + 300);
+  tensor::Matrix via_sparse = sparse.Multiply(dense);
+  tensor::Matrix via_dense = tensor::Matmul(sparse.ToDense(), dense);
+  via_dense.Axpy(-1.0f, via_sparse);
+  EXPECT_LT(via_dense.Norm(), 1e-4f);
+}
+
+TEST_P(SeededPropertyTest, ModularityOfLouvainBeatsRandomPartition) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 120;
+  params.num_edges = 420;
+  params.num_communities = 6;
+  util::Rng build(GetParam() + 400);
+  graph::Graph g = data::MakeCommunityGraph(params, build);
+  util::Rng rng(GetParam() + 500);
+  community::LouvainResult louvain = community::Louvain(g, rng);
+  std::vector<int> random_labels(g.num_nodes());
+  for (int& label : random_labels) {
+    label = static_cast<int>(rng.UniformInt(6));
+  }
+  double q_random =
+      community::Modularity(g, community::Partition(random_labels));
+  EXPECT_GT(louvain.modularity, q_random + 0.1);
+}
+
+TEST_P(SeededPropertyTest, NmiInvariantUnderLabelPermutation) {
+  util::Rng rng(GetParam() + 600);
+  std::vector<int> a(50);
+  std::vector<int> b(50);
+  for (int i = 0; i < 50; ++i) {
+    a[i] = static_cast<int>(rng.UniformInt(5));
+    b[i] = static_cast<int>(rng.UniformInt(4));
+  }
+  community::Partition pa(a);
+  community::Partition pb(b);
+  // Permute a's labels.
+  std::vector<int> perm = {4, 2, 0, 3, 1};
+  std::vector<int> a_perm(50);
+  for (int i = 0; i < 50; ++i) a_perm[i] = perm[pa.label(i)];
+  community::Partition pa_perm(a_perm);
+  EXPECT_NEAR(community::NormalizedMutualInformation(pa, pb),
+              community::NormalizedMutualInformation(pa_perm, pb), 1e-12);
+  EXPECT_NEAR(community::AdjustedRandIndex(pa, pb),
+              community::AdjustedRandIndex(pa_perm, pb), 1e-12);
+}
+
+TEST_P(SeededPropertyTest, ErGeneratorDegreeMeanMatchesAnalytic) {
+  generators::ErGenerator er(400, 0.02);
+  util::Rng rng(GetParam() + 700);
+  graph::Graph g = er.Generate(rng);
+  // E[degree] = p (n - 1) = 0.02 * 399 = 7.98.
+  EXPECT_NEAR(g.MeanDegree(), 7.98, 1.0);
+}
+
+TEST_P(SeededPropertyTest, ChungLuPreservesDegreeOrdering) {
+  // Nodes with much larger target degrees should receive larger generated
+  // degrees on average.
+  std::vector<int> degrees(100, 2);
+  for (int i = 0; i < 10; ++i) degrees[i] = 20;
+  generators::ChungLuGenerator gen(degrees);
+  util::Rng rng(GetParam() + 800);
+  graph::Graph g = gen.Generate(rng);
+  double hub_mean = 0.0;
+  double leaf_mean = 0.0;
+  for (int i = 0; i < 10; ++i) hub_mean += g.degree(i);
+  for (int i = 10; i < 100; ++i) leaf_mean += g.degree(i);
+  hub_mean /= 10.0;
+  leaf_mean /= 90.0;
+  EXPECT_GT(hub_mean, 2.0 * leaf_mean);
+}
+
+TEST_P(SeededPropertyTest, SoftmaxRowsSumToOneOnRandomInput) {
+  tensor::Tensor x = tensor::Constant(
+      cpgan::testing::TestMatrix(7, 11, 3.0f, GetParam() + 900));
+  tensor::Matrix y = tensor::SoftmaxRows(x).value();
+  for (int r = 0; r < 7; ++r) {
+    double total = 0.0;
+    for (int c = 0; c < 11; ++c) {
+      EXPECT_GE(y.At(r, c), 0.0f);
+      total += y.At(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST_P(SeededPropertyTest, GiniWithinUnitInterval) {
+  graph::Graph g = RandomGraph(60, 150, GetParam() + 1000);
+  double gini = graph::GiniCoefficient(g.Degrees());
+  EXPECT_GE(gini, 0.0);
+  EXPECT_LE(gini, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace cpgan

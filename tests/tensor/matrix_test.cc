@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+#include "tests/test_util.h"
+#include "util/memory_tracker.h"
+
+namespace cpgan::tensor {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  EXPECT_FLOAT_EQ(m.Sum(), 0.0f);
+  m.Fill(2.0f);
+  EXPECT_FLOAT_EQ(m.Sum(), 12.0f);
+  Matrix filled(2, 2, 1.5f);
+  EXPECT_FLOAT_EQ(filled.Sum(), 6.0f);
+}
+
+TEST(MatrixTest, CopyAndMove) {
+  Matrix a(2, 2, 3.0f);
+  Matrix b = a;
+  b.At(0, 0) = 7.0f;
+  EXPECT_FLOAT_EQ(a.At(0, 0), 3.0f);
+  Matrix c = std::move(a);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 3.0f);
+}
+
+TEST(MatrixTest, AddScaleAxpy) {
+  Matrix a(2, 2, 1.0f);
+  Matrix b(2, 2, 2.0f);
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 3.0f);
+  a.Scale(0.5f);
+  EXPECT_FLOAT_EQ(a.At(1, 1), 1.5f);
+  a.Axpy(2.0f, b);
+  EXPECT_FLOAT_EQ(a.At(0, 1), 5.5f);
+}
+
+TEST(MatrixTest, NormAndTranspose) {
+  Matrix m(1, 2);
+  m.At(0, 0) = 3.0f;
+  m.At(0, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(m.Norm(), 5.0f);
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 1);
+  EXPECT_FLOAT_EQ(t.At(1, 0), 4.0f);
+}
+
+TEST(MatrixTest, MatmulMatchesManual) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  float counter = 1.0f;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) a.At(r, c) = counter++;
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) b.At(r, c) = counter++;
+  }
+  Matrix out = Matmul(a, b);
+  // Row 0 of a = [1 2 3]; col 0 of b = [7 9 11] -> 1*7+2*9+3*11 = 58.
+  EXPECT_FLOAT_EQ(out.At(0, 0), 58.0f);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_EQ(out.cols(), 2);
+}
+
+TEST(MatrixTest, MatmulVariantsAgree) {
+  Matrix a = testing::TestMatrix(4, 5, 1.0f, 1);
+  Matrix b = testing::TestMatrix(4, 3, 1.0f, 2);
+  // MatmulTN(a, b) == Matmul(a^T, b)
+  Matrix expected = Matmul(a.Transposed(), b);
+  Matrix actual = MatmulTN(a, b);
+  EXPECT_TRUE(actual.SameShape(expected));
+  expected.Axpy(-1.0f, actual);
+  EXPECT_LT(expected.Norm(), 1e-4f);
+
+  Matrix c = testing::TestMatrix(3, 5, 1.0f, 3);
+  // MatmulNT(a, c) == Matmul(a, c^T)
+  Matrix expected2 = Matmul(a, c.Transposed());
+  Matrix actual2 = MatmulNT(a, c);
+  expected2.Axpy(-1.0f, actual2);
+  EXPECT_LT(expected2.Norm(), 1e-4f);
+}
+
+TEST(MatrixTest, FillRandomRanges) {
+  util::Rng rng(1);
+  Matrix m(20, 20);
+  m.FillUniform(rng, -2.0f, 2.0f);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -2.0f);
+    EXPECT_LT(m.data()[i], 2.0f);
+  }
+  m.FillNormal(rng, 1.0f);
+  EXPECT_NEAR(m.Sum() / m.size(), 0.0, 0.2);
+}
+
+TEST(MatrixTest, MemoryTracked) {
+  int64_t before = util::MemoryTracker::Global().live_bytes();
+  {
+    Matrix m(100, 100);
+    EXPECT_GE(util::MemoryTracker::Global().live_bytes(),
+              before + 100 * 100 * static_cast<int64_t>(sizeof(float)));
+  }
+  EXPECT_EQ(util::MemoryTracker::Global().live_bytes(), before);
+}
+
+}  // namespace
+}  // namespace cpgan::tensor

@@ -1,0 +1,60 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tensor/serialize.h"
+#include "tests/test_util.h"
+
+namespace cpgan::tensor {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTrip) {
+  std::string path = TempPath("params.bin");
+  std::vector<Tensor> params = {
+      Tensor(cpgan::testing::TestMatrix(3, 4, 1.0f, 1), true),
+      Tensor(cpgan::testing::TestMatrix(1, 7, 2.0f, 2), true)};
+  ASSERT_TRUE(SaveParameters(params, path));
+
+  std::vector<Tensor> loaded = {Tensor(Matrix(3, 4), true),
+                                Tensor(Matrix(1, 7), true)};
+  ASSERT_TRUE(LoadParameters(loaded, path));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix diff = params[i].value();
+    diff.Axpy(-1.0f, loaded[i].value());
+    EXPECT_FLOAT_EQ(diff.Norm(), 0.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  std::string path = TempPath("mismatch.bin");
+  std::vector<Tensor> params = {Tensor(Matrix(2, 2, 1.0f), true)};
+  ASSERT_TRUE(SaveParameters(params, path));
+  std::vector<Tensor> wrong = {Tensor(Matrix(2, 3), true)};
+  EXPECT_FALSE(LoadParameters(wrong, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CountMismatchFails) {
+  std::string path = TempPath("count.bin");
+  std::vector<Tensor> params = {Tensor(Matrix(2, 2, 1.0f), true)};
+  ASSERT_TRUE(SaveParameters(params, path));
+  std::vector<Tensor> wrong = {Tensor(Matrix(2, 2), true),
+                               Tensor(Matrix(2, 2), true)};
+  EXPECT_FALSE(LoadParameters(wrong, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  std::vector<Tensor> params = {Tensor(Matrix(1, 1), true)};
+  EXPECT_FALSE(LoadParameters(params, TempPath("does_not_exist.bin")));
+  EXPECT_FALSE(SaveParameters(params, "/nonexistent_dir/x.bin"));
+}
+
+}  // namespace
+}  // namespace cpgan::tensor

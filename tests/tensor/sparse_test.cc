@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "tensor/sparse.h"
+#include "tests/test_util.h"
+
+namespace cpgan::tensor {
+namespace {
+
+TEST(SparseMatrixTest, BuildsAndDeduplicates) {
+  SparseMatrix s(2, 2, {{0, 0, 1.0f}, {0, 0, 2.0f}, {1, 0, 4.0f}});
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_EQ(s.nnz(), 2);  // duplicate (0,0) summed
+  Matrix d = s.ToDense();
+  EXPECT_FLOAT_EQ(d.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(d.At(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(d.At(1, 1), 0.0f);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  SparseMatrix s(3, 4, {{0, 1, 2.0f}, {1, 3, -1.0f}, {2, 0, 0.5f},
+                        {2, 2, 1.5f}});
+  Matrix x = testing::TestMatrix(4, 5, 1.0f, 11);
+  Matrix sparse_result = s.Multiply(x);
+  Matrix dense_result = Matmul(s.ToDense(), x);
+  dense_result.Axpy(-1.0f, sparse_result);
+  EXPECT_LT(dense_result.Norm(), 1e-5f);
+}
+
+TEST(SparseMatrixTest, MultiplyTransposedMatchesDense) {
+  SparseMatrix s(3, 4, {{0, 1, 2.0f}, {1, 3, -1.0f}, {2, 2, 1.5f}});
+  Matrix x = testing::TestMatrix(3, 2, 1.0f, 12);
+  Matrix result = s.MultiplyTransposed(x);
+  Matrix expected = Matmul(s.ToDense().Transposed(), x);
+  expected.Axpy(-1.0f, result);
+  EXPECT_LT(expected.Norm(), 1e-5f);
+}
+
+TEST(SparseMatrixTest, RowSums) {
+  SparseMatrix s(2, 3, {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 1, -3.0f}});
+  Matrix sums = s.RowSums();
+  EXPECT_FLOAT_EQ(sums.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(sums.At(1, 0), -3.0f);
+}
+
+TEST(SparseMatrixTest, TransposedRoundTrip) {
+  SparseMatrix s(3, 2, {{0, 1, 2.0f}, {2, 0, 5.0f}});
+  SparseMatrix t = s.Transposed();
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  Matrix d = t.ToDense();
+  EXPECT_FLOAT_EQ(d.At(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(d.At(0, 2), 5.0f);
+}
+
+TEST(NormalizedAdjacencyTest, SymmetricWithUnitSpectralRadius) {
+  // Path graph 0-1-2.
+  SparseMatrix a = NormalizedAdjacency(3, {{0, 1}, {1, 2}});
+  Matrix d = a.ToDense();
+  // Symmetry.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(d.At(i, j), d.At(j, i), 1e-6f);
+    }
+  }
+  // Self-loops present.
+  EXPECT_GT(d.At(0, 0), 0.0f);
+  // Known value: node 0 degree 2 (incl self-loop), node 1 degree 3.
+  EXPECT_NEAR(d.At(0, 1), 1.0f / std::sqrt(2.0f * 3.0f), 1e-5f);
+  EXPECT_NEAR(d.At(0, 0), 0.5f, 1e-5f);
+}
+
+TEST(NormalizedAdjacencyTest, IgnoresSelfLoopEdges) {
+  SparseMatrix a = NormalizedAdjacency(2, {{0, 0}, {0, 1}});
+  Matrix d = a.ToDense();
+  // Only the normalization self-loop contributes on the diagonal.
+  EXPECT_NEAR(d.At(0, 0), 0.5f, 1e-5f);
+}
+
+TEST(NormalizedAdjacencyTest, IsolatedNodeHasUnitSelfLoop) {
+  SparseMatrix a = NormalizedAdjacency(2, {});
+  Matrix d = a.ToDense();
+  EXPECT_NEAR(d.At(0, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(d.At(1, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(d.At(0, 1), 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace cpgan::tensor
+
+namespace cpgan::tensor {
+namespace {
+
+TEST(TwoHopAdjacencyTest, AddsTwoHopEntries) {
+  // Path 0-1-2: plain adjacency has no (0,2) entry, the boosted one does.
+  SparseMatrix plain = NormalizedAdjacency(3, {{0, 1}, {1, 2}});
+  SparseMatrix boosted = TwoHopNormalizedAdjacency(3, {{0, 1}, {1, 2}}, 0.5f);
+  EXPECT_FLOAT_EQ(plain.ToDense().At(0, 2), 0.0f);
+  EXPECT_GT(boosted.ToDense().At(0, 2), 0.0f);
+}
+
+TEST(TwoHopAdjacencyTest, StaysSymmetric) {
+  SparseMatrix a =
+      TwoHopNormalizedAdjacency(4, {{0, 1}, {1, 2}, {2, 3}}, 0.5f);
+  Matrix d = a.ToDense();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(d.At(i, j), d.At(j, i), 1e-6f);
+    }
+  }
+}
+
+TEST(TwoHopAdjacencyTest, ZeroWeightStillNormalizes) {
+  SparseMatrix a = TwoHopNormalizedAdjacency(3, {{0, 1}}, 0.0f);
+  EXPECT_GT(a.ToDense().At(0, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace cpgan::tensor

@@ -1,0 +1,186 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/memory_tracker.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cpgan::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(4);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.Categorical(weights)] += 1;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(6);
+  std::vector<int> sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+  for (int v : sample) EXPECT_TRUE(v >= 0 && v < 50);
+}
+
+TEST(RngTest, WeightedSampleWithoutReplacementPrefersHeavy) {
+  Rng rng(7);
+  std::vector<double> weights(100, 0.01);
+  weights[3] = 100.0;
+  int hits = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> sample = rng.WeightedSampleWithoutReplacement(weights, 5);
+    EXPECT_EQ(sample.size(), 5u);
+    if (std::find(sample.begin(), sample.end(), 3) != sample.end()) ++hits;
+  }
+  EXPECT_GT(hits, 190);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(8);
+  double total = 0.0;
+  for (int i = 0; i < 20000; ++i) total += rng.Poisson(4.0);
+  EXPECT_NEAR(total / 20000.0, 4.0, 0.1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(CumulativeSamplerTest, MatchesWeights) {
+  Rng rng(9);
+  CumulativeSampler sampler({2.0, 0.0, 6.0});
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 8.0);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) counts[sampler.Sample(rng)] += 1;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("  x y ", " "), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(Split("", ",").empty());
+}
+
+TEST(StringUtilTest, TrimAndJoin) {
+  EXPECT_EQ(Trim("  hello \n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, FormatCompact) {
+  EXPECT_EQ(FormatCompact(0.00125), "1.25e-03");
+  EXPECT_EQ(FormatCompact(15.3), "15.3");
+  EXPECT_EQ(FormatCompact(0.410), "0.410");
+  EXPECT_EQ(FormatCompact(0.0), "0.000");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("table3", "table"));
+  EXPECT_FALSE(StartsWith("tab", "table"));
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"Model", "NMI"});
+  table.AddRow({"SBM", "0.5"});
+  table.AddRow("CPGAN", {0.725});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("CPGAN"), std::string::npos);
+  EXPECT_NE(out.find("0.725"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2);
+}
+
+TEST(TableTest, NanRendersAsOom) {
+  Table table({"Model", "NMI"});
+  table.AddRow("MMSB", {std::nan("")});
+  EXPECT_NE(table.Render().find("OOM"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.RenderCsv(), "a,b\n1,2\n");
+}
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker tracker;
+  tracker.Allocate(100);
+  tracker.Allocate(200);
+  EXPECT_EQ(tracker.live_bytes(), 300);
+  EXPECT_EQ(tracker.peak_bytes(), 300);
+  tracker.Release(200);
+  EXPECT_EQ(tracker.live_bytes(), 100);
+  EXPECT_EQ(tracker.peak_bytes(), 300);
+  tracker.ResetPeak();
+  EXPECT_EQ(tracker.peak_bytes(), 100);
+}
+
+TEST(LoggingTest, LevelParsingAndFiltering) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("nonsense"), LogLevel::kInfo);
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  CPGAN_LOG(Info) << "filtered message";
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace cpgan::util

@@ -2,13 +2,19 @@
 // repo would script against:
 //
 //   cpgan_cli stats    <graph>                      # Table II-style summary
-//   cpgan_cli generate <model> <graph> [out.txt]    # fit + generate
+//   cpgan_cli generate [flags] <model> <graph> [out.txt]   # fit + generate
 //   cpgan_cli compare  <graph-a> <graph-b>          # all evaluation metrics
 //   cpgan_cli datasets                              # list synthetic datasets
 //
 // <graph> is either a named synthetic dataset (see `datasets`) or a path to
 // a whitespace edge-list file. <model> is any traditional generator name
 // ("E-R", "BTER", ...) or "CPGAN".
+//
+// generate flags (CPGAN only):
+//   --checkpoint-dir=DIR   write periodic training checkpoints into DIR
+//   --checkpoint-every=N   checkpoint period in epochs (default 100)
+//   --resume               continue from the latest checkpoint in DIR
+//   --strict-io            fail on malformed/self-loop/duplicate edges
 
 #include <cstdio>
 #include <cstring>
@@ -23,12 +29,53 @@
 #include "generators/registry.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "train/checkpoint.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
 namespace {
 
 using namespace cpgan;
+
+struct GenerateOptions {
+  std::string checkpoint_dir;
+  int checkpoint_every = 100;
+  bool resume = false;
+  bool strict_io = false;
+};
+
+/// Parses one `--flag` or `--flag=value` argument into `options`. Returns
+/// false (with a message on stderr) for unknown flags or bad values.
+bool ParseGenerateFlag(const std::string& arg, GenerateOptions* options) {
+  const std::string kDir = "--checkpoint-dir=";
+  const std::string kEvery = "--checkpoint-every=";
+  if (arg.rfind(kDir, 0) == 0) {
+    options->checkpoint_dir = arg.substr(kDir.size());
+    if (options->checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--checkpoint-dir needs a directory\n");
+      return false;
+    }
+    return true;
+  }
+  if (arg.rfind(kEvery, 0) == 0) {
+    options->checkpoint_every = std::atoi(arg.c_str() + kEvery.size());
+    if (options->checkpoint_every <= 0) {
+      std::fprintf(stderr, "--checkpoint-every needs a positive integer\n");
+      return false;
+    }
+    return true;
+  }
+  if (arg == "--resume") {
+    options->resume = true;
+    return true;
+  }
+  if (arg == "--strict-io") {
+    options->strict_io = true;
+    return true;
+  }
+  std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+  return false;
+}
 
 int CmdDatasets() {
   std::printf("Built-in synthetic datasets (DESIGN.md section 3):\n");
@@ -60,8 +107,10 @@ int CmdStats(const std::string& ref) {
 }
 
 int CmdGenerate(const std::string& model, const std::string& ref,
-                const std::string& out) {
-  graph::Graph observed = data::LoadGraph(ref);
+                const std::string& out, const GenerateOptions& options) {
+  graph::LoadOptions load_options;
+  load_options.strict = options.strict_io;
+  graph::Graph observed = data::LoadGraph(ref, load_options);
   graph::Graph generated(0);
   util::Rng rng(7);
   if (model == "CPGAN") {
@@ -71,7 +120,26 @@ int CmdGenerate(const std::string& model, const std::string& ref,
     config.feature_dim = 32;
     config.latent_dim = 32;
     config.verbose = true;
+    config.checkpoint_dir = options.checkpoint_dir;
+    config.checkpoint_every = options.checkpoint_every;
     core::Cpgan cpgan(config);
+    if (options.resume) {
+      if (options.checkpoint_dir.empty()) {
+        std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+        return 1;
+      }
+      std::string latest = train::LatestCheckpoint(options.checkpoint_dir);
+      if (latest.empty()) {
+        std::printf("no checkpoint in %s; training from scratch\n",
+                    options.checkpoint_dir.c_str());
+      } else if (cpgan.ResumeFrom(latest)) {
+        std::printf("resuming from %s\n", latest.c_str());
+      } else {
+        std::fprintf(stderr, "cannot resume from %s (corrupt?)\n",
+                     latest.c_str());
+        return 1;
+      }
+    }
     cpgan.Fit(observed);
     generated = cpgan.Generate();
   } else {
@@ -126,7 +194,9 @@ int Usage() {
                "usage:\n"
                "  cpgan_cli datasets\n"
                "  cpgan_cli stats    <graph>\n"
-               "  cpgan_cli generate <model> <graph> [out.txt]\n"
+               "  cpgan_cli generate [flags] <model> <graph> [out.txt]\n"
+               "      --checkpoint-dir=DIR  --checkpoint-every=N\n"
+               "      --resume              --strict-io\n"
                "  cpgan_cli compare  <graph-a> <graph-b>\n");
   return 2;
 }
@@ -138,8 +208,20 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd == "datasets") return CmdDatasets();
   if (cmd == "stats" && argc >= 3) return CmdStats(argv[2]);
-  if (cmd == "generate" && argc >= 4) {
-    return CmdGenerate(argv[2], argv[3], argc >= 5 ? argv[4] : "");
+  if (cmd == "generate") {
+    GenerateOptions options;
+    std::vector<std::string> positional;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        if (!ParseGenerateFlag(arg, &options)) return 2;
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() < 2 || positional.size() > 3) return Usage();
+    return CmdGenerate(positional[0], positional[1],
+                       positional.size() == 3 ? positional[2] : "", options);
   }
   if (cmd == "compare" && argc >= 4) return CmdCompare(argv[2], argv[3]);
   return Usage();

@@ -2,6 +2,7 @@
 #define CPGAN_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cpgan::core {
@@ -94,6 +95,36 @@ struct CpganConfig {
 
   /// Emit progress logs during training.
   bool verbose = false;
+
+  // ----- Fault tolerance (src/train/; docs/INTERNALS.md) -----
+
+  /// Numeric training guard: every optimizer step's loss and gradients are
+  /// checked for NaN/Inf and explosion; a rejected step is skipped and the
+  /// parameters roll back to the last-known-good snapshot.
+  bool guard_enabled = true;
+
+  /// Rolling window of recent good losses used as the explosion reference.
+  int guard_window = 16;
+
+  /// Reject a step whose |loss| exceeds this multiple of the windowed mean
+  /// absolute loss (<= 0 disables the explosion check).
+  float guard_explosion_factor = 25.0f;
+
+  /// Learning-rate multiplier applied to all optimizers after each guard
+  /// recovery (1 = keep the rate).
+  float guard_lr_decay = 0.5f;
+
+  /// Stop training after this many guard recoveries instead of thrashing
+  /// (the model keeps its last-known-good weights). 0 = unlimited.
+  int guard_max_recoveries = 0;
+
+  /// Directory for periodic training checkpoints (created if missing).
+  /// Empty disables checkpointing.
+  std::string checkpoint_dir;
+
+  /// Write a checkpoint every this many epochs; one is always written after
+  /// the final epoch when checkpointing is enabled.
+  int checkpoint_every = 50;
 };
 
 }  // namespace cpgan::core

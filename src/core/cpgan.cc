@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "core/assembly.h"
@@ -9,6 +10,9 @@
 #include "graph/spectral.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
+#include "train/checkpoint.h"
+#include "train/guard.h"
+#include "util/fileio.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
 #include "util/timer.h"
@@ -187,6 +191,76 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   t::Adam opt_g_fast(params_g_fast,
                      config_.learning_rate * config_.fast_lr_multiplier);
 
+  // ----- Fault-tolerance runtime (docs/INTERNALS.md) -----
+  // The guard snapshots/restores the union of every trainable parameter;
+  // the same list is what checkpoints persist.
+  std::vector<t::Tensor> params_all = collect(
+      {encoder_.get(), vae_.get(), decoder_.get(), discriminator_.get()});
+  params_all.push_back(features_);
+  for (TrainContext& ctx : extra_contexts_) params_all.push_back(ctx.features);
+
+  train::GuardConfig guard_config;
+  guard_config.enabled = config_.guard_enabled;
+  guard_config.window = config_.guard_window;
+  guard_config.explosion_factor = config_.guard_explosion_factor;
+  guard_config.lr_decay_on_recovery = config_.guard_lr_decay;
+  guard_config.max_recoveries = config_.guard_max_recoveries;
+  train::TrainingGuard guard(guard_config, params_all);
+  constexpr int kDiscStream = 0;
+  constexpr int kGenStream = 1;
+  auto decay_all = [&](float factor) {
+    opt_d.DecayLearningRate(factor);
+    opt_g.DecayLearningRate(factor);
+    opt_g_fast.DecayLearningRate(factor);
+  };
+
+  const uint64_t arch_hash = ArchitectureHash();
+  TrainStats stats;
+  int start_epoch = 0;
+  if (!resume_from_.empty()) {
+    train::CheckpointMeta meta;
+    std::string err;
+    // The file's checksums were vetted in ResumeFrom; this re-parse also
+    // validates shape/count against the freshly built model, so resuming
+    // into a different architecture or graph fails before any training.
+    CPGAN_CHECK_MSG(train::LoadCheckpoint(resume_from_, &meta, params_all,
+                                          arch_hash, &err),
+                    ("resume failed: " + err).c_str());
+    start_epoch = std::min(meta.epoch, config_.epochs);
+    stats.start_epoch = start_epoch;
+    // Catch the learning-rate schedule up to the resumed epoch.
+    if (config_.lr_decay_every > 0) {
+      for (int e = 0; e < start_epoch; ++e) {
+        if ((e + 1) % config_.lr_decay_every == 0) decay_all(config_.lr_decay);
+      }
+    }
+    CPGAN_LOG(Info) << "resumed from " << resume_from_ << " at epoch "
+                    << start_epoch;
+    resume_from_.clear();
+  }
+  bool checkpointing =
+      !config_.checkpoint_dir.empty() && config_.checkpoint_every > 0;
+  if (checkpointing && !util::MakeDirs(config_.checkpoint_dir)) {
+    CPGAN_LOG(Warning) << "cannot create checkpoint dir '"
+                       << config_.checkpoint_dir << "'; checkpoints disabled";
+    checkpointing = false;
+  }
+  // Handles a step rejected by the guard: skip the optimizer, roll the
+  // parameters back to the last-known-good snapshot, and back the learning
+  // rate off. The epoch continues with restored weights.
+  auto recover = [&](const char* which, int epoch, train::StepVerdict verdict,
+                     float loss) {
+    guard.Recover();
+    decay_all(guard_config.lr_decay_on_recovery);
+    ++stats.recoveries;
+    CPGAN_LOG(Warning) << "guard: " << which << " step rejected at epoch "
+                       << epoch << " (" << train::StepVerdictName(verdict)
+                       << ", loss=" << loss << "); "
+                       << (guard.has_snapshot()
+                               ? "rolled back to last good parameters"
+                               : "no snapshot yet, step skipped");
+  };
+
   auto zero_all = [this]() {
     encoder_->ZeroGrad();
     vae_->ZeroGrad();
@@ -199,8 +273,8 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   t::Matrix real_target = BinaryTargets(1.0f);
   t::Matrix fake_target = BinaryTargets(0.0f);
 
-  TrainStats stats;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  bool killed = false;
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     // Uniformly pick a training graph (multi-graph fitting).
     int which = static_cast<int>(
         rng_.UniformInt(1 + static_cast<int64_t>(extra_contexts_.size())));
@@ -275,10 +349,18 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
           t::Add(t::Add(t::BceWithLogits(d_real, real_target), fake_losses),
                  t::Scale(l_clus, config_.clus_weight));
       t::Backward(loss_d);
-      t::ClipGradients(params_d, config_.grad_clip);
-      opt_d.Step();
+      float d_loss_value = loss_d.Scalar();
+      train::StepVerdict verdict =
+          guard.Inspect(d_loss_value, params_d, kDiscStream);
+      if (verdict == train::StepVerdict::kOk) {
+        t::ClipGradients(params_d, config_.grad_clip);
+        opt_d.Step();
+        guard.CommitGood(d_loss_value, kDiscStream);
+      } else {
+        recover("discriminator", epoch, verdict, d_loss_value);
+      }
       zero_all();
-      stats.d_loss.push_back(loss_d.Scalar());
+      stats.d_loss.push_back(d_loss_value);
       stats.clus_loss.push_back(l_clus.Scalar());
     }
 
@@ -312,11 +394,26 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
           t::Add(t::Scale(vae_out.kl, config_.kl_weight),
                  t::Scale(l_bce, config_.bce_weight)));
       t::Backward(loss_g);
-      t::ClipGradients(params_g, config_.grad_clip);
-      opt_g.Step();
-      opt_g_fast.Step();
+      float g_loss_value = loss_g.Scalar();
+      // Deterministic fault injection (tests only; a default plan is inert).
+      if (fault_plan_.InjectNanGrad(epoch)) {
+        train::PoisonGradient(params_g, fault_plan_.nan_grad_param);
+      }
+      if (fault_plan_.InjectInfLoss(epoch)) {
+        g_loss_value = std::numeric_limits<float>::infinity();
+      }
+      train::StepVerdict verdict =
+          guard.Inspect(g_loss_value, params_g, kGenStream);
+      if (verdict == train::StepVerdict::kOk) {
+        t::ClipGradients(params_g, config_.grad_clip);
+        opt_g.Step();
+        opt_g_fast.Step();
+        guard.CommitGood(g_loss_value, kGenStream);
+      } else {
+        recover("generator", epoch, verdict, g_loss_value);
+      }
       zero_all();
-      stats.g_loss.push_back(loss_g.Scalar());
+      stats.g_loss.push_back(g_loss_value);
 
       if (epoch + 1 == config_.epochs) {
         const t::Matrix& p = probs.value();
@@ -350,11 +447,69 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
                       << " g_loss=" << stats.g_loss.back()
                       << " clus=" << stats.clus_loss.back();
     }
+
+    // Periodic checkpoint at the epoch boundary (plus one after the final
+    // epoch) so a killed run can resume via ResumeFrom.
+    bool final_epoch = epoch + 1 == config_.epochs;
+    if (checkpointing &&
+        ((epoch + 1) % config_.checkpoint_every == 0 || final_epoch)) {
+      train::CheckpointMeta meta;
+      meta.epoch = epoch + 1;
+      meta.config_hash = arch_hash;
+      std::string path =
+          train::CheckpointPath(config_.checkpoint_dir, epoch + 1);
+      if (train::SaveCheckpoint(path, meta, params_all)) {
+        ++stats.checkpoints_written;
+      } else {
+        CPGAN_LOG(Warning) << "failed to write checkpoint " << path;
+      }
+    }
+    if (guard.exhausted()) {
+      CPGAN_LOG(Error) << "guard: " << guard.recoveries()
+                       << " recoveries reached the configured maximum; "
+                          "stopping with last-known-good weights";
+      stats.guard_exhausted = true;
+      break;
+    }
+    if (fault_plan_.StopAfter(epoch)) {
+      // Simulated crash: leave the model untrained, like a killed process.
+      stats.stopped_by_fault = true;
+      killed = true;
+      break;
+    }
   }
-  trained_ = true;
+  trained_ = !killed;
   stats.train_seconds = timer.Seconds();
   stats.peak_bytes = util::MemoryTracker::Global().peak_bytes();
   return stats;
+}
+
+uint64_t Cpgan::ArchitectureHash() const {
+  std::vector<int64_t> fields = {
+      config_.feature_dim,   config_.hidden_dim,
+      config_.latent_dim,    config_.num_levels,
+      config_.max_pool_size, config_.use_hierarchy ? 1 : 0,
+      config_.concat_decoder ? 1 : 0,
+      observed_ != nullptr ? observed_->num_nodes() : 0,
+      static_cast<int64_t>(extra_contexts_.size())};
+  for (int size : config_.pool_sizes) fields.push_back(size);
+  return train::HashFields(fields);
+}
+
+bool Cpgan::ResumeFrom(const std::string& checkpoint_path) {
+  train::CheckpointMeta meta;
+  std::string err;
+  // Architecture validation against the live hash happens inside Fit (the
+  // modules do not exist yet); this pass catches unreadable, truncated,
+  // corrupt, and wrong-version files immediately.
+  if (!train::ValidateCheckpoint(checkpoint_path, &meta, 0, &err)) {
+    CPGAN_LOG(Error) << "ResumeFrom(" << checkpoint_path
+                     << "): rejected: " << err;
+    resume_from_.clear();
+    return false;
+  }
+  resume_from_ = checkpoint_path;
+  return true;
 }
 
 tensor::Tensor Cpgan::ClusteringLoss(
@@ -511,17 +666,35 @@ std::vector<t::Tensor> AllModelParameters(
 }  // namespace
 
 bool Cpgan::SaveWeights(const std::string& path) const {
-  CPGAN_CHECK(trained_);
+  if (!trained_) {
+    CPGAN_LOG(Error) << "SaveWeights(" << path
+                     << "): model is untrained — call Fit first";
+    return false;
+  }
   std::vector<t::Tensor> params = AllModelParameters(
       *encoder_, *vae_, *decoder_, *discriminator_, features_);
-  return t::SaveParameters(params, path);
+  if (!t::SaveParameters(params, path)) {
+    CPGAN_LOG(Error) << "SaveWeights(" << path << "): write failed";
+    return false;
+  }
+  return true;
 }
 
 bool Cpgan::LoadWeights(const std::string& path) {
-  if (encoder_ == nullptr) return false;
+  if (encoder_ == nullptr) {
+    CPGAN_LOG(Error) << "LoadWeights(" << path
+                     << "): model architecture not initialized — Fit on a "
+                        "graph with matching shape parameters first";
+    return false;
+  }
   std::vector<t::Tensor> params = AllModelParameters(
       *encoder_, *vae_, *decoder_, *discriminator_, features_);
-  return t::LoadParameters(params, path);
+  std::string err;
+  if (!t::LoadParameters(params, path, &err)) {
+    CPGAN_LOG(Error) << "LoadWeights(" << path << "): " << err;
+    return false;
+  }
+  return true;
 }
 
 int64_t Cpgan::ParameterCount() const {

@@ -13,6 +13,7 @@
 #include "core/variational.h"
 #include "graph/graph.h"
 #include "tensor/optimizer.h"
+#include "train/fault.h"
 
 namespace cpgan::core {
 
@@ -28,6 +29,25 @@ struct TrainStats {
   /// positive / negative pairs (training-domain diagnostic).
   float final_pos_prob = 0.0f;
   float final_neg_prob = 0.0f;
+
+  // ----- Fault-tolerance counters (src/train/) -----
+
+  /// Optimizer steps rejected by the training guard (NaN/Inf/explosion) and
+  /// rolled back to the last-known-good parameters.
+  int recoveries = 0;
+
+  /// Epoch the run started at (> 0 when resumed from a checkpoint).
+  int start_epoch = 0;
+
+  /// Checkpoints successfully written during this run.
+  int checkpoints_written = 0;
+
+  /// True when training stopped early because guard_max_recoveries was
+  /// reached; the model keeps its last-known-good weights.
+  bool guard_exhausted = false;
+
+  /// True when a fault-plan simulated crash stopped the run (tests only).
+  bool stopped_by_fault = false;
 };
 
 /// Community-Preserving GAN — the paper's primary contribution.
@@ -67,14 +87,29 @@ class Cpgan {
   bool trained() const { return trained_; }
 
   /// Persists the trained weights (all module parameters plus the trainable
-  /// node-feature table) to `path`. Requires a trained model.
+  /// node-feature table) to `path`. Returns false (with the reason logged)
+  /// on an untrained model or IO failure.
   bool SaveWeights(const std::string& path) const;
 
   /// Restores weights saved by SaveWeights into this model. The model must
   /// have been trained (or at least Fit) on a graph with identical shape
   /// parameters so the architectures match. Returns false on mismatch/IO
-  /// failure.
+  /// failure with the reason logged.
   bool LoadWeights(const std::string& path);
+
+  /// Arms resumption from a training checkpoint written by a previous run
+  /// with `checkpoint_dir` set: the next Fit/FitMany call restores the
+  /// checkpointed parameters and continues from its epoch instead of epoch
+  /// 0. The file's checksums are validated immediately; returns false (with
+  /// the reason logged) on a missing, corrupt, or wrong-version file, in
+  /// which case the next Fit trains from scratch. Shape/architecture
+  /// validation happens inside Fit once the modules exist.
+  bool ResumeFrom(const std::string& checkpoint_path);
+
+  /// Installs a deterministic fault-injection plan for the next Fit call
+  /// (test harness for the guard/checkpoint recovery paths; see
+  /// train/fault.h). Call before Fit.
+  void SetFaultPlan(const train::FaultPlan& plan) { fault_plan_ = plan; }
 
  private:
   /// Derives pooling sizes from the training subgraph size if unset.
@@ -103,9 +138,16 @@ class Cpgan {
   tensor::Matrix ScoreSubgraph(const std::vector<tensor::Matrix>& latents,
                                const std::vector<int>& ids) const;
 
+  /// Fingerprint of the architecture-relevant config fields, stored in
+  /// checkpoints so resuming into a mismatched model fails loudly.
+  uint64_t ArchitectureHash() const;
+
   CpganConfig config_;
   util::Rng rng_;
   bool trained_ = false;
+  train::FaultPlan fault_plan_;
+  /// Pending checkpoint to restore at the top of the next Fit (ResumeFrom).
+  std::string resume_from_;
 
   // Observed-graph context (populated by Fit).
   std::unique_ptr<graph::Graph> observed_;

@@ -14,10 +14,15 @@ bool IsFilePath(const std::string& ref) {
 }
 
 graph::Graph LoadGraph(const std::string& ref, uint64_t seed) {
+  return LoadGraph(ref, graph::LoadOptions{}, seed);
+}
+
+graph::Graph LoadGraph(const std::string& ref, const graph::LoadOptions& options,
+                       uint64_t seed) {
   if (IsFilePath(ref)) {
-    auto loaded = graph::LoadEdgeList(ref);
-    CPGAN_CHECK_MSG(loaded.has_value(), "failed to read edge list");
-    return *loaded;
+    graph::LoadResult result = graph::LoadEdgeListDetailed(ref, options);
+    CPGAN_CHECK_MSG(result.ok(), result.error.c_str());
+    return *result.graph;
   }
   return MakeDataset(ref, seed);
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/io.h"
 
 namespace cpgan::data {
 
@@ -12,6 +13,11 @@ namespace cpgan::data {
 /// lists); otherwise `ref` is treated as a synthetic dataset name from
 /// DatasetNames(). Aborts if neither resolves.
 graph::Graph LoadGraph(const std::string& ref, uint64_t seed = 42);
+
+/// Same, but file loads go through LoadEdgeListDetailed with `options`
+/// (e.g. strict mode). Aborts with the loader's error on failure.
+graph::Graph LoadGraph(const std::string& ref, const graph::LoadOptions& options,
+                       uint64_t seed = 42);
 
 /// True if `ref` names a file on disk.
 bool IsFilePath(const std::string& ref);

@@ -4,33 +4,80 @@
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
 
 namespace cpgan::graph {
 
-std::optional<Graph> LoadEdgeList(const std::string& path) {
+LoadResult LoadEdgeListDetailed(const std::string& path,
+                                const LoadOptions& options) {
+  LoadResult result;
   std::ifstream in(path);
-  if (!in.is_open()) return std::nullopt;
+  if (!in.is_open()) {
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
   std::unordered_map<long, int> relabel;
+  std::unordered_set<uint64_t> seen_pairs;
   std::vector<Edge> edges;
   std::string line;
+  int64_t line_number = 0;
   auto intern = [&relabel](long raw) {
     auto [it, inserted] =
         relabel.emplace(raw, static_cast<int>(relabel.size()));
     return it->second;
   };
+  auto fail = [&](const char* what) {
+    result.error = std::string(what) + " at line " +
+                   std::to_string(line_number) + " of '" + path + "'";
+    result.graph.reset();
+    return result;
+  };
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ss(line);
     long u = 0;
     long v = 0;
-    if (!(ss >> u >> v)) continue;
-    if (u < 0 || v < 0) continue;
+    if (!(ss >> u >> v) || u < 0 || v < 0) {
+      if (options.strict) return fail("malformed line");
+      ++result.malformed_lines;
+      continue;
+    }
     // Intern in reading order (argument evaluation order is unspecified).
     int iu = intern(u);
     int iv = intern(v);
+    if (iu == iv) {
+      if (options.strict) return fail("self-loop");
+      ++result.self_loops;
+      continue;
+    }
+    uint64_t key = iu < iv
+                       ? (static_cast<uint64_t>(iu) << 32) |
+                             static_cast<uint32_t>(iv)
+                       : (static_cast<uint64_t>(iv) << 32) |
+                             static_cast<uint32_t>(iu);
+    if (!seen_pairs.insert(key).second) {
+      if (options.strict) return fail("duplicate edge");
+      ++result.duplicate_edges;
+      continue;
+    }
     edges.emplace_back(iu, iv);
   }
-  return Graph(static_cast<int>(relabel.size()), edges);
+  result.graph.emplace(static_cast<int>(relabel.size()), edges);
+  if (result.total_skipped() > 0) {
+    CPGAN_LOG(Warning) << "LoadEdgeList('" << path << "'): skipped "
+                       << result.malformed_lines << " malformed line(s), "
+                       << result.self_loops << " self-loop(s), "
+                       << result.duplicate_edges << " duplicate edge(s)";
+  }
+  return result;
+}
+
+std::optional<Graph> LoadEdgeList(const std::string& path) {
+  LoadResult result = LoadEdgeListDetailed(path);
+  return std::move(result.graph);
 }
 
 bool SaveEdgeList(const Graph& g, const std::string& path) {

@@ -1,6 +1,7 @@
 #ifndef CPGAN_GRAPH_IO_H_
 #define CPGAN_GRAPH_IO_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -8,9 +9,48 @@
 
 namespace cpgan::graph {
 
+/// Options for LoadEdgeListDetailed.
+struct LoadOptions {
+  /// In strict mode any malformed line, self-loop, or duplicate edge fails
+  /// the load (with the offending line recorded in LoadResult::error)
+  /// instead of being skipped and counted.
+  bool strict = false;
+};
+
+/// Outcome of an edge-list load: the graph plus counters for every input
+/// irregularity that was skipped, so callers can decide whether a dirty file
+/// is acceptable instead of silently training on it.
+struct LoadResult {
+  std::optional<Graph> graph;
+
+  /// Lines that were not "u v" with non-negative integers (comments and
+  /// blank lines are not counted).
+  int64_t malformed_lines = 0;
+  /// Edges with u == v, dropped (the node itself is kept).
+  int64_t self_loops = 0;
+  /// Repeated undirected pairs beyond the first occurrence, dropped.
+  int64_t duplicate_edges = 0;
+
+  /// Failure reason when !ok().
+  std::string error;
+
+  bool ok() const { return graph.has_value(); }
+  int64_t total_skipped() const {
+    return malformed_lines + self_loops + duplicate_edges;
+  }
+};
+
 /// Loads a whitespace-separated edge list ("u v" per line; lines beginning
 /// with '#' or '%' are comments). Node ids may be arbitrary non-negative
-/// integers; they are compacted to [0, n). Returns nullopt on IO error.
+/// integers; they are compacted to [0, n) in first-appearance order.
+/// Malformed lines, self-loops, and duplicate edges are skipped and counted
+/// (a warning is logged when any count is nonzero), or fail the load in
+/// strict mode. Fails on IO error.
+LoadResult LoadEdgeListDetailed(const std::string& path,
+                                const LoadOptions& options = {});
+
+/// Convenience wrapper over LoadEdgeListDetailed that discards the counters
+/// (they are still logged). Returns nullopt on IO error.
 std::optional<Graph> LoadEdgeList(const std::string& path);
 
 /// Writes the canonical edge list, one "u v" per line. Returns false on IO

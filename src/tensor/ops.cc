@@ -673,4 +673,37 @@ Tensor ScalarConstant(float value) {
   return Tensor(std::move(m), false);
 }
 
+bool AllFinite(const Matrix& m) {
+  const float* p = m.data();
+  for (int64_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool ValueFinite(const Tensor& t) {
+  return t.defined() && AllFinite(t.value());
+}
+
+bool GradsFinite(const std::vector<Tensor>& params) {
+  for (const Tensor& p : params) {
+    if (!p.defined()) continue;
+    if (!AllFinite(p.grad())) return false;
+  }
+  return true;
+}
+
+float MaxAbsGrad(const std::vector<Tensor>& params) {
+  float max_abs = 0.0f;
+  for (const Tensor& p : params) {
+    if (!p.defined()) continue;
+    const Matrix& g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      float a = std::fabs(g.data()[i]);
+      if (a > max_abs) max_abs = a;
+    }
+  }
+  return max_abs;
+}
+
 }  // namespace cpgan::tensor

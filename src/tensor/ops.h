@@ -140,6 +140,23 @@ Tensor Constant(Matrix value);
 /// 1x1 constant.
 Tensor ScalarConstant(float value);
 
+// ---------------------------------------------------------------------------
+// Numeric-health checks (training-guard support; see src/train/guard.h).
+// ---------------------------------------------------------------------------
+
+/// True if every entry is finite (no NaN/Inf).
+bool AllFinite(const Matrix& m);
+
+/// True if the tensor's forward value is entirely finite.
+bool ValueFinite(const Tensor& t);
+
+/// True if every parameter's accumulated gradient is finite. Parameters whose
+/// gradient was never touched by Backward (zero-shaped) count as finite.
+bool GradsFinite(const std::vector<Tensor>& params);
+
+/// Largest absolute entry across all parameter gradients (0 if none).
+float MaxAbsGrad(const std::vector<Tensor>& params);
+
 }  // namespace cpgan::tensor
 
 #endif  // CPGAN_TENSOR_OPS_H_

@@ -3,58 +3,206 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "util/crc32.h"
+#include "util/fileio.h"
+
 namespace cpgan::tensor {
 namespace {
 
-constexpr uint32_t kMagic = 0x4350474Eu;  // "CPGN"
+constexpr uint32_t kMagicV1 = 0x4350474Eu;  // "CPGN" — legacy, no checksums
+constexpr uint32_t kMagicV2 = 0x32475043u;  // "CPG2"
+constexpr uint32_t kVersion = 2;
+
+void SetError(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Writes `n` bytes, feeding them into `crc` as well.
+bool WriteChecked(std::FILE* f, const void* data, size_t n,
+                  util::Crc32& crc) {
+  crc.Update(data, n);
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+/// Reads `n` bytes, feeding them into `crc` as well.
+bool ReadChecked(std::FILE* f, void* data, size_t n, util::Crc32& crc) {
+  if (std::fread(data, 1, n, f) != n) return false;
+  crc.Update(data, n);
+  return true;
+}
+
+/// Bytes left between the current position and EOF, or -1 if the stream is
+/// not seekable. Guards shape fields against corrupt headers that would
+/// otherwise trigger multi-gigabyte allocations before the payload read
+/// fails.
+int64_t RemainingBytes(std::FILE* f) {
+  long pos = std::ftell(f);
+  if (pos < 0) return -1;
+  if (std::fseek(f, 0, SEEK_END) != 0) return -1;
+  long end = std::ftell(f);
+  if (std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return end >= pos ? end - pos : -1;
+}
+
+bool PlausiblePayload(std::FILE* f, int32_t rows, int32_t cols) {
+  int64_t bytes = static_cast<int64_t>(rows) * cols * sizeof(float);
+  int64_t remaining = RemainingBytes(f);
+  return remaining < 0 || bytes <= remaining;
+}
+
+/// Legacy v1 body (magic already consumed): count, then
+/// (rows, cols, floats) per tensor. No checksums.
+bool ReadV1Body(std::FILE* f, std::vector<Matrix>* out, std::string* error) {
+  uint32_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    SetError(error, "truncated v1 header");
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1 || rows < 0 || cols < 0 ||
+        !PlausiblePayload(f, rows, cols)) {
+      SetError(error, "truncated or invalid v1 tensor header");
+      return false;
+    }
+    Matrix m(rows, cols);
+    size_t n = static_cast<size_t>(m.size());
+    if (n > 0 && std::fread(m.data(), sizeof(float), n, f) != n) {
+      SetError(error, "truncated v1 tensor payload");
+      return false;
+    }
+    out->push_back(std::move(m));
+  }
+  return true;
+}
 
 }  // namespace
 
-bool SaveParameters(const std::vector<Tensor>& params,
-                    const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  bool ok = true;
-  uint32_t magic = kMagic;
+bool WriteTensorBlock(std::FILE* f, const std::vector<Tensor>& params) {
+  util::Crc32 file_crc;
+  uint32_t magic = kMagicV2;
+  uint32_t version = kVersion;
   uint32_t count = static_cast<uint32_t>(params.size());
-  ok = ok && std::fwrite(&magic, sizeof(magic), 1, f) == 1;
-  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  bool ok = WriteChecked(f, &magic, sizeof(magic), file_crc) &&
+            WriteChecked(f, &version, sizeof(version), file_crc) &&
+            WriteChecked(f, &count, sizeof(count), file_crc);
   for (const Tensor& p : params) {
+    if (!ok) break;
     int32_t rows = p.rows();
     int32_t cols = p.cols();
-    ok = ok && std::fwrite(&rows, sizeof(rows), 1, f) == 1;
-    ok = ok && std::fwrite(&cols, sizeof(cols), 1, f) == 1;
     size_t n = static_cast<size_t>(p.value().size());
-    ok = ok && (n == 0 || std::fwrite(p.value().data(), sizeof(float), n, f) == n);
-    if (!ok) break;
+    uint32_t payload_crc =
+        util::Crc32Of(p.value().data(), n * sizeof(float));
+    ok = WriteChecked(f, &rows, sizeof(rows), file_crc) &&
+         WriteChecked(f, &cols, sizeof(cols), file_crc) &&
+         WriteChecked(f, &payload_crc, sizeof(payload_crc), file_crc) &&
+         (n == 0 ||
+          WriteChecked(f, p.value().data(), n * sizeof(float), file_crc));
   }
-  std::fclose(f);
+  uint32_t digest = file_crc.Digest();
+  ok = ok && std::fwrite(&digest, sizeof(digest), 1, f) == 1;
   return ok;
 }
 
-bool LoadParameters(std::vector<Tensor>& params, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  bool ok = true;
+bool ReadTensorBlock(std::FILE* f, std::vector<Matrix>* out,
+                     std::string* error) {
+  util::Crc32 file_crc;
   uint32_t magic = 0;
+  if (!ReadChecked(f, &magic, sizeof(magic), file_crc)) {
+    SetError(error, "file too short for magic");
+    return false;
+  }
+  if (magic == kMagicV1) return ReadV1Body(f, out, error);
+  if (magic != kMagicV2) {
+    SetError(error, "bad magic (not a CPGAN parameter file)");
+    return false;
+  }
+  uint32_t version = 0;
   uint32_t count = 0;
-  ok = ok && std::fread(&magic, sizeof(magic), 1, f) == 1 && magic == kMagic;
-  ok = ok && std::fread(&count, sizeof(count), 1, f) == 1 &&
-       count == params.size();
-  for (size_t i = 0; ok && i < params.size(); ++i) {
+  if (!ReadChecked(f, &version, sizeof(version), file_crc) ||
+      !ReadChecked(f, &count, sizeof(count), file_crc)) {
+    SetError(error, "truncated header");
+    return false;
+  }
+  if (version != kVersion) {
+    SetError(error, "unsupported format version");
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
     int32_t rows = 0;
     int32_t cols = 0;
-    ok = ok && std::fread(&rows, sizeof(rows), 1, f) == 1;
-    ok = ok && std::fread(&cols, sizeof(cols), 1, f) == 1;
-    ok = ok && rows == params[i].rows() && cols == params[i].cols();
-    if (ok) {
-      size_t n = static_cast<size_t>(params[i].value().size());
-      ok = n == 0 || std::fread(params[i].mutable_value().data(), sizeof(float),
-                                n, f) == n;
+    uint32_t payload_crc = 0;
+    if (!ReadChecked(f, &rows, sizeof(rows), file_crc) ||
+        !ReadChecked(f, &cols, sizeof(cols), file_crc) ||
+        !ReadChecked(f, &payload_crc, sizeof(payload_crc), file_crc) ||
+        rows < 0 || cols < 0 || !PlausiblePayload(f, rows, cols)) {
+      SetError(error, "truncated or invalid tensor header");
+      return false;
+    }
+    Matrix m(rows, cols);
+    size_t n = static_cast<size_t>(m.size());
+    if (n > 0 && !ReadChecked(f, m.data(), n * sizeof(float), file_crc)) {
+      SetError(error, "truncated tensor payload");
+      return false;
+    }
+    if (util::Crc32Of(m.data(), n * sizeof(float)) != payload_crc) {
+      SetError(error, "tensor payload checksum mismatch (corrupt file)");
+      return false;
+    }
+    out->push_back(std::move(m));
+  }
+  uint32_t expected = file_crc.Digest();
+  uint32_t stored = 0;
+  if (std::fread(&stored, sizeof(stored), 1, f) != 1) {
+    SetError(error, "missing file checksum (truncated file)");
+    return false;
+  }
+  if (stored != expected) {
+    SetError(error, "file checksum mismatch (corrupt file)");
+    return false;
+  }
+  return true;
+}
+
+bool SaveParameters(const std::vector<Tensor>& params,
+                    const std::string& path) {
+  return util::AtomicWriteFile(
+      path, [&params](std::FILE* f) { return WriteTensorBlock(f, params); });
+}
+
+bool LoadParameters(std::vector<Tensor>& params, const std::string& path,
+                    std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "cannot open file");
+    return false;
+  }
+  std::vector<Matrix> loaded;
+  bool ok = ReadTensorBlock(f, &loaded, error);
+  std::fclose(f);
+  if (!ok) return false;
+
+  // Validate everything against the destination before committing anything.
+  if (loaded.size() != params.size()) {
+    SetError(error, "tensor count mismatch");
+    return false;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!loaded[i].SameShape(params[i].value())) {
+      SetError(error, "tensor shape mismatch");
+      return false;
     }
   }
-  std::fclose(f);
-  return ok;
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = std::move(loaded[i]);
+  }
+  return true;
 }
 
 }  // namespace cpgan::tensor

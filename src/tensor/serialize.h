@@ -1,6 +1,7 @@
 #ifndef CPGAN_TENSOR_SERIALIZE_H_
 #define CPGAN_TENSOR_SERIALIZE_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -8,15 +9,51 @@
 
 namespace cpgan::tensor {
 
-/// Writes the parameter values to a simple binary container:
-/// magic, count, then (rows, cols, row-major floats) per tensor.
+/// \file
+/// Parameter serialization.
+///
+/// v2 container (current write format), all fields little-endian:
+///
+///   u32 magic   "CPG2" (0x32475043)
+///   u32 version 2
+///   u32 count   number of tensors
+///   per tensor:
+///     i32 rows
+///     i32 cols
+///     u32 crc32  of the rows*cols row-major float payload
+///     f32 data[rows*cols]
+///   u32 file_crc32  over every preceding byte (header + all tensors)
+///
+/// The trailing file checksum turns truncation and header corruption into
+/// load failures; the per-tensor checksums localize payload bit rot. Writes
+/// are atomic (tmp + fsync + rename) and loads are transactional: the file is
+/// fully parsed and validated into temporaries before any destination tensor
+/// is touched, so a failed load never leaves `params` half-overwritten.
+///
+/// The legacy v1 container (magic "CPGN", no version, no checksums) remains
+/// readable for one release; see LoadParameters.
+
+/// Writes the parameter values to `path` in the v2 container atomically.
 /// Returns false on IO failure.
 bool SaveParameters(const std::vector<Tensor>& params,
                     const std::string& path);
 
-/// Loads parameter values saved by SaveParameters into `params`. Shapes must
-/// match exactly. Returns false on IO failure or shape mismatch.
-bool LoadParameters(std::vector<Tensor>& params, const std::string& path);
+/// Loads parameter values saved by SaveParameters into `params`. Accepts v2
+/// (checksummed) and legacy v1 files. Shapes and count must match exactly.
+/// Returns false on IO failure, checksum mismatch, version mismatch, or
+/// shape mismatch — and in every failure case leaves `params` untouched.
+/// When `error` is non-null it receives a human-readable reason on failure.
+bool LoadParameters(std::vector<Tensor>& params, const std::string& path,
+                    std::string* error = nullptr);
+
+/// Lower-level building blocks so other containers (e.g. training
+/// checkpoints) can embed the same validated tensor block after their own
+/// header. `WriteTensorBlock` emits the v2 container byte-for-byte into an
+/// open stream; `ReadTensorBlock` parses and checksum-validates one into
+/// `out` without touching any model state.
+bool WriteTensorBlock(std::FILE* f, const std::vector<Tensor>& params);
+bool ReadTensorBlock(std::FILE* f, std::vector<Matrix>* out,
+                     std::string* error);
 
 }  // namespace cpgan::tensor
 

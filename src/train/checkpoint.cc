@@ -1,0 +1,198 @@
+#include "train/checkpoint.h"
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/serialize.h"
+#include "util/crc32.h"
+#include "util/fileio.h"
+
+namespace cpgan::train {
+namespace {
+
+constexpr uint32_t kMagic = 0x4B435043u;  // "CPCK"
+constexpr uint32_t kVersion = 1;
+constexpr const char* kPrefix = "ckpt_";
+constexpr const char* kSuffix = ".cpck";
+
+void SetError(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const std::string& path, const CheckpointMeta& meta,
+                    const std::vector<tensor::Tensor>& params) {
+  return util::AtomicWriteFile(path, [&meta, &params](std::FILE* f) {
+    util::Crc32 crc;
+    uint32_t magic = kMagic;
+    uint32_t version = kVersion;
+    int32_t epoch = meta.epoch;
+    uint64_t config_hash = meta.config_hash;
+    crc.Update(&magic, sizeof(magic));
+    crc.Update(&version, sizeof(version));
+    crc.Update(&epoch, sizeof(epoch));
+    crc.Update(&config_hash, sizeof(config_hash));
+    uint32_t header_crc = crc.Digest();
+    bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+              std::fwrite(&version, sizeof(version), 1, f) == 1 &&
+              std::fwrite(&epoch, sizeof(epoch), 1, f) == 1 &&
+              std::fwrite(&config_hash, sizeof(config_hash), 1, f) == 1 &&
+              std::fwrite(&header_crc, sizeof(header_crc), 1, f) == 1;
+    return ok && tensor::WriteTensorBlock(f, params);
+  });
+}
+
+namespace {
+
+/// Shared parse path: header + checksum validation + tensor block into
+/// temporaries. Commits nothing.
+bool ParseCheckpoint(const std::string& path, CheckpointMeta* meta,
+                     std::vector<tensor::Matrix>* tensors,
+                     uint64_t expected_config_hash, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "cannot open checkpoint file");
+    return false;
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  int32_t epoch = 0;
+  uint64_t config_hash = 0;
+  uint32_t stored_header_crc = 0;
+  bool header_ok =
+      std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+      std::fread(&version, sizeof(version), 1, f) == 1 &&
+      std::fread(&epoch, sizeof(epoch), 1, f) == 1 &&
+      std::fread(&config_hash, sizeof(config_hash), 1, f) == 1 &&
+      std::fread(&stored_header_crc, sizeof(stored_header_crc), 1, f) == 1;
+  if (!header_ok) {
+    std::fclose(f);
+    SetError(error, "truncated checkpoint header");
+    return false;
+  }
+  if (magic != kMagic) {
+    std::fclose(f);
+    SetError(error, "bad checkpoint magic");
+    return false;
+  }
+  if (version != kVersion) {
+    std::fclose(f);
+    SetError(error, "unsupported checkpoint version");
+    return false;
+  }
+  util::Crc32 crc;
+  crc.Update(&magic, sizeof(magic));
+  crc.Update(&version, sizeof(version));
+  crc.Update(&epoch, sizeof(epoch));
+  crc.Update(&config_hash, sizeof(config_hash));
+  if (crc.Digest() != stored_header_crc) {
+    std::fclose(f);
+    SetError(error, "checkpoint header checksum mismatch (corrupt file)");
+    return false;
+  }
+  if (epoch < 0) {
+    std::fclose(f);
+    SetError(error, "invalid checkpoint epoch");
+    return false;
+  }
+  if (expected_config_hash != 0 && config_hash != 0 &&
+      config_hash != expected_config_hash) {
+    std::fclose(f);
+    SetError(error, "checkpoint was taken with a different model "
+                    "architecture (config hash mismatch)");
+    return false;
+  }
+  bool ok = tensor::ReadTensorBlock(f, tensors, error);
+  std::fclose(f);
+  if (!ok) return false;
+  if (meta != nullptr) {
+    meta->epoch = epoch;
+    meta->config_hash = config_hash;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LoadCheckpoint(const std::string& path, CheckpointMeta* meta,
+                    std::vector<tensor::Tensor>& params,
+                    uint64_t expected_config_hash, std::string* error) {
+  CheckpointMeta parsed;
+  std::vector<tensor::Matrix> loaded;
+  if (!ParseCheckpoint(path, &parsed, &loaded, expected_config_hash, error)) {
+    return false;
+  }
+  if (loaded.size() != params.size()) {
+    SetError(error, "checkpoint tensor count mismatch");
+    return false;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!loaded[i].SameShape(params[i].value())) {
+      SetError(error, "checkpoint tensor shape mismatch");
+      return false;
+    }
+  }
+  // Everything validated — commit.
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = std::move(loaded[i]);
+  }
+  if (meta != nullptr) *meta = parsed;
+  return true;
+}
+
+bool ValidateCheckpoint(const std::string& path, CheckpointMeta* meta,
+                        uint64_t expected_config_hash, std::string* error) {
+  std::vector<tensor::Matrix> discarded;
+  return ParseCheckpoint(path, meta, &discarded, expected_config_hash, error);
+}
+
+std::string CheckpointPath(const std::string& dir, int epoch) {
+  return dir + "/" + kPrefix + std::to_string(epoch) + kSuffix;
+}
+
+std::string LatestCheckpoint(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return "";
+  int best_epoch = -1;
+  size_t prefix_len = std::strlen(kPrefix);
+  size_t suffix_len = std::strlen(kSuffix);
+  for (struct dirent* entry = ::readdir(d); entry != nullptr;
+       entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() <= prefix_len + suffix_len) continue;
+    if (name.compare(0, prefix_len, kPrefix) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+      continue;
+    }
+    std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    char* end = nullptr;
+    long epoch = std::strtol(digits.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || epoch < 0) continue;
+    if (epoch > best_epoch) best_epoch = static_cast<int>(epoch);
+  }
+  ::closedir(d);
+  return best_epoch >= 0 ? CheckpointPath(dir, best_epoch) : "";
+}
+
+uint64_t HashFields(const std::vector<int64_t>& fields) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (int64_t field : fields) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= static_cast<uint64_t>(field >> (byte * 8)) & 0xFFu;
+      hash *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  // Never produce the "don't validate" sentinel for a real config.
+  return hash == 0 ? 1 : hash;
+}
+
+uint64_t HashFields(std::initializer_list<int64_t> fields) {
+  return HashFields(std::vector<int64_t>(fields));
+}
+
+}  // namespace cpgan::train

@@ -1,0 +1,63 @@
+#include "train/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace cpgan::train {
+
+void PoisonGradient(const std::vector<tensor::Tensor>& params,
+                    int param_index) {
+  if (params.empty()) return;
+  int index = std::clamp(param_index, 0,
+                         static_cast<int>(params.size()) - 1);
+  const tensor::Tensor& p = params[index];
+  if (!p.defined()) return;
+  // The gradient accumulator is zero-shaped until Backward touches the node;
+  // nothing to poison then (and the guard would not read it either).
+  tensor::Matrix& g = p.node()->grad;
+  if (g.size() == 0) return;
+  g.data()[0] = std::numeric_limits<float>::quiet_NaN();
+}
+
+bool TruncateFile(const std::string& path, int64_t keep_bytes) {
+  int64_t size = FileSize(path);
+  if (size < 0 || keep_bytes < 0 || keep_bytes > size) return false;
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return false;
+  std::vector<char> head(static_cast<size_t>(keep_bytes));
+  bool ok = keep_bytes == 0 ||
+            std::fread(head.data(), 1, head.size(), in) == head.size();
+  std::fclose(in);
+  if (!ok) return false;
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return false;
+  ok = keep_bytes == 0 ||
+       std::fwrite(head.data(), 1, head.size(), out) == head.size();
+  ok = std::fclose(out) == 0 && ok;
+  return ok;
+}
+
+bool FlipByte(const std::string& path, int64_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  bool ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0;
+  int byte = ok ? std::fgetc(f) : EOF;
+  ok = ok && byte != EOF;
+  ok = ok && std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0;
+  ok = ok && std::fputc((byte ^ 0xFF) & 0xFF, f) != EOF;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+int64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  int64_t size = -1;
+  if (std::fseek(f, 0, SEEK_END) == 0) size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+}  // namespace cpgan::train

@@ -1,0 +1,66 @@
+#ifndef CPGAN_TRAIN_FAULT_H_
+#define CPGAN_TRAIN_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cpgan::train {
+
+/// Deterministic fault injection for exercising the guard and checkpoint
+/// recovery paths. A FaultPlan is attached to a Cpgan before Fit (see
+/// Cpgan::SetFaultPlan); every field defaults to "inject nothing", so a
+/// default-constructed plan is a no-op. The plan is the test harness for the
+/// fault-tolerance subsystem: each recovery path has a knob that triggers it
+/// at an exact, reproducible epoch.
+struct FaultPlan {
+  /// Epoch (0-based) at which to poison a generator-step gradient with NaN,
+  /// after Backward and before the guard inspects it. -1 = never.
+  int nan_grad_epoch = -1;
+
+  /// Index into the generator parameter list of the gradient to poison.
+  int nan_grad_param = 0;
+
+  /// Epoch at which the generator loss is replaced with +Inf before the
+  /// guard check (exercises the non-finite-loss verdict). -1 = never.
+  int inf_loss_epoch = -1;
+
+  /// Simulated crash: stop the training loop after completing this epoch
+  /// (checkpoints written so far remain on disk; the model reports
+  /// untrained). -1 = run to completion.
+  int stop_after_epoch = -1;
+
+  bool InjectNanGrad(int epoch) const { return epoch == nan_grad_epoch; }
+  bool InjectInfLoss(int epoch) const { return epoch == inf_loss_epoch; }
+  bool StopAfter(int epoch) const {
+    return stop_after_epoch >= 0 && epoch >= stop_after_epoch;
+  }
+  bool Any() const {
+    return nan_grad_epoch >= 0 || inf_loss_epoch >= 0 || stop_after_epoch >= 0;
+  }
+};
+
+/// Overwrites one entry of `params[param_index]`'s gradient with NaN
+/// (clamping the index into range; no-op on an empty list or an untouched
+/// gradient accumulator).
+void PoisonGradient(const std::vector<tensor::Tensor>& params,
+                    int param_index);
+
+/// On-disk corruption helpers for checkpoint tests.
+///
+/// Truncates `path` to its first `keep_bytes` bytes. Returns false on IO
+/// failure or if the file is shorter than `keep_bytes`.
+bool TruncateFile(const std::string& path, int64_t keep_bytes);
+
+/// Flips every bit of the byte at `offset` (XOR 0xFF) in place. Returns
+/// false on IO failure or out-of-range offset.
+bool FlipByte(const std::string& path, int64_t offset);
+
+/// Size of `path` in bytes, or -1 on failure.
+int64_t FileSize(const std::string& path);
+
+}  // namespace cpgan::train
+
+#endif  // CPGAN_TRAIN_FAULT_H_

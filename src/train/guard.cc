@@ -1,0 +1,77 @@
+#include "train/guard.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace cpgan::train {
+
+const char* StepVerdictName(StepVerdict verdict) {
+  switch (verdict) {
+    case StepVerdict::kOk:
+      return "ok";
+    case StepVerdict::kNonFiniteLoss:
+      return "non-finite loss";
+    case StepVerdict::kNonFiniteGrad:
+      return "non-finite gradient";
+    case StepVerdict::kLossExplosion:
+      return "loss explosion";
+  }
+  return "unknown";
+}
+
+TrainingGuard::TrainingGuard(const GuardConfig& config,
+                             std::vector<tensor::Tensor> params)
+    : config_(config), params_(std::move(params)) {}
+
+StepVerdict TrainingGuard::Inspect(
+    float loss, const std::vector<tensor::Tensor>& step_params,
+    int stream) const {
+  if (!config_.enabled) return StepVerdict::kOk;
+  if (!std::isfinite(loss)) return StepVerdict::kNonFiniteLoss;
+  if (!tensor::GradsFinite(step_params)) return StepVerdict::kNonFiniteGrad;
+  if (config_.explosion_factor > 0.0f && stream >= 0 &&
+      stream < static_cast<int>(recent_losses_.size())) {
+    const std::deque<float>& window = recent_losses_[stream];
+    if (static_cast<int>(window.size()) >= config_.window) {
+      double mean_abs = 0.0;
+      for (float l : window) mean_abs += std::fabs(l);
+      mean_abs /= static_cast<double>(window.size());
+      // Floor the reference so near-zero converged losses don't turn
+      // ordinary fluctuation into false explosions.
+      mean_abs = std::max(mean_abs, 1e-3);
+      if (std::fabs(loss) > config_.explosion_factor * mean_abs) {
+        return StepVerdict::kLossExplosion;
+      }
+    }
+  }
+  return StepVerdict::kOk;
+}
+
+void TrainingGuard::CommitGood(float loss, int stream) {
+  if (!config_.enabled || stream < 0) return;
+  if (stream >= static_cast<int>(recent_losses_.size())) {
+    recent_losses_.resize(stream + 1);
+  }
+  std::deque<float>& window = recent_losses_[stream];
+  window.push_back(loss);
+  while (static_cast<int>(window.size()) > config_.window) {
+    window.pop_front();
+  }
+  if (snapshot_.size() != params_.size()) snapshot_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    snapshot_[i] = params_[i].value();
+  }
+  has_snapshot_ = true;
+}
+
+bool TrainingGuard::Recover() {
+  ++recoveries_;
+  if (!has_snapshot_) return false;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i].mutable_value() = snapshot_[i];
+  }
+  return true;
+}
+
+}  // namespace cpgan::train

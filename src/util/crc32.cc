@@ -1,0 +1,42 @@
+#include "util/crc32.h"
+
+namespace cpgan::util {
+namespace {
+
+/// 256-entry lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// built once at first use.
+const uint32_t* Table() {
+  static uint32_t table[256];
+  static bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t len) {
+  const uint32_t* table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = state_;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+uint32_t Crc32Of(const void* data, size_t len) {
+  Crc32 crc;
+  crc.Update(data, len);
+  return crc.Digest();
+}
+
+}  // namespace cpgan::util

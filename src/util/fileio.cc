@@ -1,0 +1,53 @@
+#include "util/fileio.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace cpgan::util {
+
+bool AtomicWriteFile(const std::string& path,
+                     const std::function<bool(std::FILE*)>& writer) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = writer(f);
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(::fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), R_OK) == 0;
+}
+
+bool MakeDirs(const std::string& path) {
+  if (path.empty()) return false;
+  std::string partial;
+  size_t start = 0;
+  if (path[0] == '/') partial = "/";
+  while (start < path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    if (end > start) {
+      partial.append(path, start, end - start);
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) return false;
+      partial.push_back('/');
+    }
+    start = end + 1;
+  }
+  return true;
+}
+
+}  // namespace cpgan::util

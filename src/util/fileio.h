@@ -1,0 +1,27 @@
+#ifndef CPGAN_UTIL_FILEIO_H_
+#define CPGAN_UTIL_FILEIO_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace cpgan::util {
+
+/// Crash-safe file replacement: writes via `writer` into `path.tmp`, flushes
+/// and fsyncs it, then renames over `path`. Readers therefore only ever see
+/// either the previous complete file or the new complete file — never a
+/// partially written one. Returns false (and removes the temporary) if the
+/// writer fails or any syscall errors.
+bool AtomicWriteFile(const std::string& path,
+                     const std::function<bool(std::FILE*)>& writer);
+
+/// True if `path` exists and is readable.
+bool FileExists(const std::string& path);
+
+/// Best-effort mkdir -p. Returns false if a component could not be created
+/// (an already-existing directory is success).
+bool MakeDirs(const std::string& path);
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_FILEIO_H_

@@ -76,6 +76,62 @@ TEST(IoTest, SkipsCommentsAndCompactsIds) {
 
 TEST(IoTest, MissingFileReturnsNullopt) {
   EXPECT_FALSE(LoadEdgeList("/does/not/exist.txt").has_value());
+  LoadResult result = LoadEdgeListDetailed("/does/not/exist.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(IoTest, DetailedLoadCountsSkippedIrregularities) {
+  std::string path = ::testing::TempDir() + "/dirty.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(
+      "0 1\n"
+      "banana\n"        // malformed
+      "1 2\n"
+      "2 2\n"           // self-loop
+      "1 0\n"           // duplicate of 0 1 (reversed)
+      "0 1\n"           // duplicate
+      "-3 4\n"          // malformed (negative id)
+      "3 4\n",
+      f);
+  std::fclose(f);
+  LoadResult result = LoadEdgeListDetailed(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.malformed_lines, 2);
+  EXPECT_EQ(result.self_loops, 1);
+  EXPECT_EQ(result.duplicate_edges, 2);
+  EXPECT_EQ(result.total_skipped(), 5);
+  EXPECT_EQ(result.graph->num_nodes(), 5);  // 0,1,2,3,4 all interned
+  EXPECT_EQ(result.graph->num_edges(), 3);  // 0-1, 1-2, 3-4
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, StrictModeFailsOnFirstIrregularity) {
+  std::string path = ::testing::TempDir() + "/strict.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 1\n1 1\n2 3\n", f);
+  std::fclose(f);
+  LoadOptions strict;
+  strict.strict = true;
+  LoadResult result = LoadEdgeListDetailed(path, strict);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("self-loop"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  // The same file loads in lenient mode.
+  EXPECT_TRUE(LoadEdgeListDetailed(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CleanFileReportsZeroSkips) {
+  std::string path = ::testing::TempDir() + "/clean.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 1\n1 2\n", f);
+  std::fclose(f);
+  LoadResult result = LoadEdgeListDetailed(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.total_skipped(), 0);
+  std::remove(path.c_str());
 }
 
 TEST(SplitTest, PartitionsEdges) {

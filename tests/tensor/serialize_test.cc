@@ -5,12 +5,29 @@
 
 #include "tensor/serialize.h"
 #include "tests/test_util.h"
+#include "train/fault.h"
+#include "util/crc32.h"
 
 namespace cpgan::tensor {
 namespace {
 
 std::string TempPath(const char* name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+/// Asserts that a failed load leaves `params` exactly as they were.
+void ExpectLoadFailsUntouched(const std::string& path,
+                              std::vector<Tensor>& params) {
+  std::vector<Matrix> before;
+  for (const Tensor& p : params) before.push_back(p.value());
+  std::string err;
+  ASSERT_FALSE(LoadParameters(params, path, &err));
+  EXPECT_FALSE(err.empty());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix diff = before[i];
+    diff.Axpy(-1.0f, params[i].value());
+    EXPECT_FLOAT_EQ(diff.Norm(), 0.0f) << "tensor " << i << " was modified";
+  }
 }
 
 TEST(SerializeTest, RoundTrip) {
@@ -54,6 +71,143 @@ TEST(SerializeTest, MissingFileFails) {
   std::vector<Tensor> params = {Tensor(Matrix(1, 1), true)};
   EXPECT_FALSE(LoadParameters(params, TempPath("does_not_exist.bin")));
   EXPECT_FALSE(SaveParameters(params, "/nonexistent_dir/x.bin"));
+}
+
+TEST(SerializeTest, SaveLeavesNoTemporaryBehind) {
+  std::string path = TempPath("atomic.bin");
+  std::vector<Tensor> params = {Tensor(Matrix(2, 2, 1.0f), true)};
+  ASSERT_TRUE(SaveParameters(params, path));
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileFailsAndParamsUntouched) {
+  std::string path = TempPath("trunc.bin");
+  std::vector<Tensor> params = {
+      Tensor(cpgan::testing::TestMatrix(3, 5, 1.0f, 1), true)};
+  ASSERT_TRUE(SaveParameters(params, path));
+  int64_t size = train::FileSize(path);
+  ASSERT_GT(size, 0);
+  for (int64_t keep : {int64_t{2}, int64_t{10}, size / 2, size - 1}) {
+    ASSERT_TRUE(SaveParameters(params, path));
+    ASSERT_TRUE(train::TruncateFile(path, keep));
+    std::vector<Tensor> dest = {
+        Tensor(cpgan::testing::TestMatrix(3, 5, 2.0f, 9), true)};
+    ExpectLoadFailsUntouched(path, dest);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BitFlipFailsChecksum) {
+  std::string path = TempPath("flip.bin");
+  std::vector<Tensor> params = {
+      Tensor(cpgan::testing::TestMatrix(4, 4, 1.0f, 2), true)};
+  ASSERT_TRUE(SaveParameters(params, path));
+  int64_t size = train::FileSize(path);
+  ASSERT_GT(size, 0);
+  // Header, payload, and trailing-checksum corruption must all be caught.
+  for (int64_t offset : {int64_t{5}, size / 2, size - 1}) {
+    ASSERT_TRUE(SaveParameters(params, path));
+    ASSERT_TRUE(train::FlipByte(path, offset));
+    std::vector<Tensor> dest = {
+        Tensor(cpgan::testing::TestMatrix(4, 4, 3.0f, 8), true)};
+    ExpectLoadFailsUntouched(path, dest);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, WrongVersionFails) {
+  std::string path = TempPath("version.bin");
+  // Hand-craft a v2 container claiming version 7 (header otherwise valid).
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  uint32_t magic = 0x32475043u;  // "CPG2"
+  uint32_t version = 7;
+  uint32_t count = 0;
+  util::Crc32 crc;
+  crc.Update(&magic, sizeof(magic));
+  crc.Update(&version, sizeof(version));
+  crc.Update(&count, sizeof(count));
+  uint32_t digest = crc.Digest();
+  ASSERT_EQ(std::fwrite(&magic, sizeof(magic), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&version, sizeof(version), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&count, sizeof(count), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&digest, sizeof(digest), 1, f), 1u);
+  std::fclose(f);
+  std::vector<Tensor> params;
+  std::string err;
+  EXPECT_FALSE(LoadParameters(params, path, &err));
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LegacyV1FilesStillLoad) {
+  std::string path = TempPath("legacy_v1.bin");
+  // Write the v1 layout by hand: magic "CPGN", count, then (rows, cols,
+  // floats) per tensor — no version, no checksums.
+  Matrix original = cpgan::testing::TestMatrix(2, 3, 1.0f, 4);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  uint32_t magic = 0x4350474Eu;
+  uint32_t count = 1;
+  int32_t rows = original.rows();
+  int32_t cols = original.cols();
+  ASSERT_EQ(std::fwrite(&magic, sizeof(magic), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&count, sizeof(count), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&rows, sizeof(rows), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&cols, sizeof(cols), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(original.data(), sizeof(float),
+                        static_cast<size_t>(original.size()), f),
+            static_cast<size_t>(original.size()));
+  std::fclose(f);
+
+  std::vector<Tensor> params = {Tensor(Matrix(2, 3), true)};
+  std::string err;
+  ASSERT_TRUE(LoadParameters(params, path, &err)) << err;
+  Matrix diff = original;
+  diff.Axpy(-1.0f, params[0].value());
+  EXPECT_FLOAT_EQ(diff.Norm(), 0.0f);
+
+  // A truncated v1 file must fail without touching the destination.
+  ASSERT_TRUE(train::TruncateFile(path, train::FileSize(path) - 4));
+  std::vector<Tensor> dest = {
+      Tensor(cpgan::testing::TestMatrix(2, 3, 2.0f, 6), true)};
+  ExpectLoadFailsUntouched(path, dest);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmbeddedTensorBlockRoundTrips) {
+  std::string path = TempPath("embedded.bin");
+  std::vector<Tensor> params = {
+      Tensor(cpgan::testing::TestMatrix(3, 2, 1.0f, 5), true)};
+  // Write a foreign header, then the tensor block, then a trailer.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  uint64_t outer_header = 0xDEADBEEFu;
+  ASSERT_EQ(std::fwrite(&outer_header, sizeof(outer_header), 1, f), 1u);
+  ASSERT_TRUE(WriteTensorBlock(f, params));
+  uint64_t trailer = 0xCAFEu;
+  ASSERT_EQ(std::fwrite(&trailer, sizeof(trailer), 1, f), 1u);
+  std::fclose(f);
+
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  uint64_t header_read = 0;
+  ASSERT_EQ(std::fread(&header_read, sizeof(header_read), 1, f), 1u);
+  std::vector<Matrix> loaded;
+  std::string err;
+  ASSERT_TRUE(ReadTensorBlock(f, &loaded, &err)) << err;
+  uint64_t trailer_read = 0;
+  ASSERT_EQ(std::fread(&trailer_read, sizeof(trailer_read), 1, f), 1u);
+  EXPECT_EQ(trailer_read, 0xCAFEu);
+  std::fclose(f);
+  ASSERT_EQ(loaded.size(), 1u);
+  Matrix diff = params[0].value();
+  diff.Axpy(-1.0f, loaded[0]);
+  EXPECT_FLOAT_EQ(diff.Norm(), 0.0f);
+  std::remove(path.c_str());
 }
 
 }  // namespace

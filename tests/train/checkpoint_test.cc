@@ -1,0 +1,199 @@
+#include "train/checkpoint.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tensor/serialize.h"
+#include "train/fault.h"
+#include "util/crc32.h"
+#include "util/fileio.h"
+#include "tests/test_util.h"
+
+namespace cpgan::train {
+namespace {
+
+namespace t = cpgan::tensor;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<t::Tensor> MakeParams(uint64_t seed = 5) {
+  return {t::Tensor(cpgan::testing::TestMatrix(4, 3, 1.0f, seed), true),
+          t::Tensor(cpgan::testing::TestMatrix(2, 6, 2.0f, seed + 1), true),
+          t::Tensor(cpgan::testing::TestMatrix(1, 1, 0.5f, seed + 2), true)};
+}
+
+void ExpectSameValues(const std::vector<t::Tensor>& a,
+                      const std::vector<t::Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    t::Matrix diff = a[i].value();
+    diff.Axpy(-1.0f, b[i].value());
+    EXPECT_FLOAT_EQ(diff.Norm(), 0.0f) << "tensor " << i;
+  }
+}
+
+TEST(CheckpointTest, RoundTripRestoresMetaAndParams) {
+  std::string path = TempPath("ckpt_roundtrip.cpck");
+  auto params = MakeParams();
+  CheckpointMeta meta;
+  meta.epoch = 37;
+  meta.config_hash = HashFields({1, 2, 3});
+  ASSERT_TRUE(SaveCheckpoint(path, meta, params));
+
+  auto restored = MakeParams(99);  // same shapes, different values
+  CheckpointMeta loaded;
+  std::string err;
+  ASSERT_TRUE(
+      LoadCheckpoint(path, &loaded, restored, meta.config_hash, &err))
+      << err;
+  EXPECT_EQ(loaded.epoch, 37);
+  EXPECT_EQ(loaded.config_hash, meta.config_hash);
+  ExpectSameValues(params, restored);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileIsRejectedAndParamsUntouched) {
+  std::string path = TempPath("ckpt_trunc.cpck");
+  ASSERT_TRUE(SaveCheckpoint(path, CheckpointMeta{10, 1}, MakeParams()));
+  int64_t size = FileSize(path);
+  ASSERT_GT(size, 0);
+  // Cut the file at several depths: mid-header, mid-tensor, missing footer.
+  for (int64_t keep : {int64_t{6}, size / 2, size - 1}) {
+    ASSERT_TRUE(SaveCheckpoint(path, CheckpointMeta{10, 1}, MakeParams()));
+    ASSERT_TRUE(TruncateFile(path, keep));
+    auto params = MakeParams(42);
+    auto before = MakeParams(42);
+    std::string err;
+    EXPECT_FALSE(LoadCheckpoint(path, nullptr, params, 0, &err))
+        << "keep=" << keep;
+    EXPECT_FALSE(err.empty());
+    ExpectSameValues(before, params);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, BitFlipAnywhereIsRejected) {
+  std::string path = TempPath("ckpt_flip.cpck");
+  ASSERT_TRUE(SaveCheckpoint(path, CheckpointMeta{10, 1}, MakeParams()));
+  int64_t size = FileSize(path);
+  ASSERT_GT(size, 0);
+  // Flip one byte in the header, in a tensor payload, and in the footer.
+  for (int64_t offset : {int64_t{9}, size / 2, size - 2}) {
+    ASSERT_TRUE(SaveCheckpoint(path, CheckpointMeta{10, 1}, MakeParams()));
+    ASSERT_TRUE(FlipByte(path, offset));
+    auto params = MakeParams(42);
+    auto before = MakeParams(42);
+    std::string err;
+    EXPECT_FALSE(LoadCheckpoint(path, nullptr, params, 0, &err))
+        << "offset=" << offset;
+    EXPECT_FALSE(err.empty());
+    ExpectSameValues(before, params);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, WrongVersionIsRejected) {
+  std::string path = TempPath("ckpt_version.cpck");
+  // Craft a header with version 999 and a *valid* header CRC so the version
+  // check itself (not the checksum) is what rejects the file.
+  ASSERT_TRUE(util::AtomicWriteFile(path, [](std::FILE* f) {
+    uint32_t magic = 0x4B435043u;  // "CPCK"
+    uint32_t version = 999;
+    int32_t epoch = 1;
+    uint64_t hash = 0;
+    util::Crc32 crc;
+    crc.Update(&magic, sizeof(magic));
+    crc.Update(&version, sizeof(version));
+    crc.Update(&epoch, sizeof(epoch));
+    crc.Update(&hash, sizeof(hash));
+    uint32_t digest = crc.Digest();
+    return std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+           std::fwrite(&version, sizeof(version), 1, f) == 1 &&
+           std::fwrite(&epoch, sizeof(epoch), 1, f) == 1 &&
+           std::fwrite(&hash, sizeof(hash), 1, f) == 1 &&
+           std::fwrite(&digest, sizeof(digest), 1, f) == 1;
+  }));
+  auto params = MakeParams();
+  std::string err;
+  EXPECT_FALSE(LoadCheckpoint(path, nullptr, params, 0, &err));
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ArchitectureHashMismatchIsRejected) {
+  std::string path = TempPath("ckpt_arch.cpck");
+  CheckpointMeta meta;
+  meta.epoch = 5;
+  meta.config_hash = HashFields({7, 7, 7});
+  ASSERT_TRUE(SaveCheckpoint(path, meta, MakeParams()));
+  auto params = MakeParams();
+  std::string err;
+  EXPECT_FALSE(
+      LoadCheckpoint(path, nullptr, params, HashFields({8, 8, 8}), &err));
+  EXPECT_NE(err.find("architecture"), std::string::npos) << err;
+  // Hash 0 on either side skips the validation.
+  EXPECT_TRUE(LoadCheckpoint(path, nullptr, params, 0, &err)) << err;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchIsRejectedAndParamsUntouched) {
+  std::string path = TempPath("ckpt_shape.cpck");
+  ASSERT_TRUE(SaveCheckpoint(path, CheckpointMeta{3, 0}, MakeParams()));
+  std::vector<t::Tensor> wrong = {
+      t::Tensor(cpgan::testing::TestMatrix(4, 4, 1.0f, 3), true)};
+  auto before_first = wrong[0].value();
+  std::string err;
+  EXPECT_FALSE(LoadCheckpoint(path, nullptr, wrong, 0, &err));
+  EXPECT_NE(err.find("mismatch"), std::string::npos) << err;
+  t::Matrix diff = before_first;
+  diff.Axpy(-1.0f, wrong[0].value());
+  EXPECT_FLOAT_EQ(diff.Norm(), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ValidateCheckpointVetsWithoutAModel) {
+  std::string path = TempPath("ckpt_validate.cpck");
+  ASSERT_TRUE(SaveCheckpoint(path, CheckpointMeta{12, 9}, MakeParams()));
+  CheckpointMeta meta;
+  std::string err;
+  ASSERT_TRUE(ValidateCheckpoint(path, &meta, 0, &err)) << err;
+  EXPECT_EQ(meta.epoch, 12);
+  ASSERT_TRUE(FlipByte(path, FileSize(path) / 2));
+  EXPECT_FALSE(ValidateCheckpoint(path, &meta, 0, &err));
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LatestCheckpointPicksHighestEpoch) {
+  std::string dir = TempPath("ckpt_scan");
+  ASSERT_TRUE(util::MakeDirs(dir));
+  // TempDir is shared across runs: clear leftovers from a prior invocation.
+  for (int epoch : {5, 10, 20}) std::remove(CheckpointPath(dir, epoch).c_str());
+  std::remove((dir + "/notes.txt").c_str());
+  EXPECT_EQ(LatestCheckpoint(dir), "");
+  auto params = MakeParams();
+  for (int epoch : {10, 5, 20}) {
+    ASSERT_TRUE(SaveCheckpoint(CheckpointPath(dir, epoch),
+                               CheckpointMeta{epoch, 0}, params));
+  }
+  // A stray non-checkpoint file must not confuse the scan.
+  std::FILE* stray = std::fopen((dir + "/notes.txt").c_str(), "w");
+  ASSERT_NE(stray, nullptr);
+  std::fclose(stray);
+  EXPECT_EQ(LatestCheckpoint(dir), CheckpointPath(dir, 20));
+  EXPECT_EQ(LatestCheckpoint(dir + "/missing"), "");
+}
+
+TEST(CheckpointTest, HashFieldsIsOrderSensitiveAndNeverZero) {
+  EXPECT_NE(HashFields({1, 2}), HashFields({2, 1}));
+  EXPECT_NE(HashFields({1, 2}), HashFields({1, 2, 0}));
+  EXPECT_NE(HashFields({}), 0u);
+  EXPECT_EQ(HashFields({5, 6}), HashFields({5, 6}));
+}
+
+}  // namespace
+}  // namespace cpgan::train

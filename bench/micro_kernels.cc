@@ -1,6 +1,12 @@
 // Google-benchmark microbenchmarks of the kernels behind the paper's
 // complexity claims: O(m + n) graph convolution / pooling (Section III-C),
 // O(m + n) Louvain, and the subgraph decode that dominates CPGAN training.
+//
+// The *Threads benchmarks sweep the thread-pool size for the parallel
+// kernels (second Args value = threads). Results are bitwise identical for
+// any sweep point — only the wall clock moves. bench/BENCH_kernels.json
+// holds a reference run (see its "context" block for the machine; speedups
+// only show up with > 1 physical core).
 
 #include <benchmark/benchmark.h>
 
@@ -8,10 +14,12 @@
 
 #include "community/louvain.h"
 #include "data/datasets.h"
+#include "graph/algorithms.h"
 #include "graph/spectral.h"
 #include "nn/gcn.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -47,6 +55,72 @@ void BM_DenseMatmul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DenseMatmul)->Arg(128)->Arg(256)->Arg(512);
+
+// ---------------------------------------------------------------------------
+// Thread-count sweeps (range(0) = problem size, range(1) = pool threads).
+// ---------------------------------------------------------------------------
+
+void BM_SpMMThreads(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  util::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
+  graph::Graph g = MakeGraph(n);
+  tensor::SparseMatrix a = tensor::NormalizedAdjacency(n, g.Edges());
+  util::Rng rng(1);
+  tensor::Matrix x(n, 32);
+  x.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(x));
+  }
+  util::ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_SpMMThreads)
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({12800, 1})
+    ->Args({12800, 2})
+    ->Args({12800, 4})
+    ->Args({12800, 8});
+
+void BM_DenseMatmulThreads(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  util::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
+  util::Rng rng(2);
+  tensor::Matrix a(n, n);
+  tensor::Matrix b(n, n);
+  a.FillNormal(rng, 1.0f);
+  b.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Matmul(a, b));
+  }
+  util::ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_DenseMatmulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8});
+
+void BM_LocalClusteringThreads(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  util::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
+  graph::Graph g = MakeGraph(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::LocalClusteringCoefficients(g));
+  }
+  util::ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_LocalClusteringThreads)
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({12800, 1})
+    ->Args({12800, 2})
+    ->Args({12800, 4})
+    ->Args({12800, 8});
 
 void BM_GcnForwardBackward(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));

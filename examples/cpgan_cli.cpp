@@ -10,6 +10,11 @@
 // a whitespace edge-list file. <model> is any traditional generator name
 // ("E-R", "BTER", ...) or "CPGAN".
 //
+// global flags (any command):
+//   --threads=N            size of the kernel thread pool (default: the
+//                          CPGAN_NUM_THREADS env var, else all cores);
+//                          results are identical for any N
+//
 // generate flags (CPGAN only):
 //   --checkpoint-dir=DIR   write periodic training checkpoints into DIR
 //   --checkpoint-every=N   checkpoint period in epochs (default 100)
@@ -19,6 +24,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "community/louvain.h"
 #include "core/cpgan.h"
@@ -32,6 +38,7 @@
 #include "train/checkpoint.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -192,27 +199,47 @@ int CmdCompare(const std::string& ref_a, const std::string& ref_b) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
+               "  cpgan_cli [--threads=N] <command> ...\n"
                "  cpgan_cli datasets\n"
                "  cpgan_cli stats    <graph>\n"
                "  cpgan_cli generate [flags] <model> <graph> [out.txt]\n"
                "      --checkpoint-dir=DIR  --checkpoint-every=N\n"
                "      --resume              --strict-io\n"
-               "  cpgan_cli compare  <graph-a> <graph-b>\n");
+               "  cpgan_cli compare  <graph-a> <graph-b>\n"
+               "--threads=N sizes the kernel thread pool (default: the\n"
+               "CPGAN_NUM_THREADS env var, else all cores); results are\n"
+               "identical for any N\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string cmd = argv[1];
+  // Extract the global --threads flag (accepted anywhere) before dispatch.
+  const std::string kThreads = "--threads=";
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(kThreads, 0) == 0) {
+      int threads = std::atoi(arg.c_str() + kThreads.size());
+      if (threads <= 0) {
+        std::fprintf(stderr, "--threads needs a positive integer\n");
+        return 2;
+      }
+      util::ThreadPool::SetGlobalThreads(threads);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) return Usage();
+  std::string cmd = args[0];
   if (cmd == "datasets") return CmdDatasets();
-  if (cmd == "stats" && argc >= 3) return CmdStats(argv[2]);
+  if (cmd == "stats" && args.size() >= 2) return CmdStats(args[1]);
   if (cmd == "generate") {
     GenerateOptions options;
     std::vector<std::string> positional;
-    for (int i = 2; i < argc; ++i) {
-      std::string arg = argv[i];
+    for (size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
       if (arg.rfind("--", 0) == 0) {
         if (!ParseGenerateFlag(arg, &options)) return 2;
       } else {
@@ -223,6 +250,6 @@ int main(int argc, char** argv) {
     return CmdGenerate(positional[0], positional[1],
                        positional.size() == 3 ? positional[2] : "", options);
   }
-  if (cmd == "compare" && argc >= 4) return CmdCompare(argv[2], argv[3]);
+  if (cmd == "compare" && args.size() >= 3) return CmdCompare(args[1], args[2]);
   return Usage();
 }

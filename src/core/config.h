@@ -90,6 +90,13 @@ struct CpganConfig {
   /// variant). Off by default; costs extra fill-in on dense graphs.
   bool use_two_hop_adjacency = false;
 
+  /// Worker threads for the parallel kernels (matmul, SpMM, graph metrics).
+  /// 0 keeps the process-wide default (CPGAN_NUM_THREADS env var, falling
+  /// back to the hardware concurrency); > 0 resizes the global pool.
+  /// Results are bitwise identical for any value (docs/INTERNALS.md,
+  /// "Threading model").
+  int num_threads = 0;
+
   /// RNG seed for parameters, sampling, and generation.
   uint64_t seed = 1;
 

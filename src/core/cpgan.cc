@@ -15,6 +15,7 @@
 #include "util/fileio.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cpgan::core {
@@ -86,6 +87,9 @@ t::Matrix BinaryTargets(float value) {
 Cpgan::Cpgan(const CpganConfig& config) : config_(config), rng_(config.seed) {
   CPGAN_CHECK_GE(config_.num_levels, 1);
   CPGAN_CHECK_GE(config_.feature_dim, 1);
+  if (config_.num_threads > 0) {
+    util::ThreadPool::SetGlobalThreads(config_.num_threads);
+  }
 }
 
 std::vector<int> Cpgan::ResolvePoolSizes(int subgraph_nodes) const {

@@ -4,8 +4,19 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace cpgan::graph {
+
+namespace {
+
+/// Nodes per chunk for per-node metric loops. Per-node work is O(degree^2)
+/// for clustering, so chunks stay small enough to balance skewed graphs;
+/// the value is a pure function of nothing — chunk boundaries never depend
+/// on the thread count.
+constexpr int64_t kNodeGrain = 64;
+
+}  // namespace
 
 std::vector<int> BfsDistances(const Graph& g, int source) {
   CPGAN_CHECK(source >= 0 && source < g.num_nodes());
@@ -69,19 +80,23 @@ std::vector<int> LargestComponent(const Graph& g) {
 
 std::vector<double> LocalClusteringCoefficients(const Graph& g) {
   std::vector<double> coeffs(g.num_nodes(), 0.0);
-  for (int v = 0; v < g.num_nodes(); ++v) {
-    auto nbrs = g.neighbors(v);
-    int d = static_cast<int>(nbrs.size());
-    if (d < 2) continue;
-    int64_t links = 0;
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      for (size_t j = i + 1; j < nbrs.size(); ++j) {
-        if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+  // Each node's coefficient is independent (reads only, disjoint writes),
+  // so the result is identical for any thread count.
+  util::ParallelFor(0, g.num_nodes(), kNodeGrain, [&](int64_t v0, int64_t v1) {
+    for (int64_t v = v0; v < v1; ++v) {
+      auto nbrs = g.neighbors(static_cast<int>(v));
+      int d = static_cast<int>(nbrs.size());
+      if (d < 2) continue;
+      int64_t links = 0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+        }
       }
+      coeffs[v] = 2.0 * static_cast<double>(links) /
+                  (static_cast<double>(d) * (d - 1));
     }
-    coeffs[v] = 2.0 * static_cast<double>(links) /
-                (static_cast<double>(d) * (d - 1));
-  }
+  });
   return coeffs;
 }
 
@@ -106,17 +121,36 @@ double CharacteristicPathLength(const Graph& g, util::Rng& rng,
   } else {
     sources = rng.SampleWithoutReplacement(n, num_sources);
   }
+  // Sources are sampled serially above (fixed RNG stream position), then the
+  // BFS sweeps fan out. Each source writes its own slot, and the final
+  // accumulation walks sources in sampling order, so the value is identical
+  // for any thread count. Integer distance sums per source avoid FP order
+  // sensitivity entirely.
+  const int num_src = static_cast<int>(sources.size());
+  std::vector<int64_t> src_total(num_src, 0);
+  std::vector<int64_t> src_pairs(num_src, 0);
+  util::ParallelFor(0, num_src, 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      int s = sources[i];
+      std::vector<int> dist = BfsDistances(sub, s);
+      int64_t total = 0;
+      int64_t pairs = 0;
+      for (int v = 0; v < n; ++v) {
+        if (v == s) continue;
+        if (dist[v] > 0) {
+          total += dist[v];
+          ++pairs;
+        }
+      }
+      src_total[i] = total;
+      src_pairs[i] = pairs;
+    }
+  });
   double total = 0.0;
   int64_t pairs = 0;
-  for (int s : sources) {
-    std::vector<int> dist = BfsDistances(sub, s);
-    for (int v = 0; v < n; ++v) {
-      if (v == s) continue;
-      if (dist[v] > 0) {
-        total += dist[v];
-        ++pairs;
-      }
-    }
+  for (int i = 0; i < num_src; ++i) {
+    total += static_cast<double>(src_total[i]);
+    pairs += src_pairs[i];
   }
   return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
 }
@@ -221,16 +255,28 @@ std::vector<int> CoreNumbers(const Graph& g) {
 }
 
 int64_t CountTriangles(const Graph& g) {
+  const int64_t num_chunks =
+      util::ThreadPool::NumChunks(0, g.num_nodes(), kNodeGrain);
+  std::vector<int64_t> partial(num_chunks, 0);
+  // Integer count: per-chunk partials summed in chunk order give the exact
+  // serial result for any thread count.
+  util::ParallelForChunked(
+      0, g.num_nodes(), kNodeGrain,
+      [&](int64_t u0, int64_t u1, int64_t chunk) {
+        int64_t triangles = 0;
+        for (int64_t u = u0; u < u1; ++u) {
+          auto nbrs = g.neighbors(static_cast<int>(u));
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            if (nbrs[i] <= u) continue;
+            for (size_t j = i + 1; j < nbrs.size(); ++j) {
+              if (g.HasEdge(nbrs[i], nbrs[j])) ++triangles;
+            }
+          }
+        }
+        partial[chunk] = triangles;
+      });
   int64_t triangles = 0;
-  for (int u = 0; u < g.num_nodes(); ++u) {
-    auto nbrs = g.neighbors(u);
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      if (nbrs[i] <= u) continue;
-      for (size_t j = i + 1; j < nbrs.size(); ++j) {
-        if (g.HasEdge(nbrs[i], nbrs[j])) ++triangles;
-      }
-    }
-  }
+  for (int64_t p : partial) triangles += p;
   return triangles;
 }
 

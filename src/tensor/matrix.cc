@@ -2,10 +2,118 @@
 
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "util/memory_tracker.h"
+#include "util/thread_pool.h"
 
 namespace cpgan::tensor {
+
+namespace {
+
+/// Cache-blocking tile sizes for the dense matmul kernels: row panels of
+/// kTileRows output rows are the unit of parallelism, and B is repacked
+/// into contiguous kTileK x kTileCols tiles so the inner loops stream.
+constexpr int kTileRows = 64;
+constexpr int kTileK = 64;
+constexpr int kTileCols = 64;
+
+/// Below this many multiply-adds the blocked/parallel path is not worth its
+/// setup; the original streaming i-k-j loop runs instead. The cutoff is a
+/// pure function of the shapes, so the chosen path — and therefore the
+/// floating-point order — never depends on the thread count.
+constexpr int64_t kSerialMatmulFlops = 1 << 15;
+
+/// Flat elementwise loops shorter than this run inline without the pool.
+constexpr int64_t kElemGrain = 1 << 15;
+
+/// B (k x m, row-major) repacked tile-major: tiles ordered by (k-tile,
+/// j-tile), each tile stored row-major with its exact width as the stride.
+/// Offset math: all k-tiles before `kt` hold kt*kTileK full-width rows, and
+/// within k-tile `kt` (kb rows) the tiles before `jt` hold kb * jt*kTileCols
+/// elements.
+struct PackedB {
+  std::vector<float> data;
+  int k = 0;
+  int m = 0;
+
+  const float* Tile(int kt, int jt, int kb) const {
+    return data.data() + static_cast<int64_t>(kt) * kTileK * m +
+           static_cast<int64_t>(kb) * jt * kTileCols;
+  }
+};
+
+PackedB PackB(const Matrix& b) {
+  PackedB packed;
+  packed.k = b.rows();
+  packed.m = b.cols();
+  packed.data.resize(static_cast<size_t>(b.size()));
+  const int k = packed.k;
+  const int m = packed.m;
+  const int num_ktiles = (k + kTileK - 1) / kTileK;
+  util::ParallelFor(0, num_ktiles, 1, [&](int64_t t0, int64_t t1) {
+    for (int64_t kt = t0; kt < t1; ++kt) {
+      const int kk0 = static_cast<int>(kt) * kTileK;
+      const int kb = std::min(kTileK, k - kk0);
+      for (int j0 = 0, jt = 0; j0 < m; j0 += kTileCols, ++jt) {
+        const int jb = std::min(kTileCols, m - j0);
+        float* dst = packed.data.data() +
+                     static_cast<int64_t>(kt) * kTileK * m +
+                     static_cast<int64_t>(kb) * jt * kTileCols;
+        for (int r = 0; r < kb; ++r) {
+          std::memcpy(dst + static_cast<int64_t>(r) * jb,
+                      b.Row(kk0 + r) + j0, sizeof(float) * jb);
+        }
+      }
+    }
+  });
+  return packed;
+}
+
+/// out[i0:i1) += A[i0:i1) * B using the packed tiles. Per output row the
+/// accumulation order is (k-tile asc, j-tile asc, k asc) — independent of
+/// the panel boundaries, so results are identical for any thread count.
+void MatmulPanel(const Matrix& a, const PackedB& packed, Matrix& out,
+                 int64_t i0, int64_t i1) {
+  const int k = packed.k;
+  const int m = packed.m;
+  for (int kk0 = 0, kt = 0; kk0 < k; kk0 += kTileK, ++kt) {
+    const int kb = std::min(kTileK, k - kk0);
+    for (int j0 = 0, jt = 0; j0 < m; j0 += kTileCols, ++jt) {
+      const int jb = std::min(kTileCols, m - j0);
+      const float* tile = packed.Tile(kt, jt, kb);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = a.Row(static_cast<int>(i)) + kk0;
+        float* orow = out.Row(static_cast<int>(i)) + j0;
+        for (int r = 0; r < kb; ++r) {
+          const float aik = arow[r];
+          if (aik == 0.0f) continue;
+          const float* trow = tile + static_cast<int64_t>(r) * jb;
+          for (int c = 0; c < jb; ++c) orow[c] += aik * trow[c];
+        }
+      }
+    }
+  }
+}
+
+/// The original streaming i-k-j loop, kept for small products.
+void MatmulSerialSmall(const Matrix& a, const Matrix& b, Matrix& out) {
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
 
 Matrix::Matrix() = default;
 
@@ -66,10 +174,14 @@ void Matrix::Unregister() {
 }
 
 void Matrix::Fill(float value) {
-  for (float& v : data_) v = value;
+  float* p = data_.data();
+  util::ParallelFor(0, size(), kElemGrain, [p, value](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) p[i] = value;
+  });
 }
 
 void Matrix::FillNormal(util::Rng& rng, float stddev) {
+  // Sequential: draws must consume the RNG stream in index order.
   for (float& v : data_) v = static_cast<float>(rng.Normal(0.0, stddev));
 }
 
@@ -78,37 +190,71 @@ void Matrix::FillUniform(util::Rng& rng, float lo, float hi) {
 }
 
 float Matrix::Norm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  const float* p = data_.data();
+  double acc =
+      util::ParallelSum(0, size(), kElemGrain, [p](int64_t b, int64_t e) {
+        double partial = 0.0;
+        for (int64_t i = b; i < e; ++i) {
+          partial += static_cast<double>(p[i]) * p[i];
+        }
+        return partial;
+      });
   return static_cast<float>(std::sqrt(acc));
 }
 
 float Matrix::Sum() const {
-  double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* p = data_.data();
+  double acc =
+      util::ParallelSum(0, size(), kElemGrain, [p](int64_t b, int64_t e) {
+        double partial = 0.0;
+        for (int64_t i = b; i < e; ++i) partial += p[i];
+        return partial;
+      });
   return static_cast<float>(acc);
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
   CPGAN_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  util::ParallelFor(0, size(), kElemGrain, [dst, src](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] += src[i];
+  });
 }
 
 void Matrix::Axpy(float alpha, const Matrix& other) {
   CPGAN_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  util::ParallelFor(0, size(), kElemGrain,
+                    [dst, src, alpha](int64_t b, int64_t e) {
+                      for (int64_t i = b; i < e; ++i) dst[i] += alpha * src[i];
+                    });
 }
 
 void Matrix::Scale(float alpha) {
-  for (float& v : data_) v *= alpha;
+  float* p = data_.data();
+  util::ParallelFor(0, size(), kElemGrain, [p, alpha](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) p[i] *= alpha;
+  });
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    const float* src = Row(r);
-    for (int c = 0; c < cols_; ++c) out.At(c, r) = src[c];
-  }
+  // Parallel over output row panels (= source column panels): each chunk
+  // writes a disjoint band of `out`, reading the source in cache-friendly
+  // kTileRows x kTileCols blocks.
+  util::ParallelFor(0, cols_, kTileCols, [&](int64_t c0, int64_t c1) {
+    for (int r0 = 0; r0 < rows_; r0 += kTileRows) {
+      const int r1 = std::min(rows_, r0 + kTileRows);
+      for (int r = r0; r < r1; ++r) {
+        const float* src = Row(r);
+        for (int64_t c = c0; c < c1; ++c) {
+          out.Row(static_cast<int>(c))[r] = src[c];
+        }
+      }
+    }
+  });
   return out;
 }
 
@@ -125,17 +271,16 @@ void MatmulAccum(const Matrix& a, const Matrix& b, Matrix& out) {
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.cols();
-  // i-k-j loop order: streams through B and the output row contiguously.
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int kk = 0; kk < k; ++kk) {
-      float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b.Row(kk);
-      for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
-    }
+  if (n == 0 || k == 0 || m == 0) return;
+  const int64_t flops = static_cast<int64_t>(n) * k * m;
+  if (flops < kSerialMatmulFlops) {
+    MatmulSerialSmall(a, b, out);
+    return;
   }
+  const PackedB packed = PackB(b);
+  util::ParallelFor(0, n, kTileRows, [&](int64_t i0, int64_t i1) {
+    MatmulPanel(a, packed, out, i0, i1);
+  });
 }
 
 Matrix MatmulTN(const Matrix& a, const Matrix& b) {
@@ -144,16 +289,27 @@ Matrix MatmulTN(const Matrix& a, const Matrix& b) {
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.cols();
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.Row(i);
-    const float* brow = b.Row(i);
-    for (int kk = 0; kk < k; ++kk) {
-      float v = arow[kk];
-      if (v == 0.0f) continue;
-      float* orow = out.Row(kk);
-      for (int j = 0; j < m; ++j) orow[j] += v * brow[j];
+  if (n == 0 || k == 0 || m == 0) return out;
+  const int64_t flops = static_cast<int64_t>(n) * k * m;
+  if (flops < kSerialMatmulFlops) {
+    // Original scatter loop: for each input row, rank-1 update of `out`.
+    for (int i = 0; i < n; ++i) {
+      const float* arow = a.Row(i);
+      const float* brow = b.Row(i);
+      for (int kk = 0; kk < k; ++kk) {
+        float v = arow[kk];
+        if (v == 0.0f) continue;
+        float* orow = out.Row(kk);
+        for (int j = 0; j < m; ++j) orow[j] += v * brow[j];
+      }
     }
+    return out;
   }
+  // A^T is materialized (parallel blocked transpose) so the product reuses
+  // the row-parallel blocked kernel; the transpose is O(nk) against the
+  // O(nkm) product.
+  Matrix at = a.Transposed();
+  MatmulAccum(at, b, out);
   return out;
 }
 
@@ -163,16 +319,22 @@ Matrix MatmulNT(const Matrix& a, const Matrix& b) {
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.rows();
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int j = 0; j < m; ++j) {
-      const float* brow = b.Row(j);
-      double acc = 0.0;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      orow[j] = static_cast<float>(acc);
+  if (n == 0 || k == 0 || m == 0) return out;
+  // Dot-product form: each output row depends only on one row of A and all
+  // of B, so row panels parallelize with no write sharing; the per-element
+  // double accumulator order is fixed by the k loop regardless of panels.
+  util::ParallelFor(0, n, kTileRows, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = a.Row(static_cast<int>(i));
+      float* orow = out.Row(static_cast<int>(i));
+      for (int j = 0; j < m; ++j) {
+        const float* brow = b.Row(j);
+        double acc = 0.0;
+        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        orow[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -1,6 +1,9 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "util/thread_pool.h"
 
 namespace cpgan::tensor {
 namespace {
@@ -8,6 +11,42 @@ namespace {
 constexpr float kLogEps = 1e-12f;
 
 using internal::Node;
+
+/// Flat elementwise kernels are chunked at this many elements; row-wise
+/// kernels convert it into a row grain. Grains depend only on shapes, so
+/// chunk boundaries — and therefore results — are thread-count independent.
+constexpr int64_t kElemGrain = 1 << 15;
+
+int64_t RowGrain(int rows, int cols) {
+  (void)rows;
+  return std::max<int64_t>(1, kElemGrain / std::max(cols, 1));
+}
+
+/// out[0][c] = sum_r row_term(r)[c], computed as per-chunk partial row sums
+/// combined in chunk order: deterministic for any thread count. `add_row`
+/// must add row r of the reduced quantity into the float* accumulator.
+template <typename AddRowFn>
+Matrix ColumnSumReduce(int rows, int cols, const AddRowFn& add_row) {
+  Matrix out(1, cols);
+  const int64_t grain = RowGrain(rows, cols);
+  const int64_t num_chunks = util::ThreadPool::NumChunks(0, rows, grain);
+  float* orow = out.Row(0);
+  if (num_chunks <= 1) {
+    for (int r = 0; r < rows; ++r) add_row(r, orow);
+    return out;
+  }
+  std::vector<float> partials(static_cast<size_t>(num_chunks) * cols, 0.0f);
+  util::ThreadPool::Global().ParallelForChunked(
+      0, rows, grain, [&](int64_t r0, int64_t r1, int64_t chunk) {
+        float* acc = partials.data() + chunk * cols;
+        for (int64_t r = r0; r < r1; ++r) add_row(static_cast<int>(r), acc);
+      });
+  for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const float* acc = partials.data() + chunk * cols;
+    for (int c = 0; c < cols; ++c) orow[c] += acc[c];
+  }
+  return out;
+}
 
 float StableSoftplus(float x) {
   // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
@@ -29,20 +68,24 @@ float StableSigmoid(float x) {
 template <typename Fwd, typename Bwd>
 Tensor ElementwiseUnary(const Tensor& x, Fwd fwd, Bwd bwd) {
   Matrix out(x.rows(), x.cols());
-  const Matrix& xv = x.value();
-  for (int64_t i = 0; i < xv.size(); ++i) {
-    out.data()[i] = fwd(xv.data()[i]);
-  }
+  const float* src = x.value().data();
+  float* dst = out.data();
+  util::ParallelFor(0, x.value().size(), kElemGrain,
+                    [&](int64_t b, int64_t e) {
+                      for (int64_t i = b; i < e; ++i) dst[i] = fwd(src[i]);
+                    });
   return Tensor::MakeNode(
       std::move(out), {x}, [bwd](const Matrix& g, Node& self) {
         Node* input = self.inputs[0].get();
         if (!input->requires_grad) return;
         Matrix dx(g.rows(), g.cols());
-        const Matrix& xv = input->value;
-        const Matrix& yv = self.value;
-        for (int64_t i = 0; i < g.size(); ++i) {
-          dx.data()[i] = g.data()[i] * bwd(xv.data()[i], yv.data()[i]);
-        }
+        const float* gp = g.data();
+        const float* xp = input->value.data();
+        const float* yp = self.value.data();
+        float* dp = dx.data();
+        util::ParallelFor(0, g.size(), kElemGrain, [&](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) dp[i] = gp[i] * bwd(xp[i], yp[i]);
+        });
         input->AccumulateGrad(dx);
       });
 }
@@ -79,28 +122,37 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                           });
 }
 
+namespace {
+
+/// dst[i] = x[i] * y[i] over the whole flat range, in parallel.
+void ElementwiseProduct(const float* x, const float* y, float* dst,
+                        int64_t size) {
+  util::ParallelFor(0, size, kElemGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] = x[i] * y[i];
+  });
+}
+
+}  // namespace
+
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CPGAN_CHECK(a.value().SameShape(b.value()));
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.value().data()[i] * b.value().data()[i];
-  }
+  ElementwiseProduct(a.value().data(), b.value().data(), out.data(),
+                     out.size());
   return Tensor::MakeNode(
       std::move(out), {a, b}, [](const Matrix& g, Node& self) {
         Node* a_in = self.inputs[0].get();
         Node* b_in = self.inputs[1].get();
         if (a_in->requires_grad) {
           Matrix da(g.rows(), g.cols());
-          for (int64_t i = 0; i < g.size(); ++i) {
-            da.data()[i] = g.data()[i] * b_in->value.data()[i];
-          }
+          ElementwiseProduct(g.data(), b_in->value.data(), da.data(),
+                             g.size());
           a_in->AccumulateGrad(da);
         }
         if (b_in->requires_grad) {
           Matrix db(g.rows(), g.cols());
-          for (int64_t i = 0; i < g.size(); ++i) {
-            db.data()[i] = g.data()[i] * a_in->value.data()[i];
-          }
+          ElementwiseProduct(g.data(), a_in->value.data(), db.data(),
+                             g.size());
           b_in->AccumulateGrad(db);
         }
       });
@@ -109,26 +161,43 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Div(const Tensor& a, const Tensor& b) {
   CPGAN_CHECK(a.value().SameShape(b.value()));
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.value().data()[i] / b.value().data()[i];
+  {
+    const float* ap = a.value().data();
+    const float* bp = b.value().data();
+    float* op = out.data();
+    util::ParallelFor(0, out.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) op[i] = ap[i] / bp[i];
+    });
   }
   return Tensor::MakeNode(
       std::move(out), {a, b}, [](const Matrix& g, Node& self) {
         Node* a_in = self.inputs[0].get();
         Node* b_in = self.inputs[1].get();
+        const float* gp = g.data();
         if (a_in->requires_grad) {
           Matrix da(g.rows(), g.cols());
-          for (int64_t i = 0; i < g.size(); ++i) {
-            da.data()[i] = g.data()[i] / b_in->value.data()[i];
-          }
+          const float* bp = b_in->value.data();
+          float* dp = da.data();
+          util::ParallelFor(0, g.size(), kElemGrain,
+                            [&](int64_t lo, int64_t hi) {
+                              for (int64_t i = lo; i < hi; ++i) {
+                                dp[i] = gp[i] / bp[i];
+                              }
+                            });
           a_in->AccumulateGrad(da);
         }
         if (b_in->requires_grad) {
           Matrix db(g.rows(), g.cols());
-          for (int64_t i = 0; i < g.size(); ++i) {
-            float bv = b_in->value.data()[i];
-            db.data()[i] = -g.data()[i] * a_in->value.data()[i] / (bv * bv);
-          }
+          const float* ap = a_in->value.data();
+          const float* bp = b_in->value.data();
+          float* dp = db.data();
+          util::ParallelFor(0, g.size(), kElemGrain,
+                            [&](int64_t lo, int64_t hi) {
+                              for (int64_t i = lo; i < hi; ++i) {
+                                float bv = bp[i];
+                                dp[i] = -gp[i] * ap[i] / (bv * bv);
+                              }
+                            });
           b_in->AccumulateGrad(db);
         }
       });
@@ -139,21 +208,26 @@ Tensor AddRowVec(const Tensor& x, const Tensor& v) {
   CPGAN_CHECK_EQ(v.cols(), x.cols());
   Matrix out = x.value();
   const float* vec = v.value().Row(0);
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.Row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] += vec[c];
-  }
+  const int cols = out.cols();
+  util::ParallelFor(0, out.rows(), RowGrain(out.rows(), cols),
+                    [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        float* row = out.Row(static_cast<int>(r));
+                        for (int c = 0; c < cols; ++c) row[c] += vec[c];
+                      }
+                    });
   return Tensor::MakeNode(
       std::move(out), {x, v}, [](const Matrix& g, Node& self) {
         Node* x_in = self.inputs[0].get();
         Node* v_in = self.inputs[1].get();
         if (x_in->requires_grad) x_in->AccumulateGrad(g);
         if (v_in->requires_grad) {
-          Matrix dv(1, g.cols());
-          for (int r = 0; r < g.rows(); ++r) {
-            const float* row = g.Row(r);
-            for (int c = 0; c < g.cols(); ++c) dv.At(0, c) += row[c];
-          }
+          const int cols = g.cols();
+          Matrix dv = ColumnSumReduce(
+              g.rows(), cols, [&g, cols](int r, float* acc) {
+                const float* row = g.Row(r);
+                for (int c = 0; c < cols; ++c) acc[c] += row[c];
+              });
           v_in->AccumulateGrad(dv);
         }
       });
@@ -164,33 +238,42 @@ Tensor MulRowVec(const Tensor& x, const Tensor& v) {
   CPGAN_CHECK_EQ(v.cols(), x.cols());
   Matrix out = x.value();
   const float* vec = v.value().Row(0);
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.Row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= vec[c];
-  }
+  const int cols = out.cols();
+  util::ParallelFor(0, out.rows(), RowGrain(out.rows(), cols),
+                    [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        float* row = out.Row(static_cast<int>(r));
+                        for (int c = 0; c < cols; ++c) row[c] *= vec[c];
+                      }
+                    });
   return Tensor::MakeNode(
       std::move(out), {x, v}, [](const Matrix& g, Node& self) {
         Node* x_in = self.inputs[0].get();
         Node* v_in = self.inputs[1].get();
+        const int cols = g.cols();
         if (x_in->requires_grad) {
-          Matrix dx(g.rows(), g.cols());
+          Matrix dx(g.rows(), cols);
           const float* vec = v_in->value.Row(0);
-          for (int r = 0; r < g.rows(); ++r) {
-            const float* grow = g.Row(r);
-            float* drow = dx.Row(r);
-            for (int c = 0; c < g.cols(); ++c) drow[c] = grow[c] * vec[c];
-          }
+          util::ParallelFor(0, g.rows(), RowGrain(g.rows(), cols),
+                            [&](int64_t r0, int64_t r1) {
+                              for (int64_t r = r0; r < r1; ++r) {
+                                const float* grow = g.Row(static_cast<int>(r));
+                                float* drow = dx.Row(static_cast<int>(r));
+                                for (int c = 0; c < cols; ++c) {
+                                  drow[c] = grow[c] * vec[c];
+                                }
+                              }
+                            });
           x_in->AccumulateGrad(dx);
         }
         if (v_in->requires_grad) {
-          Matrix dv(1, g.cols());
-          for (int r = 0; r < g.rows(); ++r) {
-            const float* grow = g.Row(r);
-            const float* xrow = x_in->value.Row(r);
-            for (int c = 0; c < g.cols(); ++c) {
-              dv.At(0, c) += grow[c] * xrow[c];
-            }
-          }
+          const Matrix& xv = x_in->value;
+          Matrix dv = ColumnSumReduce(
+              g.rows(), cols, [&g, &xv, cols](int r, float* acc) {
+                const float* grow = g.Row(r);
+                const float* xrow = xv.Row(r);
+                for (int c = 0; c < cols; ++c) acc[c] += grow[c] * xrow[c];
+              });
           v_in->AccumulateGrad(dv);
         }
       });
@@ -200,34 +283,54 @@ Tensor MulColVec(const Tensor& x, const Tensor& v) {
   CPGAN_CHECK_EQ(v.cols(), 1);
   CPGAN_CHECK_EQ(v.rows(), x.rows());
   Matrix out = x.value();
-  for (int r = 0; r < out.rows(); ++r) {
-    float scale = v.value().At(r, 0);
-    float* row = out.Row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= scale;
-  }
+  const int cols = out.cols();
+  const float* vcol = v.value().data();  // n x 1: column is the flat buffer
+  util::ParallelFor(0, out.rows(), RowGrain(out.rows(), cols),
+                    [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        float scale = vcol[r];
+                        float* row = out.Row(static_cast<int>(r));
+                        for (int c = 0; c < cols; ++c) row[c] *= scale;
+                      }
+                    });
   return Tensor::MakeNode(
       std::move(out), {x, v}, [](const Matrix& g, Node& self) {
         Node* x_in = self.inputs[0].get();
         Node* v_in = self.inputs[1].get();
+        const int cols = g.cols();
         if (x_in->requires_grad) {
-          Matrix dx(g.rows(), g.cols());
-          for (int r = 0; r < g.rows(); ++r) {
-            float scale = v_in->value.At(r, 0);
-            const float* grow = g.Row(r);
-            float* drow = dx.Row(r);
-            for (int c = 0; c < g.cols(); ++c) drow[c] = grow[c] * scale;
-          }
+          Matrix dx(g.rows(), cols);
+          const float* vcol = v_in->value.data();
+          util::ParallelFor(0, g.rows(), RowGrain(g.rows(), cols),
+                            [&](int64_t r0, int64_t r1) {
+                              for (int64_t r = r0; r < r1; ++r) {
+                                float scale = vcol[r];
+                                const float* grow = g.Row(static_cast<int>(r));
+                                float* drow = dx.Row(static_cast<int>(r));
+                                for (int c = 0; c < cols; ++c) {
+                                  drow[c] = grow[c] * scale;
+                                }
+                              }
+                            });
           x_in->AccumulateGrad(dx);
         }
         if (v_in->requires_grad) {
           Matrix dv(g.rows(), 1);
-          for (int r = 0; r < g.rows(); ++r) {
-            const float* grow = g.Row(r);
-            const float* xrow = x_in->value.Row(r);
-            double acc = 0.0;
-            for (int c = 0; c < g.cols(); ++c) acc += grow[c] * xrow[c];
-            dv.At(r, 0) = static_cast<float>(acc);
-          }
+          const Matrix& xv = x_in->value;
+          float* dcol = dv.data();
+          util::ParallelFor(0, g.rows(), RowGrain(g.rows(), cols),
+                            [&](int64_t r0, int64_t r1) {
+                              for (int64_t r = r0; r < r1; ++r) {
+                                const float* grow = g.Row(static_cast<int>(r));
+                                const float* xrow =
+                                    xv.Row(static_cast<int>(r));
+                                double acc = 0.0;
+                                for (int c = 0; c < cols; ++c) {
+                                  acc += grow[c] * xrow[c];
+                                }
+                                dcol[r] = static_cast<float>(acc);
+                              }
+                            });
           v_in->AccumulateGrad(dv);
         }
       });
@@ -316,35 +419,44 @@ Tensor Reciprocal(const Tensor& x) {
 Tensor SoftmaxRows(const Tensor& x) {
   Matrix out(x.rows(), x.cols());
   const Matrix& xv = x.value();
-  for (int r = 0; r < xv.rows(); ++r) {
-    const float* row = xv.Row(r);
-    float* orow = out.Row(r);
-    float maxv = row[0];
-    for (int c = 1; c < xv.cols(); ++c) maxv = std::max(maxv, row[c]);
-    double total = 0.0;
-    for (int c = 0; c < xv.cols(); ++c) {
-      orow[c] = std::exp(row[c] - maxv);
-      total += orow[c];
-    }
-    float inv = static_cast<float>(1.0 / total);
-    for (int c = 0; c < xv.cols(); ++c) orow[c] *= inv;
-  }
+  const int cols = xv.cols();
+  util::ParallelFor(
+      0, xv.rows(), RowGrain(xv.rows(), cols), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* row = xv.Row(static_cast<int>(r));
+          float* orow = out.Row(static_cast<int>(r));
+          float maxv = row[0];
+          for (int c = 1; c < cols; ++c) maxv = std::max(maxv, row[c]);
+          double total = 0.0;
+          for (int c = 0; c < cols; ++c) {
+            orow[c] = std::exp(row[c] - maxv);
+            total += orow[c];
+          }
+          float inv = static_cast<float>(1.0 / total);
+          for (int c = 0; c < cols; ++c) orow[c] *= inv;
+        }
+      });
   return Tensor::MakeNode(
       std::move(out), {x}, [](const Matrix& g, Node& self) {
         Node* input = self.inputs[0].get();
         if (!input->requires_grad) return;
         const Matrix& y = self.value;
         Matrix dx(g.rows(), g.cols());
-        for (int r = 0; r < g.rows(); ++r) {
-          const float* grow = g.Row(r);
-          const float* yrow = y.Row(r);
-          double dot = 0.0;
-          for (int c = 0; c < g.cols(); ++c) dot += grow[c] * yrow[c];
-          float* drow = dx.Row(r);
-          for (int c = 0; c < g.cols(); ++c) {
-            drow[c] = yrow[c] * (grow[c] - static_cast<float>(dot));
-          }
-        }
+        const int cols = g.cols();
+        util::ParallelFor(
+            0, g.rows(), RowGrain(g.rows(), cols),
+            [&](int64_t r0, int64_t r1) {
+              for (int64_t r = r0; r < r1; ++r) {
+                const float* grow = g.Row(static_cast<int>(r));
+                const float* yrow = y.Row(static_cast<int>(r));
+                double dot = 0.0;
+                for (int c = 0; c < cols; ++c) dot += grow[c] * yrow[c];
+                float* drow = dx.Row(static_cast<int>(r));
+                for (int c = 0; c < cols; ++c) {
+                  drow[c] = yrow[c] * (grow[c] - static_cast<float>(dot));
+                }
+              }
+            });
         input->AccumulateGrad(dx);
       });
 }
@@ -352,6 +464,8 @@ Tensor SoftmaxRows(const Tensor& x) {
 Tensor Dropout(const Tensor& x, float p, util::Rng& rng, bool train) {
   if (!train || p <= 0.0f) return x;
   CPGAN_CHECK_LT(p, 1.0f);
+  // Serial by contract: the mask must consume the RNG stream in index
+  // order, which is part of the end-to-end reproducibility guarantee.
   auto mask = std::make_shared<Matrix>(x.rows(), x.cols());
   float keep_scale = 1.0f / (1.0f - p);
   Matrix out(x.rows(), x.cols());
@@ -526,13 +640,13 @@ Tensor SliceCols(const Tensor& x, int start, int len) {
 Tensor Reshape(const Tensor& x, int rows, int cols) {
   CPGAN_CHECK_EQ(static_cast<int64_t>(rows) * cols, x.value().size());
   Matrix out(rows, cols);
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = x.value().data()[i];
+  std::memcpy(out.data(), x.value().data(), out.size() * sizeof(float));
   return Tensor::MakeNode(
       std::move(out), {x}, [](const Matrix& g, Node& self) {
         Node* input = self.inputs[0].get();
         if (!input->requires_grad) return;
         Matrix dx(input->value.rows(), input->value.cols());
-        for (int64_t i = 0; i < g.size(); ++i) dx.data()[i] = g.data()[i];
+        std::memcpy(dx.data(), g.data(), g.size() * sizeof(float));
         input->AccumulateGrad(dx);
       });
 }
@@ -555,48 +669,66 @@ Tensor MeanAll(const Tensor& x) {
 }
 
 Tensor ColMean(const Tensor& x) {
-  Matrix out(1, x.cols());
-  for (int r = 0; r < x.rows(); ++r) {
-    const float* row = x.value().Row(r);
-    for (int c = 0; c < x.cols(); ++c) out.At(0, c) += row[c];
-  }
+  const Matrix& xv = x.value();
+  const int cols = xv.cols();
+  Matrix out = ColumnSumReduce(xv.rows(), cols, [&xv, cols](int r,
+                                                            float* acc) {
+    const float* row = xv.Row(r);
+    for (int c = 0; c < cols; ++c) acc[c] += row[c];
+  });
   float inv = 1.0f / static_cast<float>(x.rows());
   out.Scale(inv);
-  return Tensor::MakeNode(std::move(out), {x},
-                          [inv](const Matrix& g, Node& self) {
-                            Node* input = self.inputs[0].get();
-                            if (!input->requires_grad) return;
-                            Matrix dx(input->value.rows(), input->value.cols());
-                            for (int r = 0; r < dx.rows(); ++r) {
-                              float* drow = dx.Row(r);
-                              for (int c = 0; c < dx.cols(); ++c) {
-                                drow[c] = g.At(0, c) * inv;
+  return Tensor::MakeNode(
+      std::move(out), {x}, [inv](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        Matrix dx(input->value.rows(), input->value.cols());
+        const float* grow = g.Row(0);
+        const int cols = dx.cols();
+        util::ParallelFor(0, dx.rows(), RowGrain(dx.rows(), cols),
+                          [&](int64_t r0, int64_t r1) {
+                            for (int64_t r = r0; r < r1; ++r) {
+                              float* drow = dx.Row(static_cast<int>(r));
+                              for (int c = 0; c < cols; ++c) {
+                                drow[c] = grow[c] * inv;
                               }
                             }
-                            input->AccumulateGrad(dx);
                           });
+        input->AccumulateGrad(dx);
+      });
 }
 
 Tensor RowSum(const Tensor& x) {
   Matrix out(x.rows(), 1);
-  for (int r = 0; r < x.rows(); ++r) {
-    const float* row = x.value().Row(r);
-    double acc = 0.0;
-    for (int c = 0; c < x.cols(); ++c) acc += row[c];
-    out.At(r, 0) = static_cast<float>(acc);
-  }
-  return Tensor::MakeNode(std::move(out), {x},
-                          [](const Matrix& g, Node& self) {
-                            Node* input = self.inputs[0].get();
-                            if (!input->requires_grad) return;
-                            Matrix dx(input->value.rows(), input->value.cols());
-                            for (int r = 0; r < dx.rows(); ++r) {
-                              float gv = g.At(r, 0);
-                              float* drow = dx.Row(r);
-                              for (int c = 0; c < dx.cols(); ++c) drow[c] = gv;
+  const Matrix& xv = x.value();
+  const int cols = xv.cols();
+  float* ocol = out.data();
+  util::ParallelFor(0, xv.rows(), RowGrain(xv.rows(), cols),
+                    [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        const float* row = xv.Row(static_cast<int>(r));
+                        double acc = 0.0;
+                        for (int c = 0; c < cols; ++c) acc += row[c];
+                        ocol[r] = static_cast<float>(acc);
+                      }
+                    });
+  return Tensor::MakeNode(
+      std::move(out), {x}, [](const Matrix& g, Node& self) {
+        Node* input = self.inputs[0].get();
+        if (!input->requires_grad) return;
+        Matrix dx(input->value.rows(), input->value.cols());
+        const float* gcol = g.data();
+        const int cols = dx.cols();
+        util::ParallelFor(0, dx.rows(), RowGrain(dx.rows(), cols),
+                          [&](int64_t r0, int64_t r1) {
+                            for (int64_t r = r0; r < r1; ++r) {
+                              float gv = gcol[r];
+                              float* drow = dx.Row(static_cast<int>(r));
+                              for (int c = 0; c < cols; ++c) drow[c] = gv;
                             }
-                            input->AccumulateGrad(dx);
                           });
+        input->AccumulateGrad(dx);
+      });
 }
 
 Tensor RowMean(const Tensor& x) {
@@ -605,24 +737,39 @@ Tensor RowMean(const Tensor& x) {
 
 Tensor RowL2Norm(const Tensor& x) {
   Matrix out(x.rows(), 1);
-  for (int r = 0; r < x.rows(); ++r) {
-    const float* row = x.value().Row(r);
-    double acc = 0.0;
-    for (int c = 0; c < x.cols(); ++c) acc += static_cast<double>(row[c]) * row[c];
-    out.At(r, 0) = static_cast<float>(std::sqrt(acc));
-  }
+  const Matrix& xv = x.value();
+  const int cols = xv.cols();
+  float* ocol = out.data();
+  util::ParallelFor(
+      0, xv.rows(), RowGrain(xv.rows(), cols), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* row = xv.Row(static_cast<int>(r));
+          double acc = 0.0;
+          for (int c = 0; c < cols; ++c) {
+            acc += static_cast<double>(row[c]) * row[c];
+          }
+          ocol[r] = static_cast<float>(std::sqrt(acc));
+        }
+      });
   return Tensor::MakeNode(
       std::move(out), {x}, [](const Matrix& g, Node& self) {
         Node* input = self.inputs[0].get();
         if (!input->requires_grad) return;
         Matrix dx(input->value.rows(), input->value.cols());
-        for (int r = 0; r < dx.rows(); ++r) {
-          float norm = self.value.At(r, 0);
-          float scale = g.At(r, 0) / (norm > 1e-6f ? norm : 1e-6f);
-          const float* xrow = input->value.Row(r);
-          float* drow = dx.Row(r);
-          for (int c = 0; c < dx.cols(); ++c) drow[c] = scale * xrow[c];
-        }
+        const float* norms = self.value.data();
+        const float* gcol = g.data();
+        const int cols = dx.cols();
+        util::ParallelFor(
+            0, dx.rows(), RowGrain(dx.rows(), cols),
+            [&](int64_t r0, int64_t r1) {
+              for (int64_t r = r0; r < r1; ++r) {
+                float norm = norms[r];
+                float scale = gcol[r] / (norm > 1e-6f ? norm : 1e-6f);
+                const float* xrow = input->value.Row(static_cast<int>(r));
+                float* drow = dx.Row(static_cast<int>(r));
+                for (int c = 0; c < cols; ++c) drow[c] = scale * xrow[c];
+              }
+            });
         input->AccumulateGrad(dx);
       });
 }
@@ -632,14 +779,20 @@ Tensor BceWithLogits(const Tensor& logits, const Matrix& targets,
   CPGAN_CHECK(logits.value().SameShape(targets));
   auto shared_targets = std::make_shared<Matrix>(targets);
   const Matrix& x = logits.value();
-  double total = 0.0;
-  for (int64_t i = 0; i < x.size(); ++i) {
-    float xv = x.data()[i];
-    float t = targets.data()[i];
-    // pos_weight * t * softplus(-x) + (1 - t) * softplus(x)
-    total += pos_weight * t * StableSoftplus(-xv) +
-             (1.0f - t) * StableSoftplus(xv);
-  }
+  const float* xp = x.data();
+  const float* tp = targets.data();
+  double total = util::ParallelSum(
+      0, x.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        double acc = 0.0;
+        for (int64_t i = i0; i < i1; ++i) {
+          float xv = xp[i];
+          float t = tp[i];
+          // pos_weight * t * softplus(-x) + (1 - t) * softplus(x)
+          acc += pos_weight * t * StableSoftplus(-xv) +
+                 (1.0f - t) * StableSoftplus(xv);
+        }
+        return acc;
+      });
   Matrix out(1, 1);
   float inv = 1.0f / static_cast<float>(x.size());
   out.At(0, 0) = static_cast<float>(total) * inv;
@@ -650,13 +803,19 @@ Tensor BceWithLogits(const Tensor& logits, const Matrix& targets,
         if (!input->requires_grad) return;
         float gv = g.At(0, 0) * inv;
         Matrix dx(input->value.rows(), input->value.cols());
-        for (int64_t i = 0; i < dx.size(); ++i) {
-          float xv = input->value.data()[i];
-          float t = shared_targets->data()[i];
-          float s = StableSigmoid(xv);
-          // d/dx [pw * t * softplus(-x) + (1-t) * softplus(x)]
-          dx.data()[i] = gv * (-pos_weight * t * (1.0f - s) + (1.0f - t) * s);
-        }
+        const float* xp = input->value.data();
+        const float* tp = shared_targets->data();
+        float* dp = dx.data();
+        util::ParallelFor(0, dx.size(), kElemGrain, [&](int64_t i0,
+                                                        int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            float xv = xp[i];
+            float t = tp[i];
+            float s = StableSigmoid(xv);
+            // d/dx [pw * t * softplus(-x) + (1-t) * softplus(x)]
+            dp[i] = gv * (-pos_weight * t * (1.0f - s) + (1.0f - t) * s);
+          }
+        });
         input->AccumulateGrad(dx);
       });
 }

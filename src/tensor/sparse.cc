@@ -2,10 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/memory_tracker.h"
+#include "util/thread_pool.h"
 
 namespace cpgan::tensor {
+
+namespace {
+
+/// Target work (entry-column products) per SpMM chunk. Rows are chunked so
+/// a chunk covers roughly this many multiply-adds on an average row; the
+/// grain is a pure function of the matrix shape, never the thread count.
+constexpr int64_t kSpmmGrainFlops = 1 << 14;
+
+int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
+  const int64_t avg_row_flops =
+      std::max<int64_t>(1, (nnz / std::max<int64_t>(rows, 1)) * dense_cols);
+  return std::max<int64_t>(1, kSpmmGrainFlops / avg_row_flops);
+}
+
+}  // namespace
 
 SparseMatrix::SparseMatrix(int rows, int cols, std::vector<Triplet> triplets)
     : rows_(rows), cols_(cols) {
@@ -41,30 +58,99 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
   CPGAN_CHECK_EQ(cols_, dense.rows());
   Matrix out(rows_, dense.cols());
   const int d = dense.cols();
-  for (int r = 0; r < rows_; ++r) {
-    float* orow = out.Row(r);
-    for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
-      float v = values_[idx];
-      const float* drow = dense.Row(col_indices_[idx]);
-      for (int c = 0; c < d; ++c) orow[c] += v * drow[c];
-    }
-  }
+  // Each output row is owned by exactly one chunk; within a row, entries
+  // accumulate in CSR (column-ascending) order for any thread count.
+  util::ParallelFor(
+      0, rows_, SpmmRowGrain(rows_, nnz(), d), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* orow = out.Row(static_cast<int>(r));
+          for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1];
+               ++idx) {
+            float v = values_[idx];
+            const float* drow = dense.Row(col_indices_[idx]);
+            for (int c = 0; c < d; ++c) orow[c] += v * drow[c];
+          }
+        }
+      });
   return out;
 }
 
 Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
   CPGAN_CHECK_EQ(rows_, dense.rows());
-  Matrix out(cols_, dense.cols());
-  const int d = dense.cols();
+  return TransposedCached().Multiply(dense);
+}
+
+SparseMatrix SparseMatrix::BuildTransposed() const {
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_offsets_.assign(cols_ + 1, 0);
+  t.col_indices_.resize(values_.size());
+  t.values_.resize(values_.size());
+  for (int c : col_indices_) t.row_offsets_[c + 1] += 1;
+  for (int c = 0; c < cols_; ++c) t.row_offsets_[c + 1] += t.row_offsets_[c];
+  std::vector<int64_t> cursor(t.row_offsets_.begin(), t.row_offsets_.end() - 1);
   for (int r = 0; r < rows_; ++r) {
-    const float* drow = dense.Row(r);
     for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
-      float v = values_[idx];
-      float* orow = out.Row(col_indices_[idx]);
-      for (int c = 0; c < d; ++c) orow[c] += v * drow[c];
+      int64_t dst = cursor[col_indices_[idx]]++;
+      t.col_indices_[dst] = r;  // ascending per transposed row
+      t.values_[dst] = values_[idx];
     }
   }
-  return out;
+  util::MemoryTracker::Global().Allocate(t.values_.size() * sizeof(float) +
+                                         t.col_indices_.size() * sizeof(int));
+  return t;
+}
+
+const SparseMatrix& SparseMatrix::TransposedCached() const {
+  std::lock_guard<std::mutex> lock(transpose_mutex_);
+  if (!transpose_cache_) {
+    transpose_cache_ = std::make_shared<const SparseMatrix>(BuildTransposed());
+  }
+  return *transpose_cache_;
+}
+
+SparseMatrix::SparseMatrix(const SparseMatrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_offsets_(other.row_offsets_),
+      col_indices_(other.col_indices_),
+      values_(other.values_),
+      transpose_cache_(other.transpose_cache_) {}
+
+SparseMatrix& SparseMatrix::operator=(const SparseMatrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_offsets_ = other.row_offsets_;
+  col_indices_ = other.col_indices_;
+  values_ = other.values_;
+  transpose_cache_ = other.transpose_cache_;
+  return *this;
+}
+
+SparseMatrix::SparseMatrix(SparseMatrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_offsets_(std::move(other.row_offsets_)),
+      col_indices_(std::move(other.col_indices_)),
+      values_(std::move(other.values_)),
+      transpose_cache_(std::move(other.transpose_cache_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+SparseMatrix& SparseMatrix::operator=(SparseMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_offsets_ = std::move(other.row_offsets_);
+  col_indices_ = std::move(other.col_indices_);
+  values_ = std::move(other.values_);
+  transpose_cache_ = std::move(other.transpose_cache_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
 }
 
 Matrix SparseMatrix::RowSums() const {
@@ -89,16 +175,7 @@ Matrix SparseMatrix::ToDense() const {
   return out;
 }
 
-SparseMatrix SparseMatrix::Transposed() const {
-  std::vector<Triplet> triplets;
-  triplets.reserve(values_.size());
-  for (int r = 0; r < rows_; ++r) {
-    for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
-      triplets.push_back({col_indices_[idx], r, values_[idx]});
-    }
-  }
-  return SparseMatrix(cols_, rows_, std::move(triplets));
-}
+SparseMatrix SparseMatrix::Transposed() const { return BuildTransposed(); }
 
 SparseMatrix NormalizedAdjacency(
     int n, const std::vector<std::pair<int, int>>& edges) {

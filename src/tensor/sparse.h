@@ -2,6 +2,8 @@
 #define CPGAN_TENSOR_SPARSE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -27,6 +29,13 @@ class SparseMatrix {
   /// Builds from triplets. Duplicate (row, col) entries are summed.
   SparseMatrix(int rows, int cols, std::vector<Triplet> triplets);
 
+  // The lazily built transpose cache (shared, immutable) travels with
+  // copies; the mutex guarding its construction does not.
+  SparseMatrix(const SparseMatrix& other);
+  SparseMatrix& operator=(const SparseMatrix& other);
+  SparseMatrix(SparseMatrix&& other) noexcept;
+  SparseMatrix& operator=(SparseMatrix&& other) noexcept;
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
@@ -35,10 +44,16 @@ class SparseMatrix {
   const std::vector<int>& col_indices() const { return col_indices_; }
   const std::vector<float>& values() const { return values_; }
 
-  /// out = S * D  (rows x D.cols()).
+  /// out = S * D  (rows x D.cols()). Row-parallel: each output row is a
+  /// gather over this row's entries in column order, so the result is
+  /// independent of the thread count.
   Matrix Multiply(const Matrix& dense) const;
 
-  /// out = S^T * D without materializing the transpose.
+  /// out = S^T * D. Implemented as a row-parallel gather over a lazily
+  /// built (and cached) transposed CSR — the scatter form of the old
+  /// implementation cannot parallelize without write conflicts. The
+  /// per-output-row accumulation order (ascending original row index)
+  /// matches the historical scatter order.
   Matrix MultiplyTransposed(const Matrix& dense) const;
 
   /// Per-row sums (rows x 1).
@@ -51,11 +66,20 @@ class SparseMatrix {
   SparseMatrix Transposed() const;
 
  private:
+  /// Counting-sort transpose in O(nnz + rows + cols); no triplet re-sort.
+  SparseMatrix BuildTransposed() const;
+
+  /// Returns the cached transpose, building it on first use (thread-safe).
+  const SparseMatrix& TransposedCached() const;
+
   int rows_ = 0;
   int cols_ = 0;
   std::vector<int64_t> row_offsets_;
   std::vector<int> col_indices_;
   std::vector<float> values_;
+
+  mutable std::mutex transpose_mutex_;
+  mutable std::shared_ptr<const SparseMatrix> transpose_cache_;
 };
 
 /// Builds the GCN-normalized adjacency D^{-1/2} (A + I) D^{-1/2} from an

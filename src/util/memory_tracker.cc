@@ -8,12 +8,19 @@ MemoryTracker& MemoryTracker::Global() {
 }
 
 void MemoryTracker::Allocate(size_t bytes) {
-  live_bytes_ += static_cast<int64_t>(bytes);
-  if (live_bytes_ > peak_bytes_) peak_bytes_ = live_bytes_;
+  int64_t live = live_bytes_.fetch_add(static_cast<int64_t>(bytes),
+                                       std::memory_order_relaxed) +
+                 static_cast<int64_t>(bytes);
+  // Monotonic max; racing updates converge to the true peak.
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak && !peak_bytes_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
 }
 
 void MemoryTracker::Release(size_t bytes) {
-  live_bytes_ -= static_cast<int64_t>(bytes);
+  live_bytes_.fetch_sub(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
 }
 
 }  // namespace cpgan::util

@@ -1,6 +1,7 @@
 #ifndef CPGAN_UTIL_MEMORY_TRACKER_H_
 #define CPGAN_UTIL_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -11,7 +12,8 @@ namespace cpgan::util {
 /// The paper reports peak GPU memory during training (Table IX); this repo
 /// runs on CPU, so the analogous quantity is the peak number of bytes held by
 /// tensor storage. Matrix/sparse storage report their allocations here.
-/// Thread-compatible (this project is single-threaded).
+/// Thread-safe: parallel kernels may allocate tracked storage from worker
+/// threads, so the counters are atomics.
 class MemoryTracker {
  public:
   /// Global tracker instance used by the tensor engine.
@@ -24,17 +26,23 @@ class MemoryTracker {
   void Release(size_t bytes);
 
   /// Currently live bytes.
-  int64_t live_bytes() const { return live_bytes_; }
+  int64_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Maximum live bytes observed since the last ResetPeak().
-  int64_t peak_bytes() const { return peak_bytes_; }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Resets the peak watermark to the current live volume.
-  void ResetPeak() { peak_bytes_ = live_bytes_; }
+  void ResetPeak() {
+    peak_bytes_.store(live_bytes(), std::memory_order_relaxed);
+  }
 
  private:
-  int64_t live_bytes_ = 0;
-  int64_t peak_bytes_ = 0;
+  std::atomic<int64_t> live_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
 };
 
 }  // namespace cpgan::util

@@ -14,6 +14,8 @@
 #include "data/datasets.h"
 #include "generators/mmsb.h"
 #include "generators/registry.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -127,8 +129,34 @@ std::vector<std::string> CpganVariants() {
   return {"CPGAN-C", "CPGAN-noV", "CPGAN-noH", "CPGAN"};
 }
 
+namespace {
+
+ModelRun DispatchModel(const std::string& name, const graph::Graph& observed,
+                       const RunOptions& options);
+
+}  // namespace
+
 ModelRun RunModel(const std::string& name, const graph::Graph& observed,
                   const RunOptions& options) {
+  // Under CPGAN_BENCH_PROFILE the whole run is a trace-span collection
+  // window, so bench snapshots can break fit_seconds down by phase. Spans
+  // only observe the clock (obs/trace.h), so this cannot change results.
+  if (!ProfileRequested()) return DispatchModel(name, observed, options);
+  obs::ResetTraces();
+  obs::SetTracingEnabled(true);
+  ModelRun run = DispatchModel(name, observed, options);
+  obs::SetTracingEnabled(false);
+  for (const obs::SpanStats& span : obs::CollectSpanStats()) {
+    run.phase_ms.emplace_back(span.path,
+                              static_cast<double>(span.exclusive_ns) / 1e6);
+  }
+  return run;
+}
+
+namespace {
+
+ModelRun DispatchModel(const std::string& name, const graph::Graph& observed,
+                       const RunOptions& options) {
   // Traditional models.
   for (const std::string& traditional : TraditionalModels()) {
     if (name == traditional) return RunTraditional(name, observed, options);
@@ -183,6 +211,8 @@ ModelRun RunModel(const std::string& name, const graph::Graph& observed,
   return ModelRun{};
 }
 
+}  // namespace
+
 int BenchRuns() {
   const char* env = std::getenv("CPGAN_BENCH_RUNS");
   if (env != nullptr) {
@@ -190,6 +220,23 @@ int BenchRuns() {
     if (runs >= 1) return runs;
   }
   return 2;
+}
+
+bool ProfileRequested() {
+  const char* env = std::getenv("CPGAN_BENCH_PROFILE");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::string PhaseBreakdownJson(const std::string& model, const ModelRun& run) {
+  if (run.phase_ms.empty()) return "";
+  obs::JsonValue phases = obs::JsonValue::Object();
+  for (const auto& [path, ms] : run.phase_ms) {
+    phases.Add(path, obs::JsonValue::Number(ms));
+  }
+  obs::JsonValue record = obs::JsonValue::Object();
+  record.Add("model", obs::JsonValue::String(model));
+  record.Add("phase_ms", std::move(phases));
+  return record.Serialize();
 }
 
 double BenchScale() {

@@ -11,6 +11,9 @@
 namespace cpgan::bench {
 
 /// Result of fitting one model on one graph and generating once.
+///
+/// All wall times come from util::Timer (monotonic steady_clock), the same
+/// clock the obs trace spans use, so fit_seconds and phase_ms agree.
 struct ModelRun {
   bool feasible = false;          // false mirrors the paper's OOM cells
   graph::Graph generated{0};
@@ -22,6 +25,9 @@ struct ModelRun {
   std::vector<double> negative_probs;
   std::vector<double> test_positive_probs;
   std::vector<double> test_negative_probs;
+  /// Per-span (path, exclusive ms) from the obs trace-span registry, in
+  /// profile order. Filled only when ProfileRequested(); empty otherwise.
+  std::vector<std::pair<std::string, double>> phase_ms;
 };
 
 /// Model names for the paper's tables.
@@ -52,6 +58,15 @@ ModelRun RunModel(const std::string& name, const graph::Graph& observed,
 /// Number of evaluation repetitions (mean±std); reads CPGAN_BENCH_RUNS,
 /// default 2.
 int BenchRuns();
+
+/// True when the CPGAN_BENCH_PROFILE env var is set (non-empty, not "0"):
+/// RunModel then records per-span phase timings into ModelRun::phase_ms.
+bool ProfileRequested();
+
+/// Renders `run.phase_ms` as a one-line JSON object
+/// (`{"model":"CPGAN","phase_ms":{"train/epoch":12.3,...}}`) for bench
+/// snapshot files. Returns "" when there is no phase data.
+std::string PhaseBreakdownJson(const std::string& model, const ModelRun& run);
 
 /// Global size multiplier for bench datasets; reads CPGAN_BENCH_SCALE
 /// (e.g. "0.5" halves every dataset), default 1.0.

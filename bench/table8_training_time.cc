@@ -29,6 +29,10 @@ int main() {
   for (int n : sizes) headers.push_back(std::to_string(n));
   util::Table table(headers);
 
+  // With CPGAN_BENCH_PROFILE set, each model's largest run also emits a
+  // per-span phase breakdown (JSONL, same registry as --profile in the CLI).
+  std::vector<std::string> breakdowns;
+
   for (const std::string& model : models) {
     std::vector<std::string> row = {model};
     for (int n : sizes) {
@@ -40,6 +44,10 @@ int main() {
       row.push_back(result.feasible
                         ? util::FormatCompact(result.fit_seconds / 60.0)
                         : "-");
+      if (n == sizes.back()) {
+        std::string breakdown = bench::PhaseBreakdownJson(model, result);
+        if (!breakdown.empty()) breakdowns.push_back(breakdown);
+      }
       std::fflush(stdout);
     }
     table.AddRow(row);
@@ -47,5 +55,12 @@ int main() {
   }
   std::printf("\n");
   table.Print();
+  if (!breakdowns.empty()) {
+    std::printf("\nphase breakdown (n=%d, exclusive ms per span):\n",
+                sizes.back());
+    for (const std::string& line : breakdowns) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
   return 0;
 }

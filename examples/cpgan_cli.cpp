@@ -20,6 +20,10 @@
 //   --checkpoint-every=N   checkpoint period in epochs (default 100)
 //   --resume               continue from the latest checkpoint in DIR
 //   --strict-io            fail on malformed/self-loop/duplicate edges
+//   --metrics-out=FILE     structured run log: one JSONL record per epoch
+//   --profile              print a trace-span profile table after training
+//   --trace=FILE           write Chrome trace_event JSON (chrome://tracing)
+// (see docs/OBSERVABILITY.md)
 
 #include <cstdio>
 #include <cstring>
@@ -32,6 +36,7 @@
 #include "data/loader.h"
 #include "eval/community_eval.h"
 #include "eval/graph_metrics.h"
+#include "eval/report.h"
 #include "generators/registry.h"
 #include "graph/io.h"
 #include "graph/stats.h"
@@ -49,6 +54,9 @@ struct GenerateOptions {
   int checkpoint_every = 100;
   bool resume = false;
   bool strict_io = false;
+  std::string metrics_out;
+  bool profile = false;
+  std::string trace_out;
 };
 
 /// Parses one `--flag` or `--flag=value` argument into `options`. Returns
@@ -78,6 +86,28 @@ bool ParseGenerateFlag(const std::string& arg, GenerateOptions* options) {
   }
   if (arg == "--strict-io") {
     options->strict_io = true;
+    return true;
+  }
+  const std::string kMetricsOut = "--metrics-out=";
+  if (arg.rfind(kMetricsOut, 0) == 0) {
+    options->metrics_out = arg.substr(kMetricsOut.size());
+    if (options->metrics_out.empty()) {
+      std::fprintf(stderr, "--metrics-out needs a file path\n");
+      return false;
+    }
+    return true;
+  }
+  if (arg == "--profile") {
+    options->profile = true;
+    return true;
+  }
+  const std::string kTrace = "--trace=";
+  if (arg.rfind(kTrace, 0) == 0) {
+    options->trace_out = arg.substr(kTrace.size());
+    if (options->trace_out.empty()) {
+      std::fprintf(stderr, "--trace needs a file path\n");
+      return false;
+    }
     return true;
   }
   std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -129,6 +159,9 @@ int CmdGenerate(const std::string& model, const std::string& ref,
     config.verbose = true;
     config.checkpoint_dir = options.checkpoint_dir;
     config.checkpoint_every = options.checkpoint_every;
+    config.metrics_out = options.metrics_out;
+    config.profile = options.profile;
+    config.trace_out = options.trace_out;
     core::Cpgan cpgan(config);
     if (options.resume) {
       if (options.checkpoint_dir.empty()) {
@@ -147,7 +180,14 @@ int CmdGenerate(const std::string& model, const std::string& ref,
         return 1;
       }
     }
-    cpgan.Fit(observed);
+    core::TrainStats stats = cpgan.Fit(observed);
+    std::printf("trained: %s, peak memory %s",
+                eval::FormatMillis(stats.train_seconds * 1000.0).c_str(),
+                eval::FormatBytes(stats.peak_bytes).c_str());
+    if (!options.metrics_out.empty()) {
+      std::printf(", %d run-log records", stats.metrics_records);
+    }
+    std::printf("\n");
     generated = cpgan.Generate();
   } else {
     auto generator = generators::MakeTraditionalGenerator(model);
@@ -205,6 +245,8 @@ int Usage() {
                "  cpgan_cli generate [flags] <model> <graph> [out.txt]\n"
                "      --checkpoint-dir=DIR  --checkpoint-every=N\n"
                "      --resume              --strict-io\n"
+               "      --metrics-out=FILE    --profile\n"
+               "      --trace=FILE\n"
                "  cpgan_cli compare  <graph-a> <graph-b>\n"
                "--threads=N sizes the kernel thread pool (default: the\n"
                "CPGAN_NUM_THREADS env var, else all cores); results are\n"

@@ -132,6 +132,22 @@ struct CpganConfig {
   /// Write a checkpoint every this many epochs; one is always written after
   /// the final epoch when checkpointing is enabled.
   int checkpoint_every = 50;
+
+  // ----- Observability (src/obs/; docs/OBSERVABILITY.md) -----
+
+  /// Structured run log: write one JSONL record per training epoch (losses,
+  /// grad norm, guard trips, checkpoint latency, memory, RSS) to this path.
+  /// Empty disables the run log.
+  std::string metrics_out;
+
+  /// Collect trace spans during training and print the aggregated profile
+  /// table after Fit returns. Purely observational — enabling it cannot
+  /// change any numeric result.
+  bool profile = false;
+
+  /// Record Chrome trace_event JSON for every span and write it to this
+  /// path after Fit (load via chrome://tracing or Perfetto). Empty disables.
+  std::string trace_out;
 };
 
 }  // namespace cpgan::core

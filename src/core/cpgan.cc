@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <unordered_map>
 
 #include "core/assembly.h"
 #include "core/sampler.h"
 #include "graph/spectral.h"
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "train/checkpoint.h"
@@ -82,6 +86,35 @@ t::Matrix BinaryTargets(float value) {
   return m;
 }
 
+/// L2 norm over the gradients of `params` (telemetry only).
+double GradNorm(const std::vector<t::Tensor>& params) {
+  double sum_sq = 0.0;
+  for (const t::Tensor& p : params) {
+    const t::Matrix& g = p.grad();
+    const float* data = g.data();
+    int64_t size = static_cast<int64_t>(g.rows()) * g.cols();
+    for (int64_t i = 0; i < size; ++i) {
+      sum_sq += static_cast<double>(data[i]) * data[i];
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+/// Restores the tracing switches that FitMany may override via config.
+class TraceFlagsGuard {
+ public:
+  TraceFlagsGuard()
+      : tracing_(obs::TracingEnabled()), events_(obs::TraceEventsEnabled()) {}
+  ~TraceFlagsGuard() {
+    obs::SetTracingEnabled(tracing_);
+    obs::SetTraceEventsEnabled(events_);
+  }
+
+ private:
+  bool tracing_;
+  bool events_;
+};
+
 }  // namespace
 
 Cpgan::Cpgan(const CpganConfig& config) : config_(config), rng_(config.seed) {
@@ -115,6 +148,20 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   CPGAN_CHECK(!trained_);
   util::Timer timer;
   util::MemoryTracker::Global().ResetPeak();
+
+  // ----- Observability setup (src/obs/; docs/OBSERVABILITY.md) -----
+  TraceFlagsGuard trace_flags_guard;
+  if (config_.profile || !config_.trace_out.empty()) {
+    // Only reset collected spans when this run explicitly asked for
+    // tracing; a caller (e.g. bench_util) that enabled tracing itself owns
+    // the collection window.
+    obs::ResetTraces();
+    obs::SetTracingEnabled(true);
+    if (!config_.trace_out.empty()) obs::SetTraceEventsEnabled(true);
+  }
+  obs::RunLogger run_logger;
+  if (!config_.metrics_out.empty()) run_logger.Open(config_.metrics_out);
+  const int run_threads = util::ThreadPool::Global().num_threads();
 
   observed_ = std::make_unique<graph::Graph>(observed);
   int n = observed.num_nodes();
@@ -249,6 +296,9 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
                        << config_.checkpoint_dir << "'; checkpoints disabled";
     checkpointing = false;
   }
+  // Per-epoch guard telemetry for the structured run log.
+  int epoch_trips = 0;
+  int epoch_rollbacks = 0;
   // Handles a step rejected by the guard: skip the optimizer, roll the
   // parameters back to the last-known-good snapshot, and back the learning
   // rate off. The epoch continues with restored weights.
@@ -257,6 +307,8 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
     guard.Recover();
     decay_all(guard_config.lr_decay_on_recovery);
     ++stats.recoveries;
+    ++epoch_trips;
+    if (guard.has_snapshot()) ++epoch_rollbacks;
     CPGAN_LOG(Warning) << "guard: " << which << " step rejected at epoch "
                        << epoch << " (" << train::StepVerdictName(verdict)
                        << ", loss=" << loss << "); "
@@ -279,6 +331,15 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
 
   bool killed = false;
   for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    CPGAN_TRACE_SPAN("train/epoch");
+    util::Timer epoch_timer;
+    epoch_trips = 0;
+    epoch_rollbacks = 0;
+    int64_t enc_peak = 0, dec_peak = 0, disc_peak = 0;
+    double epoch_grad_norm = 0.0;
+    bool wrote_checkpoint = false;
+    double checkpoint_ms = 0.0;
+
     // Uniformly pick a training graph (multi-graph fitting).
     int which = static_cast<int>(
         rng_.UniformInt(1 + static_cast<int64_t>(extra_contexts_.size())));
@@ -290,25 +351,35 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
         which == 0 ? targets_by_level_ : extra_contexts_[which - 1].targets;
 
     int ns_cur = std::min(ns, current.num_nodes());
-    std::vector<int> idx = DegreeProportionalSample(current, ns_cur, rng_);
-    graph::Graph sub = current.InducedSubgraph(idx);
-    auto a_hat = std::make_shared<t::SparseMatrix>(
-        config_.use_two_hop_adjacency
-            ? t::TwoHopNormalizedAdjacency(sub.num_nodes(), sub.Edges())
-            : t::NormalizedAdjacency(sub.num_nodes(), sub.Edges()));
-    t::Tensor x_s = t::GatherRows(current_features, idx);
+    std::vector<int> idx;
+    graph::Graph sub{0};
+    std::shared_ptr<t::SparseMatrix> a_hat;
+    t::Tensor x_s;
+    t::Matrix a_dense;
+    float pos_weight = 1.0f;
+    int k = 0;
+    {
+      CPGAN_TRACE_SPAN("train/sample");
+      idx = DegreeProportionalSample(current, ns_cur, rng_);
+      sub = current.InducedSubgraph(idx);
+      a_hat = std::make_shared<t::SparseMatrix>(
+          config_.use_two_hop_adjacency
+              ? t::TwoHopNormalizedAdjacency(sub.num_nodes(), sub.Edges())
+              : t::NormalizedAdjacency(sub.num_nodes(), sub.Edges()));
+      x_s = t::GatherRows(current_features, idx);
 
-    // Dense 0/1 adjacency target for the reconstruction likelihood.
-    int k = sub.num_nodes();
-    t::Matrix a_dense(k, k);
-    for (const auto& [u, v] : sub.Edges()) {
-      a_dense.At(u, v) = 1.0f;
-      a_dense.At(v, u) = 1.0f;
+      // Dense 0/1 adjacency target for the reconstruction likelihood.
+      k = sub.num_nodes();
+      a_dense = t::Matrix(k, k);
+      for (const auto& [u, v] : sub.Edges()) {
+        a_dense.At(u, v) = 1.0f;
+        a_dense.At(v, u) = 1.0f;
+      }
+      double m_s = static_cast<double>(sub.num_edges());
+      pos_weight = static_cast<float>(std::clamp(
+          (static_cast<double>(k) * k - 2.0 * m_s) / std::max(1.0, 2.0 * m_s),
+          1.0, 8.0));
     }
-    double m_s = static_cast<double>(sub.num_edges());
-    float pos_weight = static_cast<float>(std::clamp(
-        (static_cast<double>(k) * k - 2.0 * m_s) / std::max(1.0, 2.0 * m_s),
-        1.0, 8.0));
 
     auto sample_prior = [&]() {
       std::vector<t::Tensor> z;
@@ -327,6 +398,7 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
 
     // ----- Discriminator step (eq. 16/17) -----
     if (disc_epoch) {
+      CPGAN_TRACE_SPAN("train/disc_step");
       EncoderOutput enc_real = encoder_->Forward(a_hat, x_s);
       t::Tensor d_real = discriminator_->ForwardLogit(enc_real.readout);
       t::Tensor l_clus =
@@ -352,11 +424,15 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
       t::Tensor loss_d =
           t::Add(t::Add(t::BceWithLogits(d_real, real_target), fake_losses),
                  t::Scale(l_clus, config_.clus_weight));
-      t::Backward(loss_d);
+      {
+        CPGAN_TRACE_SPAN("train/backward");
+        t::Backward(loss_d);
+      }
       float d_loss_value = loss_d.Scalar();
       train::StepVerdict verdict =
           guard.Inspect(d_loss_value, params_d, kDiscStream);
       if (verdict == train::StepVerdict::kOk) {
+        CPGAN_TRACE_SPAN("train/optimizer");
         t::ClipGradients(params_d, config_.grad_clip);
         opt_d.Step();
         guard.CommitGood(d_loss_value, kDiscStream);
@@ -370,23 +446,42 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
 
     // ----- Generator step (eq. 18/19 merged; see DESIGN.md) -----
     {
-      EncoderOutput enc = encoder_->Forward(a_hat, x_s);
-      VariationalOutput vae_out =
-          vae_->Forward(enc.z_rec, rng_, config_.use_variational);
-      t::Tensor h = decoder_->DecodeNodes(vae_out.z_vae);
-      t::Tensor logits = decoder_->EdgeLogits(h);
-      t::Tensor probs = t::Sigmoid(logits);
+      CPGAN_TRACE_SPAN("train/gen_step");
+      // Each forward phase runs inside a MemoryRegion so its peak live
+      // bytes are attributable in the run log (Table IX's analogue).
+      EncoderOutput enc;
+      VariationalOutput vae_out;
+      {
+        util::MemoryRegion region;
+        enc = encoder_->Forward(a_hat, x_s);
+        vae_out = vae_->Forward(enc.z_rec, rng_, config_.use_variational);
+        enc_peak = region.PeakBytes();
+      }
+      t::Tensor h, logits, probs;
+      {
+        util::MemoryRegion region;
+        h = decoder_->DecodeNodes(vae_out.z_vae);
+        logits = decoder_->EdgeLogits(h);
+        probs = t::Sigmoid(logits);
+        dec_peak = region.PeakBytes();
+      }
 
-      EncoderOutput enc_fake = encoder_->ForwardDense(probs, x_s);
-      t::Tensor adv = t::BceWithLogits(
-          discriminator_->ForwardLogit(enc_fake.readout), real_target);
-      if (prior_epoch) {
-        t::Tensor h_prior = decoder_->DecodeNodes(sample_prior());
-        t::Tensor probs_prior = t::Sigmoid(decoder_->EdgeLogits(h_prior));
-        EncoderOutput enc_prior = encoder_->ForwardDense(probs_prior, x_s);
-        t::Tensor adv_prior = t::BceWithLogits(
-            discriminator_->ForwardLogit(enc_prior.readout), real_target);
-        adv = t::Scale(t::Add(adv, adv_prior), 0.5f);
+      EncoderOutput enc_fake;
+      t::Tensor adv;
+      {
+        util::MemoryRegion region;
+        enc_fake = encoder_->ForwardDense(probs, x_s);
+        adv = t::BceWithLogits(
+            discriminator_->ForwardLogit(enc_fake.readout), real_target);
+        if (prior_epoch) {
+          t::Tensor h_prior = decoder_->DecodeNodes(sample_prior());
+          t::Tensor probs_prior = t::Sigmoid(decoder_->EdgeLogits(h_prior));
+          EncoderOutput enc_prior = encoder_->ForwardDense(probs_prior, x_s);
+          t::Tensor adv_prior = t::BceWithLogits(
+              discriminator_->ForwardLogit(enc_prior.readout), real_target);
+          adv = t::Scale(t::Add(adv, adv_prior), 0.5f);
+        }
+        disc_peak = region.PeakBytes();
       }
 
       t::Tensor l_rec = t::MseLoss(enc.readout, enc_fake.readout);
@@ -397,7 +492,11 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
                  t::Scale(l_rec, config_.rec_weight)),
           t::Add(t::Scale(vae_out.kl, config_.kl_weight),
                  t::Scale(l_bce, config_.bce_weight)));
-      t::Backward(loss_g);
+      {
+        CPGAN_TRACE_SPAN("train/backward");
+        t::Backward(loss_g);
+      }
+      if (run_logger.ok()) epoch_grad_norm = GradNorm(params_g);
       float g_loss_value = loss_g.Scalar();
       // Deterministic fault injection (tests only; a default plan is inert).
       if (fault_plan_.InjectNanGrad(epoch)) {
@@ -409,6 +508,7 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
       train::StepVerdict verdict =
           guard.Inspect(g_loss_value, params_g, kGenStream);
       if (verdict == train::StepVerdict::kOk) {
+        CPGAN_TRACE_SPAN("train/optimizer");
         t::ClipGradients(params_g, config_.grad_clip);
         opt_g.Step();
         opt_g_fast.Step();
@@ -462,11 +562,38 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
       meta.config_hash = arch_hash;
       std::string path =
           train::CheckpointPath(config_.checkpoint_dir, epoch + 1);
+      util::Timer checkpoint_timer;
       if (train::SaveCheckpoint(path, meta, params_all)) {
         ++stats.checkpoints_written;
+        wrote_checkpoint = true;
       } else {
         CPGAN_LOG(Warning) << "failed to write checkpoint " << path;
       }
+      checkpoint_ms = checkpoint_timer.Millis();
+    }
+
+    if (run_logger.ok()) {
+      obs::EpochRecord record;
+      record.epoch = epoch;
+      record.graph_index = which;
+      record.has_d_loss = disc_epoch;
+      if (disc_epoch) record.d_loss = stats.d_loss.back();
+      record.g_loss = stats.g_loss.back();
+      record.has_clus_loss = disc_epoch;
+      if (disc_epoch) record.clus_loss = stats.clus_loss.back();
+      record.grad_norm = epoch_grad_norm;
+      record.guard_trips = epoch_trips;
+      record.rollbacks = epoch_rollbacks;
+      record.wrote_checkpoint = wrote_checkpoint;
+      record.checkpoint_ms = checkpoint_ms;
+      record.peak_bytes = util::MemoryTracker::Global().peak_bytes();
+      record.encoder_peak_bytes = enc_peak;
+      record.decoder_peak_bytes = dec_peak;
+      record.discriminator_peak_bytes = disc_peak;
+      record.threads = run_threads;
+      record.rss_bytes = obs::CurrentRssBytes();
+      record.epoch_ms = epoch_timer.Millis();
+      if (run_logger.Log(record)) ++stats.metrics_records;
     }
     if (guard.exhausted()) {
       CPGAN_LOG(Error) << "guard: " << guard.recoveries()
@@ -485,6 +612,13 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   trained_ = !killed;
   stats.train_seconds = timer.Seconds();
   stats.peak_bytes = util::MemoryTracker::Global().peak_bytes();
+  run_logger.Close();
+  if (config_.profile) {
+    std::fputs(obs::RenderProfile().c_str(), stdout);
+  }
+  if (!config_.trace_out.empty() && !obs::WriteChromeTrace(config_.trace_out)) {
+    CPGAN_LOG(Warning) << "failed to write trace " << config_.trace_out;
+  }
   return stats;
 }
 

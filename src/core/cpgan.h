@@ -48,6 +48,9 @@ struct TrainStats {
 
   /// True when a fault-plan simulated crash stopped the run (tests only).
   bool stopped_by_fault = false;
+
+  /// JSONL records written to config.metrics_out (0 when disabled).
+  int metrics_records = 0;
 };
 
 /// Community-Preserving GAN — the paper's primary contribution.

@@ -1,5 +1,6 @@
 #include "core/decoder.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cpgan::core {
@@ -31,6 +32,7 @@ t::Tensor GraphDecoder::DecodeNodes(
     const std::vector<t::Tensor>& z_vae) const {
   CPGAN_CHECK(!z_vae.empty());
   CPGAN_CHECK_EQ(static_cast<int>(z_vae.size()), num_levels_);
+  CPGAN_TRACE_SPAN("decoder/decode");
   if (concat_levels_) {
     t::Tensor stacked =
         z_vae.size() == 1 ? z_vae[0] : t::ConcatCols(z_vae);
@@ -49,6 +51,7 @@ t::Tensor GraphDecoder::EdgeEmbeddings(const t::Tensor& h) const {
 }
 
 t::Tensor GraphDecoder::EdgeLogits(const t::Tensor& h) const {
+  CPGAN_TRACE_SPAN("decoder/edge_logits");
   t::Tensor e = EdgeEmbeddings(h);
   t::Tensor logits = t::Matmul(e, t::Transpose(e));
   // Broadcast the scalar sparsity bias over all pairs.

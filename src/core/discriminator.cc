@@ -1,5 +1,6 @@
 #include "core/discriminator.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cpgan::core {
@@ -16,6 +17,7 @@ Discriminator::Discriminator(int num_levels, int hidden_dim, util::Rng& rng)
 t::Tensor Discriminator::ForwardLogit(const t::Tensor& readout) const {
   CPGAN_CHECK_EQ(readout.rows(), num_levels_);
   CPGAN_CHECK_EQ(readout.cols(), hidden_dim_);
+  CPGAN_TRACE_SPAN("discriminator/forward");
   t::Tensor flat = t::Reshape(readout, 1, num_levels_ * hidden_dim_);
   return mlp_->Forward(flat);
 }

@@ -1,6 +1,7 @@
 #include "core/ladder_encoder.h"
 
 #include "nn/pairnorm.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cpgan::core {
@@ -35,6 +36,7 @@ EncoderOutput LadderEncoder::Forward(
     const t::Tensor& x) const {
   CPGAN_CHECK(a_hat != nullptr);
   CPGAN_CHECK_EQ(x.cols(), feature_dim_);
+  CPGAN_TRACE_SPAN("encoder/forward");
   EncoderOutput out;
   t::Tensor z0 = nn::PairNorm(t::Relu(embed_[0]->Forward(a_hat, x)));
   out.z.push_back(z0);
@@ -43,6 +45,7 @@ EncoderOutput LadderEncoder::Forward(
     BuildReadout(out);
     return out;
   }
+  CPGAN_TRACE_SPAN("encoder/pool");
   t::Tensor s0 = t::SoftmaxRows(pool_[0]->Forward(a_hat, z0));
   out.assignments.push_back(s0);
   // S_depool^(0) = softmax(GCN_depool(Z, A)^T); we keep its transpose
@@ -62,6 +65,7 @@ EncoderOutput LadderEncoder::ForwardDense(const t::Tensor& a,
   CPGAN_CHECK_EQ(a.rows(), a.cols());
   CPGAN_CHECK_EQ(a.rows(), x.rows());
   CPGAN_CHECK_EQ(x.cols(), feature_dim_);
+  CPGAN_TRACE_SPAN("encoder/forward");
   EncoderOutput out;
   t::Tensor a_norm = nn::RowNormalizeAdjacency(a);
   t::Tensor z0 = nn::PairNorm(t::Relu(embed_[0]->ForwardDense(a_norm, x)));
@@ -71,6 +75,7 @@ EncoderOutput LadderEncoder::ForwardDense(const t::Tensor& a,
     BuildReadout(out);
     return out;
   }
+  CPGAN_TRACE_SPAN("encoder/pool");
   t::Tensor s0 = t::SoftmaxRows(pool_[0]->ForwardDense(a_norm, z0));
   out.assignments.push_back(s0);
   t::Tensor depool0_t = t::Transpose(

@@ -2,6 +2,7 @@
 
 #include "community/louvain.h"
 #include "community/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cpgan::eval {
@@ -10,6 +11,7 @@ CommunityMetrics EvaluateCommunityPreservation(const graph::Graph& observed,
                                                const graph::Graph& generated,
                                                util::Rng& rng) {
   CPGAN_CHECK_EQ(observed.num_nodes(), generated.num_nodes());
+  CPGAN_TRACE_SPAN("eval/community");
   community::LouvainResult obs = community::Louvain(observed, rng);
   community::LouvainResult gen = community::Louvain(generated, rng);
   CommunityMetrics metrics;

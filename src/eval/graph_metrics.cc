@@ -6,12 +6,14 @@
 #include "eval/mmd.h"
 #include "graph/algorithms.h"
 #include "graph/stats.h"
+#include "obs/trace.h"
 
 namespace cpgan::eval {
 
 GenerationMetrics ComputeGenerationMetrics(const graph::Graph& observed,
                                            const graph::Graph& generated,
                                            util::Rng& rng) {
+  CPGAN_TRACE_SPAN("eval/generation_metrics");
   GenerationMetrics m;
   int max_degree = 1;
   for (int v = 0; v < observed.num_nodes(); ++v) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cpgan::eval {
@@ -57,6 +58,7 @@ double Mmd(const std::vector<std::vector<double>>& a,
            const std::vector<std::vector<double>>& b, MmdKernel kernel,
            double sigma) {
   CPGAN_CHECK(!a.empty() && !b.empty());
+  CPGAN_TRACE_SPAN("eval/mmd");
   auto mean_kernel = [&](const std::vector<std::vector<double>>& x,
                          const std::vector<std::vector<double>>& y) {
     double total = 0.0;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace cpgan::eval {
 
 double EdgeNll(const std::vector<double>& positive_probs,
                const std::vector<double>& negative_probs) {
+  CPGAN_TRACE_SPAN("eval/nll");
   constexpr double kEps = 1e-6;
   double total = 0.0;
   int64_t count = 0;

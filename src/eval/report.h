@@ -1,6 +1,7 @@
 #ifndef CPGAN_EVAL_REPORT_H_
 #define CPGAN_EVAL_REPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,12 @@ std::string FormatMeanStdE2(const std::vector<double>& values);
 
 /// Formats "mean±std" in natural units.
 std::string FormatMeanStd(const std::vector<double>& values);
+
+/// Human-readable byte count: "512 B", "1.5 KiB", "2.3 MiB", "4.0 GiB".
+std::string FormatBytes(int64_t bytes);
+
+/// Human-readable duration from milliseconds: "950 ms", "2.50 s", "3m12s".
+std::string FormatMillis(double millis);
 
 }  // namespace cpgan::eval
 

@@ -1,0 +1,371 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpgan::obs {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a byte cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool ParseValue(JsonValue* out);
+
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos_ >= text_.size();
+  }
+
+  std::string ErrorAt(const char* what) const {
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "offset %zu: %s", pos_, what);
+    return std::string(buffer);
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* what) {
+    if (error_.empty()) error_ = ErrorAt(what);
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out);
+  bool ParseNumber(JsonValue* out);
+  bool ParseObject(JsonValue* out);
+  bool ParseArray(JsonValue* out);
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+bool Parser::ParseString(std::string* out) {
+  if (!Consume('"')) return Fail("expected string");
+  out->clear();
+  while (pos_ < text_.size()) {
+    char c = text_[pos_++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (pos_ >= text_.size()) return Fail("dangling escape");
+    char esc = text_[pos_++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = text_[pos_++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return Fail("bad \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not emitted
+        // by this library's writer; a lone surrogate encodes as-is).
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return Fail("unknown escape");
+    }
+  }
+  return Fail("unterminated string");
+}
+
+bool Parser::ParseNumber(JsonValue* out) {
+  size_t start = pos_;
+  if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+          text_[pos_] == '+' || text_[pos_] == '-')) {
+    ++pos_;
+  }
+  if (pos_ == start) return Fail("expected number");
+  std::string token(text_.substr(start, pos_ - start));
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+    return Fail("malformed number");
+  }
+  *out = JsonValue::Number(value);
+  return true;
+}
+
+bool Parser::ParseObject(JsonValue* out) {
+  *out = JsonValue::Object();
+  if (Consume('}')) return true;
+  for (;;) {
+    SkipWhitespace();
+    std::string key;
+    if (!ParseString(&key)) return false;
+    if (!Consume(':')) return Fail("expected ':'");
+    JsonValue value;
+    if (!ParseValue(&value)) return false;
+    out->Add(std::move(key), std::move(value));
+    if (Consume(',')) continue;
+    if (Consume('}')) return true;
+    return Fail("expected ',' or '}'");
+  }
+}
+
+bool Parser::ParseArray(JsonValue* out) {
+  *out = JsonValue::Array();
+  if (Consume(']')) return true;
+  for (;;) {
+    JsonValue value;
+    if (!ParseValue(&value)) return false;
+    out->Append(std::move(value));
+    if (Consume(',')) continue;
+    if (Consume(']')) return true;
+    return Fail("expected ',' or ']'");
+  }
+}
+
+bool Parser::ParseValue(JsonValue* out) {
+  SkipWhitespace();
+  if (pos_ >= text_.size()) return Fail("unexpected end of input");
+  if (depth_ > 128) return Fail("nesting too deep");
+  char c = text_[pos_];
+  if (c == '{') {
+    ++pos_;
+    ++depth_;
+    bool ok = ParseObject(out);
+    --depth_;
+    return ok;
+  }
+  if (c == '[') {
+    ++pos_;
+    ++depth_;
+    bool ok = ParseArray(out);
+    --depth_;
+    return ok;
+  }
+  if (c == '"') {
+    std::string s;
+    if (!ParseString(&s)) return false;
+    *out = JsonValue::String(std::move(s));
+    return true;
+  }
+  if (ConsumeLiteral("true")) {
+    *out = JsonValue::Bool(true);
+    return true;
+  }
+  if (ConsumeLiteral("false")) {
+    *out = JsonValue::Bool(false);
+    return true;
+  }
+  if (ConsumeLiteral("null")) {
+    *out = JsonValue::Null();
+    return true;
+  }
+  return ParseNumber(out);
+}
+
+void SerializeTo(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.bool_value() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      char buffer[32];
+      double d = v.number_value();
+      // Integers within double-exact range print without an exponent so the
+      // JSONL stays grep-friendly; everything else uses %.17g round-trip.
+      if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+        std::snprintf(buffer, sizeof(buffer), "%.0f", d);
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+      }
+      out += buffer;
+      break;
+    }
+    case JsonValue::Type::kString:
+      out += '"';
+      out += JsonEscape(v.string_value());
+      out += '"';
+      break;
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += JsonEscape(key);
+        out += "\":";
+        SerializeTo(value, out);
+      }
+      out += '}';
+      break;
+    }
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        SerializeTo(item, out);
+      }
+      out += ']';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::Number(double v) {
+  JsonValue j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::String(std::string v) {
+  JsonValue j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value() : fallback;
+}
+
+void JsonValue::Add(std::string key, JsonValue value) {
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(*this, out);
+  return out;
+}
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  Parser parser(text);
+  JsonValue value;
+  if (!parser.ParseValue(&value)) {
+    if (error != nullptr) *error = parser.error();
+    return false;
+  }
+  if (!parser.AtEnd()) {
+    if (error != nullptr) *error = parser.ErrorAt("trailing characters");
+    return false;
+  }
+  *out = std::move(value);
+  return true;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpgan::obs

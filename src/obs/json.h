@@ -1,0 +1,80 @@
+#ifndef CPGAN_OBS_JSON_H_
+#define CPGAN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cpgan::obs {
+
+/// Minimal JSON document model: enough for the telemetry layer to write
+/// structured run logs / Chrome traces and to parse them back in tests
+/// without a Python dependency. Objects preserve member order; numbers are
+/// doubles (the run-log schema keeps integers within the exact-double
+/// range).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue Int(int64_t v) { return Number(static_cast<double>(v)); }
+  static JsonValue String(std::string v);
+  static JsonValue Object();
+  static JsonValue Array();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Member's number (or `fallback` when absent/not a number).
+  double NumberOr(std::string_view key, double fallback) const;
+
+  /// Adds a member to an object / element to an array.
+  void Add(std::string key, JsonValue value);
+  void Append(JsonValue value);
+
+  /// Compact single-line serialization (stable member order).
+  std::string Serialize() const;
+
+  /// Parses `text` (one complete JSON value, optionally surrounded by
+  /// whitespace). On failure returns false and fills `error` (if non-null)
+  /// with a byte offset + reason.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error = nullptr);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace cpgan::obs
+
+#endif  // CPGAN_OBS_JSON_H_

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace cpgan::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  char buffer[32];
+  // Shortest round-trippable-enough form; metric values are not NaN/Inf.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  int width = 64 - __builtin_clzll(value);  // bit_width: 1 for value 1
+  return std::min(width, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0;
+  return uint64_t{1} << (bucket - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void Stopwatch::Reset() {
+  total_ns_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+Stopwatch::Scope::Scope(Stopwatch* stopwatch) : stopwatch_(stopwatch) {
+  if (stopwatch_ != nullptr) start_ns_ = NowNanos();
+}
+
+Stopwatch::Scope::~Scope() {
+  if (stopwatch_ != nullptr) stopwatch_->AddNanos(NowNanos() - start_ns_);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::FindCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::FindGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::FindHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Stopwatch* MetricsRegistry::FindStopwatch(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stopwatches_.find(name);
+  if (it == stopwatches_.end()) {
+    it = stopwatches_
+             .emplace(std::string(name), std::make_unique<Stopwatch>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              stopwatches_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(counter->Value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = gauge->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.count = hist->Count();
+    s.sum = hist->Sum();
+    s.buckets.resize(Histogram::kNumBuckets);
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      s.buckets[b] = hist->BucketCount(b);
+    }
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, sw] : stopwatches_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kStopwatch;
+    s.value = sw->TotalNanos() * 1e-6;  // milliseconds
+    s.count = sw->Count();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, sw] : stopwatches_) sw->Reset();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::vector<MetricSample> samples = Snapshot();
+  auto append_section = [&samples](std::string& out, const char* title,
+                                   MetricSample::Kind kind,
+                                   auto&& append_value) {
+    out += '"';
+    out += title;
+    out += "\":{";
+    bool first = true;
+    for (const MetricSample& s : samples) {
+      if (s.kind != kind) continue;
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += s.name;  // metric names are [a-z0-9_/]+, no escaping needed
+      out += "\":";
+      append_value(out, s);
+    }
+    out += '}';
+  };
+  std::string out = "{";
+  append_section(out, "counters", MetricSample::Kind::kCounter,
+                 [](std::string& o, const MetricSample& s) {
+                   AppendJsonNumber(o, s.value);
+                 });
+  out += ',';
+  append_section(out, "gauges", MetricSample::Kind::kGauge,
+                 [](std::string& o, const MetricSample& s) {
+                   AppendJsonNumber(o, s.value);
+                 });
+  out += ',';
+  append_section(out, "stopwatches", MetricSample::Kind::kStopwatch,
+                 [](std::string& o, const MetricSample& s) {
+                   o += "{\"ms\":";
+                   AppendJsonNumber(o, s.value);
+                   o += ",\"count\":";
+                   AppendJsonNumber(o, static_cast<double>(s.count));
+                   o += '}';
+                 });
+  out += ',';
+  append_section(out, "histograms", MetricSample::Kind::kHistogram,
+                 [](std::string& o, const MetricSample& s) {
+                   o += "{\"count\":";
+                   AppendJsonNumber(o, static_cast<double>(s.count));
+                   o += ",\"sum\":";
+                   AppendJsonNumber(o, static_cast<double>(s.sum));
+                   o += ",\"buckets\":[";
+                   for (size_t b = 0; b < s.buckets.size(); ++b) {
+                     if (b > 0) o += ',';
+                     AppendJsonNumber(o, static_cast<double>(s.buckets[b]));
+                   }
+                   o += "]}";
+                 });
+  out += '}';
+  return out;
+}
+
+}  // namespace cpgan::obs

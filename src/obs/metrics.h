@@ -1,0 +1,230 @@
+#ifndef CPGAN_OBS_METRICS_H_
+#define CPGAN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace cpgan::obs {
+
+/// \file
+/// Thread-safe metrics registry (docs/OBSERVABILITY.md).
+///
+/// Named Counter / Gauge / Histogram / Stopwatch instruments with global
+/// lookup. Instruments are plain relaxed atomics, safe to update from any
+/// thread (including thread-pool workers); the registry hands out stable
+/// pointers, so call sites resolve a name once and update lock-free after
+/// that. The CPGAN_COUNTER_ADD-style macros below cache the lookup in a
+/// function-local static and skip the update entirely when metrics are
+/// disabled — the disabled fast path is a single relaxed atomic load.
+///
+/// Metrics are observational only: nothing read from an instrument ever
+/// feeds back into a computation, so enabling or disabling them cannot
+/// change any numeric result (see docs/INTERNALS.md, "Determinism").
+
+/// Global metrics switch (default on; instruments are cheap). The macros
+/// below honor it; direct Instrument calls do not.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (also supports monotone max updates).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `value` if larger (CAS loop; racing updates
+  /// converge to the true maximum).
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over non-negative integer samples (nanoseconds, bytes, counts)
+/// with fixed log-scale (powers-of-two) buckets:
+///
+///   bucket 0           : value == 0
+///   bucket i (i >= 1)  : value in [2^(i-1), 2^i)
+///   bucket kNumBuckets-1 also absorbs everything >= 2^(kNumBuckets-2).
+///
+/// 48 buckets cover [0, 2^46) — about 19 hours in nanoseconds or 64 TiB in
+/// bytes — with a fixed footprint and wait-free updates.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  /// Bucket index for `value` per the scheme above.
+  static int BucketFor(uint64_t value);
+
+  /// Smallest value that lands in `bucket` (0 for bucket 0).
+  static uint64_t BucketLowerBound(int bucket);
+
+  void Observe(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Accumulated wall time (total nanoseconds + call count). Use Scope for
+/// RAII measurement; measured on std::chrono::steady_clock (monotonic, the
+/// same clock as util::Timer).
+class Stopwatch {
+ public:
+  void AddNanos(uint64_t nanos) {
+    total_ns_.fetch_add(nanos, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t TotalNanos() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  double TotalSeconds() const { return TotalNanos() * 1e-9; }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  /// Measures from construction to destruction; a null stopwatch (or
+  /// disabled metrics at construction) makes the scope a no-op.
+  class Scope {
+   public:
+    explicit Scope(Stopwatch* stopwatch);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Stopwatch* stopwatch_;
+    uint64_t start_ns_ = 0;
+  };
+
+ private:
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// One instrument's state, copied out by MetricsRegistry::Snapshot().
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram, kStopwatch };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;              // counter/gauge value; stopwatch total ms
+  uint64_t count = 0;              // histogram/stopwatch observation count
+  uint64_t sum = 0;                // histogram sample sum
+  std::vector<uint64_t> buckets;   // histogram only (kNumBuckets entries)
+};
+
+/// Named instrument registry. Lookups are find-or-create under a mutex and
+/// return pointers that stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all instrumented subsystems.
+  static MetricsRegistry& Global();
+
+  Counter* FindCounter(std::string_view name);
+  Gauge* FindGauge(std::string_view name);
+  Histogram* FindHistogram(std::string_view name);
+  Stopwatch* FindStopwatch(std::string_view name);
+
+  /// Copies every instrument's current state, sorted by (kind, name).
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Zeroes every instrument (instruments stay registered; pointers remain
+  /// valid). For test isolation and per-run deltas.
+  void ResetAll();
+
+  /// Serializes Snapshot() as one JSON object:
+  ///   {"counters":{name:value,...}, "gauges":{...},
+  ///    "stopwatches":{name:{"ms":..,"count":..},...},
+  ///    "histograms":{name:{"count":..,"sum":..,"buckets":[..]},...}}
+  std::string RenderJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Stopwatch>, std::less<>> stopwatches_;
+};
+
+}  // namespace cpgan::obs
+
+/// Update macros: resolve the named instrument once (function-local static),
+/// skip everything when metrics are disabled. `name` must be a string
+/// literal (or otherwise outlive the first call).
+#define CPGAN_COUNTER_ADD(name, delta)                                     \
+  do {                                                                     \
+    if (::cpgan::obs::MetricsEnabled()) {                                  \
+      static ::cpgan::obs::Counter* cpgan_counter_ =                       \
+          ::cpgan::obs::MetricsRegistry::Global().FindCounter(name);       \
+      cpgan_counter_->Increment(delta);                                    \
+    }                                                                      \
+  } while (0)
+
+#define CPGAN_GAUGE_SET(name, value)                                       \
+  do {                                                                     \
+    if (::cpgan::obs::MetricsEnabled()) {                                  \
+      static ::cpgan::obs::Gauge* cpgan_gauge_ =                           \
+          ::cpgan::obs::MetricsRegistry::Global().FindGauge(name);         \
+      cpgan_gauge_->Set(value);                                            \
+    }                                                                      \
+  } while (0)
+
+#define CPGAN_HISTOGRAM_OBSERVE(name, value)                               \
+  do {                                                                     \
+    if (::cpgan::obs::MetricsEnabled()) {                                  \
+      static ::cpgan::obs::Histogram* cpgan_histogram_ =                   \
+          ::cpgan::obs::MetricsRegistry::Global().FindHistogram(name);     \
+      cpgan_histogram_->Observe(value);                                    \
+    }                                                                      \
+  } while (0)
+
+#define CPGAN_METRICS_CONCAT_IMPL(a, b) a##b
+#define CPGAN_METRICS_CONCAT(a, b) CPGAN_METRICS_CONCAT_IMPL(a, b)
+
+/// Declares a Stopwatch::Scope measuring the rest of the enclosing block.
+#define CPGAN_STOPWATCH_SCOPE(name)                                        \
+  ::cpgan::obs::Stopwatch::Scope CPGAN_METRICS_CONCAT(                     \
+      cpgan_stopwatch_scope_, __LINE__)(                                   \
+      ::cpgan::obs::MetricsEnabled()                                       \
+          ? ::cpgan::obs::MetricsRegistry::Global().FindStopwatch(name)    \
+          : nullptr)
+
+#endif  // CPGAN_OBS_METRICS_H_

@@ -1,0 +1,176 @@
+#include "obs/run_logger.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cpgan::obs {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+void AddOptional(JsonValue& obj, const char* key, bool present,
+                 double value) {
+  obj.Add(key, present ? JsonValue::Number(value) : JsonValue::Null());
+}
+
+/// Reads a required numeric member into `*out`; false when missing.
+bool ReadNumber(const JsonValue& json, const char* key, double* out) {
+  const JsonValue* v = json.Find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->number_value();
+  return true;
+}
+
+bool ReadInt(const JsonValue& json, const char* key, int* out) {
+  double d = 0.0;
+  if (!ReadNumber(json, key, &d)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool ReadInt64(const JsonValue& json, const char* key, int64_t* out) {
+  double d = 0.0;
+  if (!ReadNumber(json, key, &d)) return false;
+  *out = static_cast<int64_t>(d);
+  return true;
+}
+
+/// Nullable numeric member: null → (false, 0), number → (true, value).
+bool ReadOptional(const JsonValue& json, const char* key, bool* present,
+                  double* out) {
+  const JsonValue* v = json.Find(key);
+  if (v == nullptr) return false;
+  if (v->is_null()) {
+    *present = false;
+    *out = 0.0;
+    return true;
+  }
+  if (!v->is_number()) return false;
+  *present = true;
+  *out = v->number_value();
+  return true;
+}
+
+}  // namespace
+
+JsonValue EpochRecordToJson(const EpochRecord& record) {
+  JsonValue obj = JsonValue::Object();
+  obj.Add("schema", JsonValue::Int(kSchemaVersion));
+  obj.Add("epoch", JsonValue::Int(record.epoch));
+  obj.Add("graph_index", JsonValue::Int(record.graph_index));
+  AddOptional(obj, "d_loss", record.has_d_loss, record.d_loss);
+  obj.Add("g_loss", JsonValue::Number(record.g_loss));
+  AddOptional(obj, "clus_loss", record.has_clus_loss, record.clus_loss);
+  obj.Add("grad_norm", JsonValue::Number(record.grad_norm));
+  obj.Add("guard_trips", JsonValue::Int(record.guard_trips));
+  obj.Add("rollbacks", JsonValue::Int(record.rollbacks));
+  obj.Add("wrote_checkpoint", JsonValue::Bool(record.wrote_checkpoint));
+  obj.Add("checkpoint_ms", JsonValue::Number(record.checkpoint_ms));
+  obj.Add("peak_bytes", JsonValue::Int(record.peak_bytes));
+  obj.Add("encoder_peak_bytes", JsonValue::Int(record.encoder_peak_bytes));
+  obj.Add("decoder_peak_bytes", JsonValue::Int(record.decoder_peak_bytes));
+  obj.Add("discriminator_peak_bytes",
+          JsonValue::Int(record.discriminator_peak_bytes));
+  obj.Add("threads", JsonValue::Int(record.threads));
+  obj.Add("rss_bytes", JsonValue::Int(record.rss_bytes));
+  obj.Add("epoch_ms", JsonValue::Number(record.epoch_ms));
+  return obj;
+}
+
+bool EpochRecordFromJson(const JsonValue& json, EpochRecord* out) {
+  if (!json.is_object()) return false;
+  EpochRecord r;
+  int schema = 0;
+  if (!ReadInt(json, "schema", &schema) || schema != kSchemaVersion) {
+    return false;
+  }
+  const JsonValue* wrote = json.Find("wrote_checkpoint");
+  if (wrote == nullptr || !wrote->is_bool()) return false;
+  r.wrote_checkpoint = wrote->bool_value();
+  if (!ReadInt(json, "epoch", &r.epoch) ||
+      !ReadInt(json, "graph_index", &r.graph_index) ||
+      !ReadOptional(json, "d_loss", &r.has_d_loss, &r.d_loss) ||
+      !ReadNumber(json, "g_loss", &r.g_loss) ||
+      !ReadOptional(json, "clus_loss", &r.has_clus_loss, &r.clus_loss) ||
+      !ReadNumber(json, "grad_norm", &r.grad_norm) ||
+      !ReadInt(json, "guard_trips", &r.guard_trips) ||
+      !ReadInt(json, "rollbacks", &r.rollbacks) ||
+      !ReadNumber(json, "checkpoint_ms", &r.checkpoint_ms) ||
+      !ReadInt64(json, "peak_bytes", &r.peak_bytes) ||
+      !ReadInt64(json, "encoder_peak_bytes", &r.encoder_peak_bytes) ||
+      !ReadInt64(json, "decoder_peak_bytes", &r.decoder_peak_bytes) ||
+      !ReadInt64(json, "discriminator_peak_bytes",
+                 &r.discriminator_peak_bytes) ||
+      !ReadInt(json, "threads", &r.threads) ||
+      !ReadInt64(json, "rss_bytes", &r.rss_bytes) ||
+      !ReadNumber(json, "epoch_ms", &r.epoch_ms)) {
+    return false;
+  }
+  *out = r;
+  return true;
+}
+
+RunLogger::~RunLogger() { Close(); }
+
+bool RunLogger::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  path_ = path;
+  records_written_ = 0;
+  if (file_ == nullptr) {
+    CPGAN_LOG(Error) << "cannot open metrics log " << path << ": "
+                     << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool RunLogger::Log(const EpochRecord& record) {
+  std::string line = EpochRecordToJson(record).Serialize();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return false;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    CPGAN_LOG(Error) << "metrics log write failed for " << path_
+                     << "; disabling run logging";
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  ++records_written_;
+  return true;
+}
+
+void RunLogger::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+int64_t CurrentRssBytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "rb");
+  if (f == nullptr) return 0;
+  char line[256];
+  long long rss_kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %lld kB", &rss_kib) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<int64_t>(rss_kib) * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace cpgan::obs

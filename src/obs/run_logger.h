@@ -1,0 +1,85 @@
+#ifndef CPGAN_OBS_RUN_LOGGER_H_
+#define CPGAN_OBS_RUN_LOGGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+
+namespace cpgan::obs {
+
+/// One structured training-run record, emitted as a single JSONL line per
+/// epoch (schema documented in docs/OBSERVABILITY.md). Optional fields
+/// (`d_loss`, `clus_loss` — absent on epochs without a discriminator step)
+/// serialize as JSON null.
+struct EpochRecord {
+  int epoch = 0;        // 0-based epoch index
+  int graph_index = 0;  // which training graph this epoch sampled
+
+  bool has_d_loss = false;
+  double d_loss = 0.0;
+  double g_loss = 0.0;
+  bool has_clus_loss = false;
+  double clus_loss = 0.0;
+  double grad_norm = 0.0;  // L2 norm over generator grads after backward
+
+  int guard_trips = 0;  // NaN/divergence guard trips this epoch
+  int rollbacks = 0;    // snapshot rollbacks this epoch
+
+  bool wrote_checkpoint = false;
+  double checkpoint_ms = 0.0;  // write latency (0 when no checkpoint)
+
+  int64_t peak_bytes = 0;  // MemoryTracker high-water mark so far
+  int64_t encoder_peak_bytes = 0;
+  int64_t decoder_peak_bytes = 0;
+  int64_t discriminator_peak_bytes = 0;
+
+  int threads = 0;        // thread-pool size for this run
+  int64_t rss_bytes = 0;  // process resident set size (0 if unavailable)
+  double epoch_ms = 0.0;  // wall time of this epoch
+};
+
+/// Serializes a record to its JSON object form and back. FromJson returns
+/// false when `json` is not an object or lacks the required numeric fields.
+JsonValue EpochRecordToJson(const EpochRecord& record);
+bool EpochRecordFromJson(const JsonValue& json, EpochRecord* out);
+
+/// Appends structured run records to a JSONL file, one object per line,
+/// flushed per record so partial runs still leave parseable logs. Thread
+/// safe; failures are logged once and subsequent Log calls become no-ops.
+class RunLogger {
+ public:
+  RunLogger() = default;
+  ~RunLogger();
+
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  /// Opens (truncates) `path`. Returns false and logs on failure.
+  bool Open(const std::string& path);
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Writes one record as a JSONL line. No-op (returns false) when not open.
+  bool Log(const EpochRecord& record);
+
+  void Close();
+
+  int records_written() const { return records_written_; }
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  int records_written_ = 0;
+};
+
+/// Current process resident set size in bytes (Linux /proc/self/status;
+/// returns 0 on other platforms or on parse failure).
+int64_t CurrentRssBytes();
+
+}  // namespace cpgan::obs
+
+#endif  // CPGAN_OBS_RUN_LOGGER_H_

@@ -1,0 +1,288 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+#include "util/fileio.h"
+#include "util/table.h"
+
+namespace cpgan::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_trace_events_enabled{false};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One node of a thread's span tree. Children are few per node (span names
+/// at one nesting level), so a vector with linear lookup beats a map.
+struct SpanNode {
+  const char* name = "";  // string literal from CPGAN_TRACE_SPAN
+  SpanNode* parent = nullptr;
+  uint64_t calls = 0;
+  uint64_t inclusive_ns = 0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  SpanNode* FindOrAddChild(const char* child_name) {
+    for (auto& child : children) {
+      // Pointer compare first (same literal), fall back to content compare
+      // (same name from different translation units).
+      if (child->name == child_name ||
+          std::string_view(child->name) == child_name) {
+        return child.get();
+      }
+    }
+    children.push_back(std::make_unique<SpanNode>());
+    children.back()->name = child_name;
+    children.back()->parent = this;
+    return children.back().get();
+  }
+};
+
+/// Completed-span record for Chrome trace export.
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+/// Per-thread recording state. Owned by the global registry (never freed:
+/// a worker thread may outlive its last span, and reports may run after a
+/// recording thread exited), guarded by its own mutex so recording threads
+/// and reporting threads never race.
+struct ThreadTrace {
+  std::mutex mu;
+  SpanNode root;
+  SpanNode* current = &root;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<ThreadTrace*>& Registry() {
+  static std::vector<ThreadTrace*>* traces = new std::vector<ThreadTrace*>();
+  return *traces;
+}
+
+ThreadTrace& LocalTrace() {
+  thread_local ThreadTrace* trace = [] {
+    auto* t = new ThreadTrace();
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    t->tid = static_cast<int>(Registry().size());
+    Registry().push_back(t);
+    return t;
+  }();
+  return *trace;
+}
+
+/// Name-keyed aggregation node used when merging thread trees.
+struct MergedNode {
+  uint64_t calls = 0;
+  uint64_t inclusive_ns = 0;
+  std::map<std::string, MergedNode> children;
+};
+
+void MergeTree(const SpanNode& node, MergedNode& into) {
+  into.calls += node.calls;
+  into.inclusive_ns += node.inclusive_ns;
+  for (const auto& child : node.children) {
+    MergeTree(*child, into.children[child->name]);
+  }
+}
+
+void FlattenMerged(const MergedNode& node, const std::string& prefix,
+                   int depth, std::vector<SpanStats>& out) {
+  // Children sorted by descending inclusive time (name breaks ties — the
+  // map iteration order — so the report is deterministic).
+  std::vector<const std::pair<const std::string, MergedNode>*> ordered;
+  ordered.reserve(node.children.size());
+  for (const auto& entry : node.children) ordered.push_back(&entry);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->second.inclusive_ns > b->second.inclusive_ns;
+                   });
+  for (const auto* entry : ordered) {
+    const std::string& name = entry->first;
+    const MergedNode& child = entry->second;
+    SpanStats stats;
+    stats.path = prefix.empty() ? name : prefix + ";" + name;
+    stats.name = name;
+    stats.depth = depth;
+    stats.calls = child.calls;
+    stats.inclusive_ns = child.inclusive_ns;
+    uint64_t child_total = 0;
+    for (const auto& [_, grandchild] : child.children) {
+      child_total += grandchild.inclusive_ns;
+    }
+    stats.exclusive_ns =
+        child.inclusive_ns > child_total ? child.inclusive_ns - child_total : 0;
+    // Keep a copy: recursion grows `out`, which may reallocate and would
+    // invalidate a reference into it.
+    std::string child_prefix = stats.path;
+    out.push_back(std::move(stats));
+    FlattenMerged(child, child_prefix, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceEventsEnabled() {
+  return g_trace_events_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceEventsEnabled(bool enabled) {
+  g_trace_events_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ScopedSpan::Enter(const char* name) {
+  ThreadTrace& trace = LocalTrace();
+  std::lock_guard<std::mutex> lock(trace.mu);
+  SpanNode* node = trace.current->FindOrAddChild(name);
+  trace.current = node;
+  node_ = node;
+  start_ns_ = NowNanos();
+}
+
+void ScopedSpan::Exit() {
+  uint64_t end_ns = NowNanos();
+  auto* node = static_cast<SpanNode*>(node_);
+  ThreadTrace& trace = LocalTrace();
+  std::lock_guard<std::mutex> lock(trace.mu);
+  node->calls += 1;
+  node->inclusive_ns += end_ns - start_ns_;
+  trace.current = node->parent;
+  if (TraceEventsEnabled()) {
+    trace.events.push_back(TraceEvent{node->name, start_ns_,
+                                      end_ns - start_ns_});
+  }
+}
+
+std::vector<SpanStats> CollectSpanStats() {
+  MergedNode merged;
+  {
+    std::lock_guard<std::mutex> registry_lock(RegistryMutex());
+    for (ThreadTrace* trace : Registry()) {
+      std::lock_guard<std::mutex> lock(trace->mu);
+      MergeTree(trace->root, merged);
+    }
+  }
+  // The synthetic root's own calls/inclusive are zero; flatten children.
+  std::vector<SpanStats> out;
+  FlattenMerged(merged, "", 0, out);
+  return out;
+}
+
+void ResetTraces() {
+  std::lock_guard<std::mutex> registry_lock(RegistryMutex());
+  for (ThreadTrace* trace : Registry()) {
+    std::lock_guard<std::mutex> lock(trace->mu);
+    // Open spans hold SpanNode pointers, so nodes cannot be freed here;
+    // zero the accumulators instead and drop completed children that are
+    // not on the current open path.
+    for (SpanNode* node = trace->current; node != nullptr;
+         node = node->parent) {
+      node->calls = 0;
+      node->inclusive_ns = 0;
+    }
+    SpanNode* keep = trace->current;
+    // Walk from the root, pruning children not on the open chain.
+    std::vector<SpanNode*> open_chain;
+    for (SpanNode* node = keep; node != nullptr; node = node->parent) {
+      open_chain.push_back(node);
+    }
+    for (SpanNode* node : open_chain) {
+      auto& children = node->children;
+      children.erase(
+          std::remove_if(children.begin(), children.end(),
+                         [&open_chain](const std::unique_ptr<SpanNode>& c) {
+                           return std::find(open_chain.begin(),
+                                            open_chain.end(),
+                                            c.get()) == open_chain.end();
+                         }),
+          children.end());
+    }
+    trace->events.clear();
+  }
+}
+
+std::string RenderProfile() {
+  std::vector<SpanStats> stats = CollectSpanStats();
+  uint64_t total_ns = 0;
+  for (const SpanStats& s : stats) {
+    if (s.depth == 0) total_ns += s.inclusive_ns;
+  }
+  util::Table table({"span", "calls", "incl ms", "excl ms", "excl %"});
+  char buffer[32];
+  for (const SpanStats& s : stats) {
+    std::string name(static_cast<size_t>(s.depth) * 2, ' ');
+    name += s.name;
+    std::vector<std::string> row = {name, std::to_string(s.calls)};
+    std::snprintf(buffer, sizeof(buffer), "%.3f", s.inclusive_ns * 1e-6);
+    row.push_back(buffer);
+    std::snprintf(buffer, sizeof(buffer), "%.3f", s.exclusive_ns * 1e-6);
+    row.push_back(buffer);
+    std::snprintf(buffer, sizeof(buffer), "%.1f",
+                  total_ns > 0
+                      ? 100.0 * static_cast<double>(s.exclusive_ns) /
+                            static_cast<double>(total_ns)
+                      : 0.0);
+    row.push_back(buffer);
+    table.AddRow(row);
+  }
+  return table.Render();
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  JsonValue events = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> registry_lock(RegistryMutex());
+    for (ThreadTrace* trace : Registry()) {
+      std::lock_guard<std::mutex> lock(trace->mu);
+      for (const TraceEvent& event : trace->events) {
+        JsonValue e = JsonValue::Object();
+        e.Add("name", JsonValue::String(event.name));
+        e.Add("cat", JsonValue::String("cpgan"));
+        e.Add("ph", JsonValue::String("X"));
+        e.Add("ts", JsonValue::Number(event.start_ns * 1e-3));   // micros
+        e.Add("dur", JsonValue::Number(event.dur_ns * 1e-3));
+        e.Add("pid", JsonValue::Int(1));
+        e.Add("tid", JsonValue::Int(trace->tid));
+        events.Append(std::move(e));
+      }
+    }
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Add("traceEvents", std::move(events));
+  doc.Add("displayTimeUnit", JsonValue::String("ms"));
+  std::string text = doc.Serialize();
+  text += '\n';
+  return util::AtomicWriteFile(path, [&text](std::FILE* f) {
+    return std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  });
+}
+
+}  // namespace cpgan::obs

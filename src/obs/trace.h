@@ -1,0 +1,97 @@
+#ifndef CPGAN_OBS_TRACE_H_
+#define CPGAN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpgan::obs {
+
+/// \file
+/// Scoped trace spans (docs/OBSERVABILITY.md).
+///
+/// `CPGAN_TRACE_SPAN("subsystem/op")` opens a span for the rest of the
+/// enclosing block. Spans nest into a per-thread tree keyed by the call
+/// path; each node accumulates call count and inclusive wall time, and the
+/// exclusive time (inclusive minus children) is derived at report time.
+/// Every thread — including thread-pool workers — owns its tree under its
+/// own mutex, so recording is contention-free and TSan-clean; reports merge
+/// the trees by path.
+///
+/// Determinism contract: spans only *observe* the steady clock. No timing
+/// value ever feeds back into a computation, so tracing on/off cannot
+/// change any numeric result (docs/INTERNALS.md, "Determinism").
+///
+/// When tracing is disabled (the default) a span costs one relaxed atomic
+/// load. When Chrome trace-event recording is additionally enabled, every
+/// completed span appends a `trace_event` record exportable for
+/// chrome://tracing via WriteChromeTrace().
+
+/// Span-tree collection switch (the `--profile` / `--trace` paths).
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// Chrome trace-event recording (implies the span tree is also built when
+/// tracing is enabled; events are only recorded while both flags are on).
+bool TraceEventsEnabled();
+void SetTraceEventsEnabled(bool enabled);
+
+/// RAII span. Use via CPGAN_TRACE_SPAN; `name` must outlive the program
+/// (string literal) and should follow the `subsystem/op` convention.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) Enter(name);
+  }
+  ~ScopedSpan() {
+    if (node_ != nullptr) Exit();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Enter(const char* name);
+  void Exit();
+
+  void* node_ = nullptr;  // internal SpanNode*, null when not recording
+  uint64_t start_ns_ = 0;
+};
+
+/// One aggregated span (merged across threads), in depth-first order with
+/// siblings sorted by descending inclusive time.
+struct SpanStats {
+  std::string path;        // "train/epoch;encoder/forward" (';'-joined)
+  std::string name;        // leaf name
+  int depth = 0;           // 0 for top-level spans
+  uint64_t calls = 0;
+  uint64_t inclusive_ns = 0;
+  uint64_t exclusive_ns = 0;  // inclusive minus direct children
+};
+
+/// Merges every thread's span tree. Only completed spans are counted; an
+/// open span contributes nothing until it closes.
+std::vector<SpanStats> CollectSpanStats();
+
+/// Clears every thread's span tree and recorded Chrome events. Spans that
+/// are currently open keep nesting correctly and will be recorded on close.
+void ResetTraces();
+
+/// Renders CollectSpanStats() as an aligned profile table (util::Table):
+/// span, calls, inclusive/exclusive ms, and exclusive share of the total.
+std::string RenderProfile();
+
+/// Writes recorded Chrome `trace_event` JSON ({"traceEvents":[...]}) for
+/// chrome://tracing / Perfetto. Returns false on IO failure.
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace cpgan::obs
+
+#define CPGAN_TRACE_CONCAT_IMPL(a, b) a##b
+#define CPGAN_TRACE_CONCAT(a, b) CPGAN_TRACE_CONCAT_IMPL(a, b)
+
+/// Traces the rest of the enclosing block as one span named `name`.
+#define CPGAN_TRACE_SPAN(name) \
+  ::cpgan::obs::ScopedSpan CPGAN_TRACE_CONCAT(cpgan_trace_span_, __LINE__)(name)
+
+#endif  // CPGAN_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/memory_tracker.h"
 #include "util/thread_pool.h"
 
@@ -277,6 +278,8 @@ void MatmulAccum(const Matrix& a, const Matrix& b, Matrix& out) {
     MatmulSerialSmall(a, b, out);
     return;
   }
+  // Spans only on the blocked path so small products stay overhead-free.
+  CPGAN_TRACE_SPAN("tensor/matmul");
   const PackedB packed = PackB(b);
   util::ParallelFor(0, n, kTileRows, [&](int64_t i0, int64_t i1) {
     MatmulPanel(a, packed, out, i0, i1);
@@ -308,6 +311,7 @@ Matrix MatmulTN(const Matrix& a, const Matrix& b) {
   // A^T is materialized (parallel blocked transpose) so the product reuses
   // the row-parallel blocked kernel; the transpose is O(nk) against the
   // O(nkm) product.
+  CPGAN_TRACE_SPAN("tensor/matmul_tn");
   Matrix at = a.Transposed();
   MatmulAccum(at, b, out);
   return out;
@@ -323,6 +327,7 @@ Matrix MatmulNT(const Matrix& a, const Matrix& b) {
   // Dot-product form: each output row depends only on one row of A and all
   // of B, so row panels parallelize with no write sharing; the per-element
   // double accumulator order is fixed by the k loop regardless of panels.
+  CPGAN_TRACE_SPAN("tensor/matmul_nt");
   util::ParallelFor(0, n, kTileRows, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float* arow = a.Row(static_cast<int>(i));

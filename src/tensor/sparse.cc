@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/memory_tracker.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +57,7 @@ SparseMatrix::SparseMatrix(int rows, int cols, std::vector<Triplet> triplets)
 
 Matrix SparseMatrix::Multiply(const Matrix& dense) const {
   CPGAN_CHECK_EQ(cols_, dense.rows());
+  CPGAN_TRACE_SPAN("tensor/spmm");
   Matrix out(rows_, dense.cols());
   const int d = dense.cols();
   // Each output row is owned by exactly one chunk; within a row, entries

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "tensor/serialize.h"
 #include "util/crc32.h"
 #include "util/fileio.h"
@@ -26,7 +27,8 @@ void SetError(std::string* error, const char* message) {
 
 bool SaveCheckpoint(const std::string& path, const CheckpointMeta& meta,
                     const std::vector<tensor::Tensor>& params) {
-  return util::AtomicWriteFile(path, [&meta, &params](std::FILE* f) {
+  CPGAN_STOPWATCH_SCOPE("train/checkpoint_write");
+  bool ok = util::AtomicWriteFile(path, [&meta, &params](std::FILE* f) {
     util::Crc32 crc;
     uint32_t magic = kMagic;
     uint32_t version = kVersion;
@@ -44,6 +46,12 @@ bool SaveCheckpoint(const std::string& path, const CheckpointMeta& meta,
               std::fwrite(&header_crc, sizeof(header_crc), 1, f) == 1;
     return ok && tensor::WriteTensorBlock(f, params);
   });
+  if (ok) {
+    CPGAN_COUNTER_ADD("train/checkpoints", 1);
+  } else {
+    CPGAN_COUNTER_ADD("train/checkpoint_failures", 1);
+  }
+  return ok;
 }
 
 namespace {

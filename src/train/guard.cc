@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace cpgan::train {
@@ -67,7 +68,9 @@ void TrainingGuard::CommitGood(float loss, int stream) {
 
 bool TrainingGuard::Recover() {
   ++recoveries_;
+  CPGAN_COUNTER_ADD("train/guard_trips", 1);
   if (!has_snapshot_) return false;
+  CPGAN_COUNTER_ADD("train/guard_rollbacks", 1);
   for (size_t i = 0; i < params_.size(); ++i) {
     params_[i].mutable_value() = snapshot_[i];
   }

@@ -32,6 +32,20 @@ bool FileExists(const std::string& path) {
   return ::access(path.c_str(), R_OK) == 0;
 }
 
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buffer[1 << 14];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, read);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
 bool MakeDirs(const std::string& path) {
   if (path.empty()) return false;
   std::string partial;

@@ -18,6 +18,10 @@ bool AtomicWriteFile(const std::string& path,
 /// True if `path` exists and is readable.
 bool FileExists(const std::string& path);
 
+/// Reads the whole file into `*out` (binary, replacing any contents).
+/// Returns false on open/read failure, leaving `*out` unspecified.
+bool ReadFileToString(const std::string& path, std::string* out);
+
 /// Best-effort mkdir -p. Returns false if a component could not be created
 /// (an already-existing directory is success).
 bool MakeDirs(const std::string& path);

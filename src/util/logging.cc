@@ -1,12 +1,22 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <ctime>
+#include <mutex>
 
 namespace cpgan::util {
 namespace {
 
 LogLevel g_min_level = LogLevel::kInfo;
+
+// Sink state: stderr by default, or an owned append-mode FILE*. Guarded by
+// a leaked mutex so logging stays usable during static destruction.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::FILE* g_log_file = nullptr;  // nullptr → stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,6 +32,24 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Small sequential id for the calling thread (0 for the first thread that
+/// logs, 1 for the next, ...) — far more readable than pthread ids.
+int ThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "2026-08-06T12:34:56Z" for the current wall-clock time (UTC). The wall
+/// clock is only used for log prefixes; all measurement uses the monotonic
+/// steady clock (see util/timer.h).
+void FormatTimestamp(char* buffer, size_t size) {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buffer, size, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level = level; }
@@ -35,6 +63,18 @@ LogLevel ParseLogLevel(const std::string& name) {
   return LogLevel::kInfo;
 }
 
+bool SetLogFile(const std::string& path) {
+  std::FILE* file = nullptr;
+  if (!path.empty()) {
+    file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) return false;
+  }
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_log_file != nullptr) std::fclose(g_log_file);
+  g_log_file = file;
+  return true;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,13 +83,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  char timestamp[24];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  stream_ << timestamp << " " << LevelName(level) << " [t" << ThreadId()
+          << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ < g_min_level) return;
   std::string message = stream_.str();
-  std::fprintf(stderr, "%s\n", message.c_str());
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::FILE* sink = g_log_file != nullptr ? g_log_file : stderr;
+  std::fprintf(sink, "%s\n", message.c_str());
+  if (g_log_file != nullptr) std::fflush(g_log_file);
 }
 
 }  // namespace internal

@@ -25,10 +25,19 @@ LogLevel GetLogLevel();
 /// kInfo for unknown names.
 LogLevel ParseLogLevel(const std::string& name);
 
+/// Redirects log output to `path` (appending; the file is created if
+/// missing). An empty path restores the default stderr sink. Returns false
+/// and keeps the current sink if the file cannot be opened. Thread safe.
+bool SetLogFile(const std::string& path);
+
 namespace internal {
 
 /// Stream-style log message that emits on destruction, mirroring the
-/// LOG(INFO) << ... idiom without a glog dependency.
+/// LOG(INFO) << ... idiom without a glog dependency. Each line carries an
+/// ISO-8601 UTC timestamp, severity, a small sequential thread id, and the
+/// source location:
+///
+///   2026-08-06T12:34:56Z INFO  [t0 cpgan.cc:210] epoch 3 ...
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -2,6 +2,19 @@
 
 namespace cpgan::util {
 
+namespace {
+
+/// Monotonic max on an atomic; racing updates converge to the true maximum.
+void StoreMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 MemoryTracker& MemoryTracker::Global() {
   static MemoryTracker* tracker = new MemoryTracker();
   return *tracker;
@@ -11,16 +24,45 @@ void MemoryTracker::Allocate(size_t bytes) {
   int64_t live = live_bytes_.fetch_add(static_cast<int64_t>(bytes),
                                        std::memory_order_relaxed) +
                  static_cast<int64_t>(bytes);
-  // Monotonic max; racing updates converge to the true peak.
-  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
-  while (live > peak && !peak_bytes_.compare_exchange_weak(
-                            peak, live, std::memory_order_relaxed)) {
+  StoreMax(peak_bytes_, live);
+  // Raise every active region's peak. `acquire` pairs with BeginRegion's
+  // `release` so a freshly opened slot is initialized before workers see
+  // the increased depth.
+  int depth = region_depth_.load(std::memory_order_acquire);
+  for (int i = 0; i < depth && i < kMaxRegionDepth; ++i) {
+    StoreMax(region_peaks_[i], live);
   }
 }
 
 void MemoryTracker::Release(size_t bytes) {
   live_bytes_.fetch_sub(static_cast<int64_t>(bytes),
                         std::memory_order_relaxed);
+}
+
+void MemoryTracker::Reset() {
+  live_bytes_.store(0, std::memory_order_relaxed);
+  peak_bytes_.store(0, std::memory_order_relaxed);
+  region_depth_.store(0, std::memory_order_relaxed);
+  for (auto& slot : region_peaks_) slot.store(0, std::memory_order_relaxed);
+}
+
+int MemoryTracker::BeginRegion() {
+  int depth = region_depth_.load(std::memory_order_relaxed);
+  if (depth >= kMaxRegionDepth) return -1;
+  region_peaks_[depth].store(live_bytes(), std::memory_order_relaxed);
+  region_depth_.store(depth + 1, std::memory_order_release);
+  return depth;
+}
+
+int64_t MemoryTracker::RegionPeakBytes(int token) const {
+  if (token < 0 || token >= kMaxRegionDepth) return 0;
+  return region_peaks_[token].load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::EndRegion(int token) {
+  if (token < 0 || token >= kMaxRegionDepth) return 0;
+  region_depth_.store(token, std::memory_order_relaxed);
+  return region_peaks_[token].load(std::memory_order_relaxed);
 }
 
 }  // namespace cpgan::util

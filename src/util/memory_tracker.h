@@ -14,8 +14,16 @@ namespace cpgan::util {
 /// tensor storage. Matrix/sparse storage report their allocations here.
 /// Thread-safe: parallel kernels may allocate tracked storage from worker
 /// threads, so the counters are atomics.
+///
+/// Besides the global peak, the tracker supports a small stack of *regions*
+/// for per-phase peak attribution (e.g. encoder vs decoder vs discriminator
+/// inside one training step). Regions are entered/exited from one control
+/// thread (nesting up to kMaxRegionDepth); allocations from any thread while
+/// a region is active raise that region's peak.
 class MemoryTracker {
  public:
+  static constexpr int kMaxRegionDepth = 8;
+
   /// Global tracker instance used by the tensor engine.
   static MemoryTracker& Global();
 
@@ -40,9 +48,48 @@ class MemoryTracker {
     peak_bytes_.store(live_bytes(), std::memory_order_relaxed);
   }
 
+  /// Zeroes live/peak counters and abandons any active regions. Only for
+  /// test isolation — real code must balance Allocate/Release instead.
+  void Reset();
+
+  /// Opens a region whose peak starts at the current live volume; returns a
+  /// depth token for EndRegion. Returns -1 (region ignored) when nested
+  /// deeper than kMaxRegionDepth. Call from one control thread only.
+  int BeginRegion();
+
+  /// Peak live bytes observed since the region opened (readable while the
+  /// region is still active; 0 for token -1).
+  int64_t RegionPeakBytes(int token) const;
+
+  /// Closes the region and returns its peak live bytes.
+  int64_t EndRegion(int token);
+
  private:
   std::atomic<int64_t> live_bytes_{0};
   std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int> region_depth_{0};
+  std::atomic<int64_t> region_peaks_[kMaxRegionDepth]{};
+};
+
+/// RAII region on the global tracker:
+///
+///   int64_t enc_peak = 0;
+///   { MemoryRegion region; ... encoder forward ...; enc_peak = region.PeakBytes(); }
+class MemoryRegion {
+ public:
+  MemoryRegion() : token_(MemoryTracker::Global().BeginRegion()) {}
+  ~MemoryRegion() { MemoryTracker::Global().EndRegion(token_); }
+
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  /// Peak live bytes since the region opened.
+  int64_t PeakBytes() const {
+    return MemoryTracker::Global().RegionPeakBytes(token_);
+  }
+
+ private:
+  int token_;
 };
 
 }  // namespace cpgan::util

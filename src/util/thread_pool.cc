@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cpgan::util {
@@ -36,6 +37,7 @@ int ClampThreads(int n) {
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(ClampThreads(num_threads)) {
+  CPGAN_GAUGE_SET("threadpool/threads", num_threads_);
   workers_.reserve(num_threads_ - 1);
   for (int i = 0; i < num_threads_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -98,6 +100,7 @@ void ThreadPool::ParallelForChunked(
   if (num_chunks == 1 || num_threads_ == 1 || t_inside_parallel_region) {
     // Serial path: same chunk boundaries, executed in chunk order inline.
     // (Exceptions propagate naturally.)
+    CPGAN_COUNTER_ADD("threadpool/inline_regions", 1);
     for (int64_t c = 0; c < num_chunks; ++c) {
       int64_t b = begin + c * grain;
       int64_t e = b + grain < end ? b + grain : end;
@@ -105,6 +108,9 @@ void ThreadPool::ParallelForChunked(
     }
     return;
   }
+
+  CPGAN_COUNTER_ADD("threadpool/regions", 1);
+  CPGAN_COUNTER_ADD("threadpool/chunks", static_cast<uint64_t>(num_chunks));
 
   Job job;
   job.fn = &fn;
@@ -130,7 +136,16 @@ void ThreadPool::ParallelForChunked(
   });
   job_ = nullptr;  // late-waking workers see no job and keep waiting
   std::exception_ptr error = job.error;
+  int64_t max_thread_chunks = job.max_thread_chunks;
   lock.unlock();
+  // Imbalance = busiest thread's share over the ideal even share; 1.0 means
+  // perfectly balanced. Observation only — never fed back into scheduling.
+  int64_t even_share = (num_chunks + num_threads_ - 1) / num_threads_;
+  if (even_share > 0) {
+    CPGAN_GAUGE_SET("threadpool/imbalance",
+                    static_cast<double>(max_thread_chunks) /
+                        static_cast<double>(even_share));
+  }
   if (error) std::rethrow_exception(error);
 }
 
@@ -186,6 +201,7 @@ void ThreadPool::ExecuteChunks(Job& job) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job.done_chunks += executed;
+      if (executed > job.max_thread_chunks) job.max_thread_chunks = executed;
       complete = job.done_chunks == job.num_chunks;
     }
     if (complete) done_cv_.notify_one();

@@ -81,8 +81,10 @@ class ThreadPool {
     int64_t end = 0;
     int64_t grain = 1;
     int64_t num_chunks = 0;
-    int64_t next_chunk = 0;    // guarded by the pool mutex_
-    int64_t done_chunks = 0;   // guarded by mutex_
+    int64_t next_chunk = 0;        // guarded by the pool mutex_
+    int64_t done_chunks = 0;       // guarded by mutex_
+    int64_t max_thread_chunks = 0;  // guarded by mutex_; most chunks any
+                                    // one thread ran (imbalance telemetry)
     int workers_inside = 0;    // guarded by mutex_
     std::exception_ptr error;  // guarded by mutex_
   };

@@ -5,7 +5,14 @@
 
 namespace cpgan::util {
 
-/// Wall-clock stopwatch used by the efficiency benchmarks (Tables VII/VIII).
+/// Wall-clock stopwatch used by the efficiency benchmarks (Tables VII/VIII)
+/// and the telemetry layer.
+///
+/// Clock choice: std::chrono::steady_clock — monotonic, so measurements are
+/// immune to NTP slews and wall-clock adjustments mid-run. Every timing
+/// source in this repo (Timer, obs::Stopwatch, trace spans) reads the same
+/// steady clock so durations are directly comparable; the wall clock is
+/// used only for human-readable log timestamps (util/logging.cc).
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
@@ -20,6 +27,9 @@ class Timer {
 
   /// Milliseconds elapsed since construction or the last Reset().
   double Millis() const { return Seconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double Micros() const { return Seconds() * 1e6; }
 
  private:
   using Clock = std::chrono::steady_clock;

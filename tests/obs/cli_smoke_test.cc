@@ -1,0 +1,117 @@
+// End-to-end smoke test for the observability flags the CLI exposes
+// (--metrics-out / --profile / --trace): trains a tiny CPGAN through the
+// same CpganConfig fields examples/cpgan_cli.cpp sets and checks that the
+// run log has one valid JSONL record per epoch and the Chrome trace parses.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cpgan.h"
+#include "data/synthetic.h"
+#include "obs/json.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
+#include "util/fileio.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cpgan::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+graph::Graph TinyGraph() {
+  data::CommunityGraphParams params;
+  params.num_nodes = 60;
+  params.num_edges = 180;
+  params.num_communities = 3;
+  params.intra_fraction = 0.9;
+  util::Rng rng(5);
+  return data::MakeCommunityGraph(params, rng);
+}
+
+TEST(CliSmokeTest, MetricsOutProfileAndTraceProduceValidArtifacts) {
+  const int kEpochs = 4;
+  std::string metrics_path = TempPath("cli_smoke_run.jsonl");
+  std::string trace_path = TempPath("cli_smoke_trace.json");
+
+  CpganConfig config;
+  config.epochs = kEpochs;
+  config.subgraph_size = 40;
+  config.hidden_dim = 8;
+  config.latent_dim = 4;
+  config.feature_dim = 4;
+  config.seed = 17;
+  config.metrics_out = metrics_path;
+  config.profile = true;
+  config.trace_out = trace_path;
+
+  Cpgan model(config);
+  TrainStats stats = model.Fit(TinyGraph());
+  EXPECT_EQ(stats.metrics_records, kEpochs);
+
+  // One parseable JSONL record per epoch, epochs in order.
+  std::string text;
+  ASSERT_TRUE(util::ReadFileToString(metrics_path, &text));
+  std::vector<std::string> lines = util::Split(text, "\n");
+  ASSERT_EQ(static_cast<int>(lines.size()), kEpochs);
+  for (int i = 0; i < kEpochs; ++i) {
+    obs::JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(obs::JsonValue::Parse(lines[i], &parsed, &error))
+        << "line " << i << ": " << error;
+    obs::EpochRecord record;
+    ASSERT_TRUE(obs::EpochRecordFromJson(parsed, &record)) << "line " << i;
+    EXPECT_EQ(record.epoch, i);
+    EXPECT_GE(record.epoch_ms, 0.0);
+    EXPECT_GT(record.threads, 0);
+    EXPECT_GE(record.peak_bytes, record.encoder_peak_bytes);
+  }
+
+  // The Chrome trace parses and contains the training phase spans.
+  std::string trace_text;
+  ASSERT_TRUE(util::ReadFileToString(trace_path, &trace_text));
+  obs::JsonValue trace;
+  std::string trace_error;
+  ASSERT_TRUE(obs::JsonValue::Parse(trace_text, &trace, &trace_error))
+      << trace_error;
+  const obs::JsonValue* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_epoch = false;
+  for (const obs::JsonValue& event : events->items()) {
+    const obs::JsonValue* name = event.Find("name");
+    if (name != nullptr && name->string_value() == "train/epoch") {
+      saw_epoch = true;
+    }
+  }
+  EXPECT_TRUE(saw_epoch);
+
+  // Fit() restores the global tracing switches on the way out.
+  EXPECT_FALSE(obs::TracingEnabled());
+  EXPECT_FALSE(obs::TraceEventsEnabled());
+
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliSmokeTest, ObservabilityOffWritesNothing) {
+  CpganConfig config;
+  config.epochs = 2;
+  config.subgraph_size = 40;
+  config.hidden_dim = 8;
+  config.latent_dim = 4;
+  config.feature_dim = 4;
+  config.seed = 17;
+  Cpgan model(config);
+  TrainStats stats = model.Fit(TinyGraph());
+  EXPECT_EQ(stats.metrics_records, 0);
+}
+
+}  // namespace
+}  // namespace cpgan::core

@@ -1,0 +1,183 @@
+// Round-trip tests for the JSON document model and the run-log JSONL
+// schema (docs/OBSERVABILITY.md). This suite is also the CI schema check:
+// it validates every required field of a written run log in C++ with no
+// Python dependency.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/run_logger.h"
+#include "util/fileio.h"
+#include "util/string_util.h"
+
+namespace cpgan::obs {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(JsonTest, SerializeParseRoundTrip) {
+  JsonValue object = JsonValue::Object();
+  object.Add("int", JsonValue::Int(42));
+  object.Add("neg", JsonValue::Number(-2.5));
+  object.Add("text", JsonValue::String("line\nbreak \"quoted\" back\\slash"));
+  object.Add("flag", JsonValue::Bool(true));
+  object.Add("missing", JsonValue::Null());
+  JsonValue nested = JsonValue::Array();
+  nested.Append(JsonValue::Int(1));
+  nested.Append(JsonValue::String("two"));
+  object.Add("items", nested);
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(object.Serialize(), &parsed, &error)) << error;
+  EXPECT_DOUBLE_EQ(parsed.NumberOr("int", 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(parsed.NumberOr("neg", 0.0), -2.5);
+  ASSERT_NE(parsed.Find("text"), nullptr);
+  EXPECT_EQ(parsed.Find("text")->string_value(),
+            "line\nbreak \"quoted\" back\\slash");
+  ASSERT_NE(parsed.Find("flag"), nullptr);
+  EXPECT_TRUE(parsed.Find("flag")->bool_value());
+  ASSERT_NE(parsed.Find("missing"), nullptr);
+  EXPECT_TRUE(parsed.Find("missing")->is_null());
+  const JsonValue* items = parsed.Find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->items().size(), 2u);
+  EXPECT_EQ(items->items()[1].string_value(), "two");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  JsonValue out;
+  EXPECT_FALSE(JsonValue::Parse("{", &out));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}", &out));
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &out));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing", &out));
+  EXPECT_TRUE(JsonValue::Parse("  {\"a\": 1}  ", &out));
+}
+
+EpochRecord SampleRecord() {
+  EpochRecord record;
+  record.epoch = 7;
+  record.graph_index = 1;
+  record.has_d_loss = true;
+  record.d_loss = 0.75;
+  record.g_loss = 1.25;
+  record.has_clus_loss = true;
+  record.clus_loss = 0.0625;
+  record.grad_norm = 3.5;
+  record.guard_trips = 2;
+  record.rollbacks = 1;
+  record.wrote_checkpoint = true;
+  record.checkpoint_ms = 12.5;
+  record.peak_bytes = 1 << 20;
+  record.encoder_peak_bytes = 1 << 18;
+  record.decoder_peak_bytes = 1 << 17;
+  record.discriminator_peak_bytes = 1 << 16;
+  record.threads = 4;
+  record.rss_bytes = 1 << 22;
+  record.epoch_ms = 250.0;
+  return record;
+}
+
+TEST(JsonlSchemaTest, EpochRecordRoundTrip) {
+  EpochRecord record = SampleRecord();
+  std::string line = EpochRecordToJson(record).Serialize();
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(line, &parsed, &error)) << error;
+  EpochRecord back;
+  ASSERT_TRUE(EpochRecordFromJson(parsed, &back));
+  EXPECT_EQ(back.epoch, record.epoch);
+  EXPECT_EQ(back.graph_index, record.graph_index);
+  ASSERT_TRUE(back.has_d_loss);
+  EXPECT_DOUBLE_EQ(back.d_loss, record.d_loss);
+  EXPECT_DOUBLE_EQ(back.g_loss, record.g_loss);
+  ASSERT_TRUE(back.has_clus_loss);
+  EXPECT_DOUBLE_EQ(back.clus_loss, record.clus_loss);
+  EXPECT_DOUBLE_EQ(back.grad_norm, record.grad_norm);
+  EXPECT_EQ(back.guard_trips, record.guard_trips);
+  EXPECT_EQ(back.rollbacks, record.rollbacks);
+  EXPECT_EQ(back.wrote_checkpoint, record.wrote_checkpoint);
+  EXPECT_DOUBLE_EQ(back.checkpoint_ms, record.checkpoint_ms);
+  EXPECT_EQ(back.peak_bytes, record.peak_bytes);
+  EXPECT_EQ(back.encoder_peak_bytes, record.encoder_peak_bytes);
+  EXPECT_EQ(back.decoder_peak_bytes, record.decoder_peak_bytes);
+  EXPECT_EQ(back.discriminator_peak_bytes, record.discriminator_peak_bytes);
+  EXPECT_EQ(back.threads, record.threads);
+  EXPECT_EQ(back.rss_bytes, record.rss_bytes);
+  EXPECT_DOUBLE_EQ(back.epoch_ms, record.epoch_ms);
+}
+
+TEST(JsonlSchemaTest, GeneratorOnlyEpochSerializesNullLosses) {
+  EpochRecord record = SampleRecord();
+  record.has_d_loss = false;
+  record.has_clus_loss = false;
+  std::string line = EpochRecordToJson(record).Serialize();
+  EXPECT_NE(line.find("\"d_loss\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"clus_loss\":null"), std::string::npos);
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(line, &parsed));
+  EpochRecord back;
+  ASSERT_TRUE(EpochRecordFromJson(parsed, &back));
+  EXPECT_FALSE(back.has_d_loss);
+  EXPECT_FALSE(back.has_clus_loss);
+}
+
+TEST(JsonlSchemaTest, FromJsonRejectsWrongSchemaOrMissingFields) {
+  JsonValue good = EpochRecordToJson(SampleRecord());
+  EpochRecord out;
+  ASSERT_TRUE(EpochRecordFromJson(good, &out));
+
+  JsonValue wrong_schema = JsonValue::Object();
+  for (const auto& [key, value] : good.members()) {
+    wrong_schema.Add(key, key == "schema" ? JsonValue::Int(99) : value);
+  }
+  EXPECT_FALSE(EpochRecordFromJson(wrong_schema, &out));
+
+  JsonValue missing = JsonValue::Object();
+  for (const auto& [key, value] : good.members()) {
+    if (key != "epoch_ms") missing.Add(key, value);
+  }
+  EXPECT_FALSE(EpochRecordFromJson(missing, &out));
+}
+
+TEST(JsonlSchemaTest, RunLoggerWritesOneValidLinePerRecord) {
+  std::string path = TempPath("run_logger_schema.jsonl");
+  RunLogger logger;
+  ASSERT_TRUE(logger.Open(path));
+  const int kRecords = 5;
+  for (int i = 0; i < kRecords; ++i) {
+    EpochRecord record = SampleRecord();
+    record.epoch = i;
+    record.has_d_loss = (i % 2 == 0);
+    record.has_clus_loss = record.has_d_loss;
+    ASSERT_TRUE(logger.Log(record));
+  }
+  logger.Close();
+  EXPECT_EQ(logger.records_written(), kRecords);
+
+  std::string text;
+  ASSERT_TRUE(util::ReadFileToString(path, &text));
+  std::vector<std::string> lines = util::Split(text, "\n");
+  ASSERT_EQ(static_cast<int>(lines.size()), kRecords);
+  for (int i = 0; i < kRecords; ++i) {
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(JsonValue::Parse(lines[i], &parsed, &error))
+        << "line " << i << ": " << error;
+    EpochRecord back;
+    ASSERT_TRUE(EpochRecordFromJson(parsed, &back)) << "line " << i;
+    EXPECT_EQ(back.epoch, i);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cpgan::obs

@@ -1,0 +1,163 @@
+// Unit tests for the metrics registry: concurrent instrument updates,
+// histogram bucketing, find-or-create pointer stability, reset semantics,
+// the JSON snapshot, and the disabled fast path of the update macros.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/thread_pool.h"
+
+namespace cpgan::obs {
+namespace {
+
+TEST(RegistryTest, CounterConcurrentIncrementsSumExactly) {
+  Counter* counter =
+      MetricsRegistry::Global().FindCounter("test/registry_concurrent");
+  counter->Reset();
+  const int64_t n = 100000;
+  util::ThreadPool pool(4);
+  pool.ParallelFor(0, n, 64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) counter->Increment();
+  });
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(n));
+}
+
+TEST(RegistryTest, CounterConcurrentFromRawThreads) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  const int kThreads = 8;
+  const int kPerThread = 20000;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter] {
+      for (int j = 0; j < kPerThread; ++j) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(RegistryTest, HistogramBucketBoundaries) {
+  // bucket 0 = {0}; bucket i >= 1 = [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(7), 3);
+  EXPECT_EQ(Histogram::BucketFor(8), 4);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  // The top bucket absorbs everything out of range.
+  EXPECT_EQ(Histogram::BucketFor(~uint64_t{0}), Histogram::kNumBuckets - 1);
+  // Lower bounds invert BucketFor at bucket starts.
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+}
+
+TEST(RegistryTest, HistogramObserveCountsAndSums) {
+  Histogram histogram;
+  histogram.Observe(0);
+  histogram.Observe(1);
+  histogram.Observe(3);
+  histogram.Observe(3);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_EQ(histogram.Sum(), 7u);
+  EXPECT_EQ(histogram.BucketCount(0), 1u);
+  EXPECT_EQ(histogram.BucketCount(1), 1u);
+  EXPECT_EQ(histogram.BucketCount(2), 2u);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.BucketCount(2), 0u);
+}
+
+TEST(RegistryTest, GaugeSetAndSetMax) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.SetMax(1.0);  // smaller: no change
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.SetMax(9.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 9.0);
+}
+
+TEST(RegistryTest, StopwatchScopeAccumulates) {
+  Stopwatch stopwatch;
+  {
+    Stopwatch::Scope scope(&stopwatch);
+  }
+  {
+    Stopwatch::Scope scope(&stopwatch);
+  }
+  EXPECT_EQ(stopwatch.Count(), 2u);
+  // Null stopwatch scopes are no-ops (the disabled path).
+  { Stopwatch::Scope scope(nullptr); }
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* first = registry.FindCounter("test/registry_stable");
+  Counter* second = registry.FindCounter("test/registry_stable");
+  EXPECT_EQ(first, second);
+  // Distinct kinds with the same name are distinct instruments.
+  EXPECT_NE(static_cast<void*>(registry.FindGauge("test/registry_stable")),
+            static_cast<void*>(first));
+  // ResetAll zeroes values but keeps pointers valid.
+  first->Increment(5);
+  registry.ResetAll();
+  EXPECT_EQ(first->Value(), 0u);
+  EXPECT_EQ(registry.FindCounter("test/registry_stable"), first);
+}
+
+TEST(RegistryTest, SnapshotAndJsonRoundTrip) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.FindCounter("test/registry_json")->Reset();
+  registry.FindCounter("test/registry_json")->Increment(7);
+  registry.FindGauge("test/registry_json_gauge")->Set(1.5);
+
+  bool found = false;
+  for (const MetricSample& sample : registry.Snapshot()) {
+    if (sample.name == "test/registry_json" &&
+        sample.kind == MetricSample::Kind::kCounter) {
+      EXPECT_DOUBLE_EQ(sample.value, 7.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(registry.RenderJson(), &parsed, &error))
+      << error;
+  const JsonValue* counters = parsed.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->NumberOr("test/registry_json", -1.0), 7.0);
+  const JsonValue* gauges = parsed.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->NumberOr("test/registry_json_gauge", -1.0), 1.5);
+}
+
+TEST(RegistryTest, MacrosAreNoOpsWhenDisabled) {
+  Counter* counter =
+      MetricsRegistry::Global().FindCounter("test/registry_disabled");
+  counter->Reset();
+  ASSERT_TRUE(MetricsEnabled()) << "metrics should default to enabled";
+  SetMetricsEnabled(false);
+  CPGAN_COUNTER_ADD("test/registry_disabled", 1);
+  CPGAN_GAUGE_SET("test/registry_disabled_gauge", 3.0);
+  CPGAN_HISTOGRAM_OBSERVE("test/registry_disabled_hist", 3);
+  { CPGAN_STOPWATCH_SCOPE("test/registry_disabled_sw"); }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter->Value(), 0u);
+  CPGAN_COUNTER_ADD("test/registry_disabled", 2);
+  EXPECT_EQ(counter->Value(), 2u);
+}
+
+}  // namespace
+}  // namespace cpgan::obs

@@ -22,13 +22,18 @@ GenerationMetrics ComputeGenerationMetrics(const graph::Graph& observed,
   for (int v = 0; v < generated.num_nodes(); ++v) {
     max_degree = std::max(max_degree, generated.degree(v));
   }
+  // Unbiased estimator by default: the Table IV/V comparisons must not carry
+  // the self-pair bias of the V-statistic when callers pass multi-graph
+  // sample sets (singleton sets, as here, are estimator-independent).
   m.deg = Mmd({graph::DegreeHistogram(observed, max_degree)},
               {graph::DegreeHistogram(generated, max_degree)},
               MmdKernel::kGaussianEmd, /*sigma=*/static_cast<double>(
-                  std::max(1, max_degree / 10)));
+                  std::max(1, max_degree / 10)),
+              MmdEstimator::kUnbiased);
   m.clus = Mmd({graph::ClusteringHistogram(observed, 20)},
                {graph::ClusteringHistogram(generated, 20)},
-               MmdKernel::kGaussianTv, /*sigma=*/0.2);
+               MmdKernel::kGaussianTv, /*sigma=*/0.2,
+               MmdEstimator::kUnbiased);
   m.cpl = std::fabs(graph::CharacteristicPathLength(observed, rng) -
                     graph::CharacteristicPathLength(generated, rng));
   std::vector<int> deg_obs = observed.Degrees();

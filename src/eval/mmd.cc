@@ -9,13 +9,31 @@
 namespace cpgan::eval {
 namespace {
 
-std::vector<double> Normalized(const std::vector<double>& h) {
-  double total = 0.0;
-  for (double v : h) total += v;
-  std::vector<double> out(h.size(), 0.0);
-  if (total <= 0.0) return out;
-  for (size_t i = 0; i < h.size(); ++i) out[i] = h[i] / total;
-  return out;
+/// Zero-pads both histograms to a common support, then normalizes each on
+/// that support. Padding first makes the common-support contract explicit:
+/// every bin index means the same thing in both outputs. (Zero bins carry no
+/// mass, so the normalizer is unaffected by the padding itself; an all-zero
+/// histogram normalizes to all zeros.)
+void CommonSupportNormalized(const std::vector<double>& p,
+                             const std::vector<double>& q,
+                             std::vector<double>& pn,
+                             std::vector<double>& qn) {
+  const size_t size = std::max(p.size(), q.size());
+  pn.assign(size, 0.0);
+  qn.assign(size, 0.0);
+  std::copy(p.begin(), p.end(), pn.begin());
+  std::copy(q.begin(), q.end(), qn.begin());
+  auto normalize = [](std::vector<double>& h) {
+    double total = 0.0;
+    for (double v : h) total += v;
+    if (total <= 0.0) {
+      std::fill(h.begin(), h.end(), 0.0);
+      return;
+    }
+    for (double& v : h) v /= total;
+  };
+  normalize(pn);
+  normalize(qn);
 }
 
 double Kernel(const std::vector<double>& p, const std::vector<double>& q,
@@ -28,14 +46,12 @@ double Kernel(const std::vector<double>& p, const std::vector<double>& q,
 }  // namespace
 
 double Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
-  size_t size = std::max(p.size(), q.size());
-  std::vector<double> pn = Normalized(p);
-  std::vector<double> qn = Normalized(q);
-  pn.resize(size, 0.0);
-  qn.resize(size, 0.0);
+  std::vector<double> pn;
+  std::vector<double> qn;
+  CommonSupportNormalized(p, q, pn, qn);
   double cdf_diff = 0.0;
   double total = 0.0;
-  for (size_t i = 0; i < size; ++i) {
+  for (size_t i = 0; i < pn.size(); ++i) {
     cdf_diff += pn[i] - qn[i];
     total += std::fabs(cdf_diff);
   }
@@ -44,30 +60,44 @@ double Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
 
 double TotalVariation(const std::vector<double>& p,
                       const std::vector<double>& q) {
-  size_t size = std::max(p.size(), q.size());
-  std::vector<double> pn = Normalized(p);
-  std::vector<double> qn = Normalized(q);
-  pn.resize(size, 0.0);
-  qn.resize(size, 0.0);
+  std::vector<double> pn;
+  std::vector<double> qn;
+  CommonSupportNormalized(p, q, pn, qn);
   double total = 0.0;
-  for (size_t i = 0; i < size; ++i) total += std::fabs(pn[i] - qn[i]);
+  for (size_t i = 0; i < pn.size(); ++i) total += std::fabs(pn[i] - qn[i]);
   return 0.5 * total;
 }
 
 double Mmd(const std::vector<std::vector<double>>& a,
            const std::vector<std::vector<double>>& b, MmdKernel kernel,
-           double sigma) {
+           double sigma, MmdEstimator estimator) {
   CPGAN_CHECK(!a.empty() && !b.empty());
   CPGAN_TRACE_SPAN("eval/mmd");
-  auto mean_kernel = [&](const std::vector<std::vector<double>>& x,
-                         const std::vector<std::vector<double>>& y) {
+  auto cross_mean = [&](const std::vector<std::vector<double>>& x,
+                        const std::vector<std::vector<double>>& y) {
     double total = 0.0;
     for (const auto& p : x) {
       for (const auto& q : y) total += Kernel(p, q, kernel, sigma);
     }
     return total / (static_cast<double>(x.size()) * y.size());
   };
-  double mmd2 = mean_kernel(a, a) + mean_kernel(b, b) - 2.0 * mean_kernel(a, b);
+  // Within-set mean. The unbiased (U-statistic) form drops the i==j
+  // self-pairs, whose k(p,p) = 1 terms inflate the biased estimate by
+  // O(1/n); it needs at least two samples, so singleton sets keep the
+  // biased form (see MmdEstimator::kUnbiased).
+  auto within_mean = [&](const std::vector<std::vector<double>>& x) {
+    const size_t n = x.size();
+    if (estimator == MmdEstimator::kBiased || n < 2) return cross_mean(x, x);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        total += Kernel(x[i], x[j], kernel, sigma);
+      }
+    }
+    return total / (static_cast<double>(n) * (n - 1));
+  };
+  double mmd2 = within_mean(a) + within_mean(b) - 2.0 * cross_mean(a, b);
   return std::max(0.0, mmd2);
 }
 

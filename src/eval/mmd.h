@@ -6,11 +6,13 @@
 namespace cpgan::eval {
 
 /// First Wasserstein distance between two 1-D histograms on the same grid
-/// (unit bin width): sum of |CDF differences|. Histograms are normalized
-/// internally.
+/// (unit bin width): sum of |CDF differences|. Histograms of unequal length
+/// are first zero-padded to a common support, then normalized on that
+/// common support, so both distributions are compared bin-for-bin.
 double Emd1D(const std::vector<double>& p, const std::vector<double>& q);
 
-/// Total-variation distance between two histograms (normalized internally).
+/// Total-variation distance between two histograms (common support +
+/// normalization as in Emd1D). Always in [0, 1].
 double TotalVariation(const std::vector<double>& p,
                       const std::vector<double>& q);
 
@@ -20,13 +22,28 @@ enum class MmdKernel {
   kGaussianTv,   // k(p,q) = exp(-TV(p,q)^2  / (2 sigma^2)) — GRAN's metric
 };
 
+/// Estimator for the squared MMD.
+enum class MmdEstimator {
+  /// V-statistic: within-set kernel means include the i==j self-pairs
+  /// (k(p,p) = 1), which biases the estimate upward by O(1/n). This is the
+  /// historical GraphRNN evaluation convention.
+  kBiased,
+  /// U-statistic: the within-set means exclude i==j (denominator n(n-1)),
+  /// which removes the self-pair bias — E[MMD^2(X, X)] = 0. Sets with fewer
+  /// than two samples have no off-diagonal pairs; their within-set term
+  /// falls back to the biased mean (for singleton sets both reduce to
+  /// k(p,p) = 1, so two-graph comparisons are estimator-independent).
+  kUnbiased,
+};
+
 /// Squared maximum mean discrepancy between two sets of histograms under the
-/// chosen kernel (biased estimator). Each histogram is one graph's
+/// chosen kernel and estimator, clamped at 0. Each histogram is one graph's
 /// distribution (e.g. its degree histogram); singleton sets compare two
 /// graphs directly, which is the Table IV setting.
 double Mmd(const std::vector<std::vector<double>>& a,
            const std::vector<std::vector<double>>& b,
-           MmdKernel kernel = MmdKernel::kGaussianEmd, double sigma = 1.0);
+           MmdKernel kernel = MmdKernel::kGaussianEmd, double sigma = 1.0,
+           MmdEstimator estimator = MmdEstimator::kBiased);
 
 }  // namespace cpgan::eval
 

@@ -197,6 +197,13 @@ std::vector<double> PageRank(const Graph& g, double alpha, int iterations) {
       double share = rank[u] / d;
       for (int v : g.neighbors(u)) next[v] += share;
     }
+    // next[v] = alpha * (shares + dangling/n) + (1-alpha)/n: the dangling
+    // mass joins the link shares inside the single damping factor (it is
+    // rank a dangling node would have spread over every node), so it is
+    // scaled by alpha exactly once. Summing over v gives
+    // alpha*(1 - dangling) + alpha*dangling + (1-alpha) = 1 — the vector
+    // stays a distribution every iteration, including with sinks
+    // (tests/numeric/invariants_test.cc pins this).
     double teleport = (1.0 - alpha) / n + alpha * dangling / n;
     for (int v = 0; v < n; ++v) next[v] = alpha * next[v] + teleport;
     rank.swap(next);

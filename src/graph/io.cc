@@ -45,6 +45,16 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
       ++result.malformed_lines;
       continue;
     }
+    // Anything beyond "u v" is malformed: a trailing token silently dropped
+    // here would accept e.g. weighted lists ("1 2 0.7") or "1 2.5" (parsed
+    // as edge (1, 2)) as clean input. Checked before interning so malformed
+    // lines cannot add nodes.
+    char trailing = '\0';
+    if (ss >> trailing) {
+      if (options.strict) return fail("trailing garbage");
+      ++result.malformed_lines;
+      continue;
+    }
     // Intern in reading order (argument evaluation order is unspecified).
     int iu = intern(u);
     int iv = intern(v);

@@ -23,8 +23,9 @@ struct LoadOptions {
 struct LoadResult {
   std::optional<Graph> graph;
 
-  /// Lines that were not "u v" with non-negative integers (comments and
-  /// blank lines are not counted).
+  /// Lines that were not exactly "u v" with non-negative integers — bad
+  /// tokens, negative ids, or trailing garbage after the two ids (comments
+  /// and blank lines are not counted).
   int64_t malformed_lines = 0;
   /// Edges with u == v, dropped (the node itself is kept).
   int64_t self_loops = 0;
@@ -40,9 +41,10 @@ struct LoadResult {
   }
 };
 
-/// Loads a whitespace-separated edge list ("u v" per line; lines beginning
-/// with '#' or '%' are comments). Node ids may be arbitrary non-negative
-/// integers; they are compacted to [0, n) in first-appearance order.
+/// Loads a whitespace-separated edge list (exactly "u v" per line — extra
+/// trailing tokens are malformed; lines beginning with '#' or '%' are
+/// comments). Node ids may be arbitrary non-negative integers; they are
+/// compacted to [0, n) in first-appearance order.
 /// Malformed lines, self-loops, and duplicate edges are skipped and counted
 /// (a warning is logged when any count is nonzero), or fail the load in
 /// strict mode. Fails on IO error.

@@ -22,11 +22,19 @@ TopKPoolOutput TopKPool::Forward(const t::Tensor& x,
   CPGAN_CHECK_EQ(adjacency.rows(), adjacency.cols());
   CPGAN_CHECK_EQ(adjacency.rows(), x.rows());
   int n = x.rows();
-  int keep = std::max(1, static_cast<int>(std::ceil(ratio_ * n)));
+  // An empty pool (a community with no nodes) keeps nothing; for n > 0 at
+  // least one node survives so downstream layers never see a 0-row graph
+  // from a populated input.
+  int keep = n == 0 ? 0 : std::max(1, static_cast<int>(std::ceil(ratio_ * n)));
 
-  // Scores y = X p / ||p|| (n x 1).
-  float norm = std::max(projection_.value().Norm(), 1e-6f);
-  t::Tensor scores = t::Scale(t::Matmul(x, projection_), 1.0f / norm);
+  // Scores y = X p / ||p|| (n x 1). The norm is part of the graph: detaching
+  // it (an earlier version scaled by a constant 1/||p||) drops the
+  // -y p/||p||^2 term from the projection gradient, which the finite
+  // difference checker flags (tests/numeric/gradcheck_nn_test.cc).
+  t::Tensor norm =
+      t::Sqrt(t::AddConst(t::SumAll(t::Square(projection_)), 1e-12f));
+  t::Tensor scores =
+      t::MulRowVec(t::Matmul(x, projection_), t::Reciprocal(norm));
 
   // Select the top-k scoring nodes (selection itself uses forward values;
   // gradients flow through the sigmoid gate below).

@@ -420,6 +420,12 @@ Tensor SoftmaxRows(const Tensor& x) {
   Matrix out(x.rows(), x.cols());
   const Matrix& xv = x.value();
   const int cols = xv.cols();
+  // Zero-column rows have no entries: the max-subtraction below would read
+  // row[0] out of bounds. The softmax of an empty row is the empty row.
+  if (cols == 0) {
+    return Tensor::MakeNode(std::move(out), {x},
+                            [](const Matrix&, Node&) {});
+  }
   util::ParallelFor(
       0, xv.rows(), RowGrain(xv.rows(), cols), [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {

@@ -1,0 +1,225 @@
+#include "testing/diff_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace cpgan::testing {
+
+namespace {
+
+/// SplitMix64: cheap deterministic stream for harness inputs.
+uint64_t NextState(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+float UnitFloat(uint64_t bits) {
+  return static_cast<float>((bits >> 40) & 0xFFFFFF) / 16777216.0f;
+}
+
+}  // namespace
+
+tensor::Matrix RefMatmul(const tensor::Matrix& a, const tensor::Matrix& b) {
+  CPGAN_CHECK_EQ(a.cols(), b.rows());
+  tensor::Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.At(i, k)) * b.At(k, j);
+      }
+      out.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+tensor::Matrix RefMatmulTN(const tensor::Matrix& a, const tensor::Matrix& b) {
+  CPGAN_CHECK_EQ(a.rows(), b.rows());
+  tensor::Matrix out(a.cols(), b.cols());
+  for (int i = 0; i < a.cols(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < a.rows(); ++k) {
+        acc += static_cast<double>(a.At(k, i)) * b.At(k, j);
+      }
+      out.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+tensor::Matrix RefMatmulNT(const tensor::Matrix& a, const tensor::Matrix& b) {
+  CPGAN_CHECK_EQ(a.cols(), b.cols());
+  tensor::Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.At(i, k)) * b.At(j, k);
+      }
+      out.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+tensor::Matrix RefSpmm(const tensor::SparseMatrix& s,
+                       const tensor::Matrix& dense) {
+  CPGAN_CHECK_EQ(s.cols(), dense.rows());
+  tensor::Matrix out(s.rows(), dense.cols());
+  const auto& offsets = s.row_offsets();
+  const auto& cols = s.col_indices();
+  const auto& vals = s.values();
+  for (int r = 0; r < s.rows(); ++r) {
+    for (int c = 0; c < dense.cols(); ++c) {
+      double acc = 0.0;
+      for (int64_t idx = offsets[r]; idx < offsets[r + 1]; ++idx) {
+        acc += static_cast<double>(vals[idx]) * dense.At(cols[idx], c);
+      }
+      out.At(r, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+tensor::Matrix RefSpmmTransposed(const tensor::SparseMatrix& s,
+                                 const tensor::Matrix& dense) {
+  CPGAN_CHECK_EQ(s.rows(), dense.rows());
+  tensor::Matrix out(s.cols(), dense.cols());
+  // Scatter into double accumulators, then round once.
+  std::vector<double> acc(static_cast<size_t>(out.size()), 0.0);
+  const auto& offsets = s.row_offsets();
+  const auto& cols = s.col_indices();
+  const auto& vals = s.values();
+  const int d = dense.cols();
+  for (int r = 0; r < s.rows(); ++r) {
+    for (int64_t idx = offsets[r]; idx < offsets[r + 1]; ++idx) {
+      double v = vals[idx];
+      double* arow = acc.data() + static_cast<int64_t>(cols[idx]) * d;
+      for (int c = 0; c < d; ++c) {
+        arow[c] += v * dense.At(r, c);
+      }
+    }
+  }
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = static_cast<float>(acc[i]);
+  }
+  return out;
+}
+
+tensor::Matrix RefTranspose(const tensor::Matrix& a) {
+  tensor::Matrix out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  }
+  return out;
+}
+
+double RefSum(const tensor::Matrix& m) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < m.size(); ++i) acc += m.data()[i];
+  return acc;
+}
+
+double RefFrobeniusNorm(const tensor::Matrix& m) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    acc += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  return std::sqrt(acc);
+}
+
+std::string DiffStats::Summary() const {
+  std::ostringstream os;
+  if (shape_mismatch) return "shape mismatch";
+  os << "compared " << compared << " entries, max_abs_diff=" << max_abs_diff
+     << " max_rel_diff=" << max_rel_diff;
+  if (worst_row >= 0) {
+    os << " (worst at [" << worst_row << "," << worst_col
+       << "]: got=" << worst_got << " want=" << worst_want << ")";
+  }
+  return os.str();
+}
+
+DiffStats Compare(const tensor::Matrix& got, const tensor::Matrix& want) {
+  DiffStats stats;
+  if (!got.SameShape(want)) {
+    stats.shape_mismatch = true;
+    return stats;
+  }
+  for (int r = 0; r < got.rows(); ++r) {
+    for (int c = 0; c < got.cols(); ++c) {
+      const double g = got.At(r, c);
+      const double w = want.At(r, c);
+      const double abs_diff = std::fabs(g - w);
+      const double rel = abs_diff / std::max(1.0, std::fabs(w));
+      stats.compared += 1;
+      stats.max_abs_diff = std::max(stats.max_abs_diff, abs_diff);
+      if (rel > stats.max_rel_diff || stats.worst_row < 0) {
+        stats.max_rel_diff = std::max(stats.max_rel_diff, rel);
+        stats.worst_row = r;
+        stats.worst_col = c;
+        stats.worst_got = g;
+        stats.worst_want = w;
+      }
+    }
+  }
+  return stats;
+}
+
+bool BitwiseEqual(const tensor::Matrix& a, const tensor::Matrix& b) {
+  if (!a.SameShape(b)) return false;
+  return a.size() == 0 ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+tensor::Matrix RandomMatrix(int rows, int cols, uint64_t seed, float scale) {
+  tensor::Matrix m(rows, cols);
+  uint64_t state = seed * 0x2545F4914F6CDD1DULL + 1;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = (UnitFloat(NextState(state)) - 0.5f) * 2.0f * scale;
+  }
+  return m;
+}
+
+tensor::SparseMatrix RandomSparse(int rows, int cols, double density,
+                                  uint64_t seed) {
+  std::vector<tensor::Triplet> triplets;
+  uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 3;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      uint64_t bits = NextState(state);
+      if (UnitFloat(bits) < density) {
+        float value = (UnitFloat(NextState(state)) - 0.5f) * 2.0f;
+        triplets.push_back({r, c, value});
+      }
+    }
+  }
+  return tensor::SparseMatrix(rows, cols, std::move(triplets));
+}
+
+const std::vector<int>& BoundaryDims() {
+  static const std::vector<int>* dims =
+      new std::vector<int>{1, 2, 31, 63, 64, 65, 127};
+  return *dims;
+}
+
+ScopedThreads::ScopedThreads(int num_threads)
+    : previous_(util::ThreadPool::Global().num_threads()) {
+  util::ThreadPool::SetGlobalThreads(num_threads);
+}
+
+ScopedThreads::~ScopedThreads() {
+  util::ThreadPool::SetGlobalThreads(previous_);
+}
+
+}  // namespace cpgan::testing

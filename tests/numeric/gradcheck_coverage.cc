@@ -1,0 +1,53 @@
+// Coverage backstop for the gradcheck bundle: after every gradcheck test in
+// this binary has run, assert that each op in GradCheckRegistry::RequiredOps()
+// was exercised through CheckOpGradient at least once. Adding an op to
+// tensor/ops.h (and its name to RequiredOps) without writing a gradient
+// check fails the bundle here.
+//
+// Two ordering requirements, both enforced by tests/CMakeLists.txt:
+//  * this file MUST be linked into the same executable as all the gradcheck
+//    tests — the registry is process-global state, so a separate binary
+//    would observe an empty registry;
+//  * it MUST be the LAST source of the bundle — gtest runs suites in
+//    registration (link) order, so the assertion sees the finished registry.
+//    (An Environment::TearDown would be order-proof, but its failures do not
+//    propagate to the process exit code under the bundled gtest.)
+// Corollary: running this binary under --gtest_shuffle or with a filter
+// that skips op tests legitimately reports the skipped ops as uncovered.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/gradcheck.h"
+
+namespace cpgan::testing {
+namespace {
+
+// Sanity: the canonical list itself is well-formed (non-empty, no dups).
+TEST(GradCheckCoverage, RequiredOpsListIsWellFormed) {
+  const std::vector<std::string>& ops = GradCheckRegistry::RequiredOps();
+  ASSERT_FALSE(ops.empty());
+  std::set<std::string> unique(ops.begin(), ops.end());
+  EXPECT_EQ(unique.size(), ops.size()) << "duplicate entry in RequiredOps";
+}
+
+TEST(GradCheckCoverage, EveryRegisteredOpHasAGradientCheck) {
+  const std::vector<std::string> missing = GradCheckRegistry::Global().Missing();
+  std::string joined;
+  for (const std::string& op : missing) {
+    if (!joined.empty()) joined += ", ";
+    joined += op;
+  }
+  EXPECT_TRUE(missing.empty())
+      << missing.size() << " registered op(s) have no gradient check: "
+      << joined
+      << "\nAdd a CheckOpGradient(...) call to "
+         "tests/numeric/gradcheck_ops_test.cc or gradcheck_nn_test.cc, or "
+         "remove the op from GradCheckRegistry::RequiredOps().";
+}
+
+}  // namespace
+}  // namespace cpgan::testing

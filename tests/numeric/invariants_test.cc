@@ -1,0 +1,225 @@
+// Property-based invariant checks for the graph/eval metric stack: instead
+// of golden values, these assert the mathematical identities each metric
+// must satisfy on deterministic families of random graphs and histograms.
+// (Golden-value tests for the MMD estimators live in mmd_golden_test.cc.)
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "community/partition.h"
+#include "eval/mmd.h"
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpgan {
+namespace {
+
+/// Deterministic G(n, p) graph.
+graph::Graph RandomGraph(int n, double p, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<graph::Edge> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Uniform() < p) edges.push_back({u, v});
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
+/// Deterministic random histogram with `bins` non-negative entries.
+std::vector<double> RandomHistogram(int bins, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> h(bins);
+  for (int i = 0; i < bins; ++i) h[i] = rng.Uniform();
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Modularity: Q in [-0.5, 1] for every partition of every graph.
+
+TEST(Invariants, ModularityRange) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    graph::Graph g = RandomGraph(20, 0.2, seed);
+    if (g.num_edges() == 0) continue;
+    for (int k : {1, 2, 5, 20}) {
+      // Arbitrary (bad) partitions still must respect the range.
+      std::vector<int> labels(g.num_nodes());
+      for (int v = 0; v < g.num_nodes(); ++v) labels[v] = v % k;
+      double q = community::Modularity(g, community::Partition(labels));
+      EXPECT_GE(q, -0.5) << "seed " << seed << " k " << k;
+      EXPECT_LE(q, 1.0) << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(Invariants, ModularitySingleCommunityIsZero) {
+  graph::Graph g = RandomGraph(15, 0.3, 7);
+  std::vector<int> labels(g.num_nodes(), 0);
+  // All edges internal, (sum deg)^2/(2m)^2 = 1 => Q = 1 - 1 = 0.
+  EXPECT_NEAR(community::Modularity(g, community::Partition(labels)), 0.0,
+              1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// MMD: pseudo-metric properties under both estimators.
+
+TEST(Invariants, MmdSelfDistance) {
+  std::vector<std::vector<double>> a;
+  for (uint64_t s = 1; s <= 4; ++s) a.push_back(RandomHistogram(6, s));
+  for (auto kernel : {eval::MmdKernel::kGaussianEmd, eval::MmdKernel::kGaussianTv}) {
+    // Unbiased: E[MMD^2(X, X)] = 0, and for identical sets it is exactly 0.
+    EXPECT_NEAR(
+        eval::Mmd(a, a, kernel, 1.0, eval::MmdEstimator::kUnbiased), 0.0,
+        1e-12);
+    // Biased: for identical sets the cross-mean (which also includes the
+    // matched pairs) equals the within-set means, so it is 0 as well.
+    EXPECT_NEAR(eval::Mmd(a, a, kernel, 1.0, eval::MmdEstimator::kBiased),
+                0.0, 1e-12);
+  }
+}
+
+TEST(Invariants, MmdSymmetryAndNonNegativity) {
+  std::vector<std::vector<double>> a, b;
+  for (uint64_t s = 1; s <= 3; ++s) a.push_back(RandomHistogram(5, s));
+  for (uint64_t s = 11; s <= 15; ++s) b.push_back(RandomHistogram(5, s));
+  for (auto estimator :
+       {eval::MmdEstimator::kBiased, eval::MmdEstimator::kUnbiased}) {
+    double ab = eval::Mmd(a, b, eval::MmdKernel::kGaussianEmd, 1.0, estimator);
+    double ba = eval::Mmd(b, a, eval::MmdKernel::kGaussianEmd, 1.0, estimator);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_NEAR(ab, ba, 1e-12);
+  }
+}
+
+TEST(Invariants, MmdBiasedDominatesUnbiased) {
+  // The self-pair terms k(p,p) = 1 are the maximum of the Gaussian kernel,
+  // so including them (biased) can only raise the within-set means and
+  // hence the estimate: MMD^2_biased >= MMD^2_unbiased.
+  std::vector<std::vector<double>> a, b;
+  for (uint64_t s = 1; s <= 4; ++s) a.push_back(RandomHistogram(6, s));
+  for (uint64_t s = 21; s <= 23; ++s) b.push_back(RandomHistogram(6, s));
+  double biased =
+      eval::Mmd(a, b, eval::MmdKernel::kGaussianTv, 1.0, eval::MmdEstimator::kBiased);
+  double unbiased = eval::Mmd(a, b, eval::MmdKernel::kGaussianTv, 1.0,
+                              eval::MmdEstimator::kUnbiased);
+  EXPECT_GE(biased, unbiased - 1e-12);
+}
+
+TEST(Invariants, MmdSingletonSetsEstimatorIndependent) {
+  // Table IV compares one graph against one graph; with n = 1 there are no
+  // off-diagonal pairs and the unbiased estimator falls back to the biased
+  // one, so the two must agree exactly.
+  std::vector<std::vector<double>> a = {RandomHistogram(8, 31)};
+  std::vector<std::vector<double>> b = {RandomHistogram(8, 32)};
+  double biased = eval::Mmd(a, b, eval::MmdKernel::kGaussianEmd, 1.0,
+                            eval::MmdEstimator::kBiased);
+  double unbiased = eval::Mmd(a, b, eval::MmdKernel::kGaussianEmd, 1.0,
+                              eval::MmdEstimator::kUnbiased);
+  EXPECT_EQ(biased, unbiased);
+}
+
+// ---------------------------------------------------------------------------
+// EMD / TV: metric axioms on the common normalized support.
+
+TEST(Invariants, EmdTvMetricAxioms) {
+  std::vector<std::vector<double>> hists;
+  for (uint64_t s = 41; s <= 45; ++s) {
+    hists.push_back(RandomHistogram(3 + static_cast<int>(s % 4), s));
+  }
+  for (size_t i = 0; i < hists.size(); ++i) {
+    EXPECT_NEAR(eval::Emd1D(hists[i], hists[i]), 0.0, 1e-12);
+    EXPECT_NEAR(eval::TotalVariation(hists[i], hists[i]), 0.0, 1e-12);
+    for (size_t j = 0; j < hists.size(); ++j) {
+      double emd_ij = eval::Emd1D(hists[i], hists[j]);
+      double tv_ij = eval::TotalVariation(hists[i], hists[j]);
+      // Symmetry and range.
+      EXPECT_NEAR(emd_ij, eval::Emd1D(hists[j], hists[i]), 1e-12);
+      EXPECT_NEAR(tv_ij, eval::TotalVariation(hists[j], hists[i]), 1e-12);
+      EXPECT_GE(emd_ij, 0.0);
+      EXPECT_GE(tv_ij, 0.0);
+      EXPECT_LE(tv_ij, 1.0);
+      // Triangle inequality through every third histogram.
+      for (size_t k = 0; k < hists.size(); ++k) {
+        EXPECT_LE(emd_ij, eval::Emd1D(hists[i], hists[k]) +
+                              eval::Emd1D(hists[k], hists[j]) + 1e-12);
+        EXPECT_LE(tv_ij, eval::TotalVariation(hists[i], hists[k]) +
+                             eval::TotalVariation(hists[k], hists[j]) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Invariants, EmdBoundedBySupportSize) {
+  // On a common support of W unit-width bins, EMD <= W - 1 (mass moved
+  // across the whole support).
+  std::vector<double> left = {1.0, 0.0, 0.0, 0.0, 0.0};
+  std::vector<double> right = {0.0, 0.0, 0.0, 0.0, 1.0};
+  EXPECT_NEAR(eval::Emd1D(left, right), 4.0, 1e-12);
+  EXPECT_NEAR(eval::TotalVariation(left, right), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank: a probability distribution even with dangling nodes.
+
+TEST(Invariants, PageRankSumsToOneOnSinkGraph) {
+  // Satellite (c): path 0-1 plus isolated sinks 2, 3, 4. In the undirected
+  // CSR a node is dangling iff it is isolated. A buggy dangling treatment
+  // (double-damping or dropping the mass) breaks sum == 1.
+  graph::Graph g(5, {{0, 1}});
+  for (int iterations : {1, 5, 50}) {
+    std::vector<double> rank = graph::PageRank(g, 0.85, iterations);
+    ASSERT_EQ(rank.size(), 5u);
+    double total = 0.0;
+    for (double r : rank) {
+      EXPECT_GE(r, 0.0);
+      total += r;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "after " << iterations << " iterations";
+  }
+  // All-sink graph: every node dangling, uniform stationary distribution.
+  graph::Graph sinks(4, {});
+  std::vector<double> rank = graph::PageRank(sinks, 0.85, 25);
+  for (double r : rank) EXPECT_NEAR(r, 0.25, 1e-12);
+}
+
+TEST(Invariants, PageRankSumsToOneOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    // p = 0.1 leaves some isolated (dangling) nodes at n = 30.
+    graph::Graph g = RandomGraph(30, 0.1, seed);
+    std::vector<double> rank = graph::PageRank(g, 0.85, 30);
+    double total = 0.0;
+    for (double r : rank) total += r;
+    EXPECT_NEAR(total, 1.0, 1e-10) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clustering coefficients: all in [0, 1]; exact on canonical graphs.
+
+TEST(Invariants, ClusteringCoefficientsInUnitInterval) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    graph::Graph g = RandomGraph(25, 0.25, seed);
+    for (double c : graph::LocalClusteringCoefficients(g)) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+    double avg = graph::AverageClusteringCoefficient(g);
+    EXPECT_GE(avg, 0.0);
+    EXPECT_LE(avg, 1.0);
+  }
+  // Triangle: every coefficient exactly 1. Path: all 0.
+  graph::Graph triangle(3, {{0, 1}, {1, 2}, {0, 2}});
+  for (double c : graph::LocalClusteringCoefficients(triangle)) {
+    EXPECT_DOUBLE_EQ(c, 1.0);
+  }
+  graph::Graph path(3, {{0, 1}, {1, 2}});
+  for (double c : graph::LocalClusteringCoefficients(path)) {
+    EXPECT_DOUBLE_EQ(c, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cpgan

@@ -1,0 +1,176 @@
+// Edge-case coverage for graph::LoadEdgeListDetailed: exact LoadResult
+// counter assertions for duplicate edges, self-loops, out-of-range ids, and
+// trailing garbage, in both lenient and strict modes. Pins the trailing
+// garbage bug: "1 2 junk", "1 2 3" and "1 2.5" used to be silently accepted
+// as edge (1, 2).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+#include "util/check.h"
+
+namespace cpgan::graph {
+namespace {
+
+class TempEdgeFile {
+ public:
+  explicit TempEdgeFile(const std::string& contents) {
+    char buffer[] = "/tmp/cpgan_io_test_XXXXXX";
+    int fd = mkstemp(buffer);
+    CPGAN_CHECK(fd >= 0);
+    path_ = buffer;
+    close(fd);
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempEdgeFile() { std::remove(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(IoStrict, CleanFileHasZeroCounters) {
+  TempEdgeFile file(
+      "# comment\n"
+      "% also a comment\n"
+      "0 1\n"
+      "\n"
+      "1 2\n");
+  LoadResult result = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.malformed_lines, 0);
+  EXPECT_EQ(result.self_loops, 0);
+  EXPECT_EQ(result.duplicate_edges, 0);
+  EXPECT_EQ(result.total_skipped(), 0);
+  EXPECT_EQ(result.graph->num_nodes(), 3);
+  EXPECT_EQ(result.graph->num_edges(), 2);
+}
+
+TEST(IoStrict, DuplicateEdgesCountedOncePerRepeat) {
+  // 0-1 appears three times (one reversed): two duplicates. The undirected
+  // pair is deduplicated regardless of orientation.
+  TempEdgeFile file(
+      "0 1\n"
+      "1 0\n"
+      "0 1\n"
+      "1 2\n");
+  LoadResult result = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.duplicate_edges, 2);
+  EXPECT_EQ(result.malformed_lines, 0);
+  EXPECT_EQ(result.self_loops, 0);
+  EXPECT_EQ(result.graph->num_edges(), 2);
+}
+
+TEST(IoStrict, SelfLoopsDroppedNodeKept) {
+  TempEdgeFile file(
+      "0 0\n"
+      "1 2\n"
+      "3 3\n");
+  LoadResult result = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.self_loops, 2);
+  EXPECT_EQ(result.duplicate_edges, 0);
+  EXPECT_EQ(result.malformed_lines, 0);
+  // Self-looped nodes still exist as (isolated) vertices.
+  EXPECT_EQ(result.graph->num_nodes(), 4);
+  EXPECT_EQ(result.graph->num_edges(), 1);
+}
+
+TEST(IoStrict, OutOfRangeAndNegativeIdsAreMalformed) {
+  TempEdgeFile file(
+      "-1 2\n"
+      "3 -4\n"
+      "99999999999999999999999999 1\n"  // overflows long -> parse failure
+      "0 1\n");
+  LoadResult result = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.malformed_lines, 3);
+  EXPECT_EQ(result.graph->num_nodes(), 2);
+  EXPECT_EQ(result.graph->num_edges(), 1);
+}
+
+TEST(IoStrict, TrailingGarbageIsMalformedRegression) {
+  // Pinned regression: each of these parsed as edge (1, 2) before the
+  // trailing-token check — weighted lists and float ids loaded silently.
+  TempEdgeFile file(
+      "1 2 junk\n"
+      "1 2 3\n"
+      "1 2.5\n"
+      "3 4\n");
+  LoadResult result = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.malformed_lines, 3);
+  EXPECT_EQ(result.self_loops, 0);
+  EXPECT_EQ(result.duplicate_edges, 0);
+  // Malformed lines must not intern nodes: only 3 and 4 exist.
+  EXPECT_EQ(result.graph->num_nodes(), 2);
+  EXPECT_EQ(result.graph->num_edges(), 1);
+}
+
+TEST(IoStrict, StrictModeFailsWithLineNumbers) {
+  LoadOptions strict;
+  strict.strict = true;
+
+  {
+    TempEdgeFile file("0 1\n0 1\n");
+    LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("duplicate edge"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  }
+  {
+    TempEdgeFile file("0 1\n2 2\n");
+    LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("self-loop"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  }
+  {
+    TempEdgeFile file("# header\nnot numbers\n");
+    LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("malformed line"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  }
+  {
+    TempEdgeFile file("0 1 extra\n");
+    LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("trailing garbage"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("line 1"), std::string::npos) << result.error;
+  }
+}
+
+TEST(IoStrict, StrictModeAcceptsCleanFile) {
+  LoadOptions strict;
+  strict.strict = true;
+  TempEdgeFile file("0 1\n1 2\n# trailing comment\n");
+  LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.total_skipped(), 0);
+  EXPECT_EQ(result.graph->num_edges(), 2);
+}
+
+TEST(IoStrict, MissingFileReportsError) {
+  LoadResult result =
+      LoadEdgeListDetailed("/tmp/cpgan_definitely_missing_file.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+  EXPECT_FALSE(LoadEdgeList("/tmp/cpgan_definitely_missing_file.txt"));
+}
+
+}  // namespace
+}  // namespace cpgan::graph

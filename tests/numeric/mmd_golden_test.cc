@@ -1,0 +1,122 @@
+// Hand-computed golden values for the MMD estimators and the EMD/TV
+// common-support handling. These pin the two bugs flushed by the numeric
+// harness in the eval stack:
+//   * the biased (V-statistic) MMD self-pair inflation — the unbiased
+//     estimator must remove exactly the k(p,p) = 1 diagonal terms;
+//   * unequal-length histogram comparison — both inputs are zero-padded to
+//     a common support and normalized there, never truncated.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/mmd.h"
+
+namespace cpgan::eval {
+namespace {
+
+// Point masses on a 2-bin support: EMD(p, q) = 1, TV(p, q) = 1, so under
+// both Gaussian kernels (sigma = 1) k(p, q) = exp(-1/2) and k(p, p) = 1.
+const std::vector<double> kP = {1.0, 0.0};
+const std::vector<double> kQ = {0.0, 1.0};
+
+TEST(MmdGolden, KernelValues) {
+  EXPECT_NEAR(Emd1D(kP, kQ), 1.0, 1e-12);
+  EXPECT_NEAR(TotalVariation(kP, kQ), 1.0, 1e-12);
+}
+
+TEST(MmdGolden, BiasedEstimator) {
+  // a = {p, q}, b = {p}, sigma = 1, e = exp(-1/2):
+  //   within_a = (1 + e + e + 1) / 4 = (1 + e) / 2
+  //   within_b = 1
+  //   cross    = (k(p,p) + k(q,p)) / 2 = (1 + e) / 2
+  //   MMD^2    = (1+e)/2 + 1 - 2(1+e)/2 = (1 - e) / 2
+  const double e = std::exp(-0.5);
+  std::vector<std::vector<double>> a = {kP, kQ};
+  std::vector<std::vector<double>> b = {kP};
+  const double want = (1.0 - e) / 2.0;  // ~0.1967346
+  EXPECT_NEAR(Mmd(a, b, MmdKernel::kGaussianEmd, 1.0, MmdEstimator::kBiased),
+              want, 1e-12);
+  EXPECT_NEAR(Mmd(a, b, MmdKernel::kGaussianTv, 1.0, MmdEstimator::kBiased),
+              want, 1e-12);
+}
+
+TEST(MmdGolden, UnbiasedEstimator) {
+  // Same sets, unbiased: within_a excludes the diagonal,
+  //   within_a = (e + e) / 2 = e
+  //   within_b = 1 (singleton fallback)
+  //   cross    = (1 + e) / 2
+  //   MMD^2    = e + 1 - (1 + e) = 0 exactly.
+  // The old always-biased estimator reported (1-e)/2 ~ 0.197 here even
+  // though b is drawn from inside a — that upward bias is the satellite-(a)
+  // bug this test pins.
+  std::vector<std::vector<double>> a = {kP, kQ};
+  std::vector<std::vector<double>> b = {kP};
+  EXPECT_NEAR(
+      Mmd(a, b, MmdKernel::kGaussianEmd, 1.0, MmdEstimator::kUnbiased), 0.0,
+      1e-12);
+  EXPECT_NEAR(
+      Mmd(a, b, MmdKernel::kGaussianTv, 1.0, MmdEstimator::kUnbiased), 0.0,
+      1e-12);
+}
+
+TEST(MmdGolden, SigmaScaling) {
+  // Doubling sigma divides the exponent by 4: k = exp(-1/8).
+  std::vector<std::vector<double>> a = {kP};
+  std::vector<std::vector<double>> b = {kQ};
+  // Singletons: MMD^2 = k(p,p) + k(q,q) - 2 k(p,q) = 2 - 2 exp(-1/8).
+  const double want = 2.0 - 2.0 * std::exp(-0.125);
+  EXPECT_NEAR(Mmd(a, b, MmdKernel::kGaussianEmd, 2.0, MmdEstimator::kBiased),
+              want, 1e-12);
+  EXPECT_NEAR(
+      Mmd(a, b, MmdKernel::kGaussianEmd, 2.0, MmdEstimator::kUnbiased), want,
+      1e-12);
+}
+
+TEST(MmdGolden, UnequalLengthHistogramsRegression) {
+  // Satellite (b) pin: p = [2, 2] (a 2-bin degree histogram) vs
+  // q = [1, 1, 1, 1] (a 4-bin one). On the common 4-bin support:
+  //   p -> [.5, .5, 0, 0], q -> [.25, .25, .25, .25]
+  //   CDF diffs: .25, .5, .25, 0  => EMD = 1.0
+  //   TV = (|.25| + |.25| + |.25| + |.25|) / 2 = 0.5
+  // Truncating to the shorter support (the failure mode this guards
+  // against) would instead compare [.5,.5] vs [.5,.5] and report 0.
+  std::vector<double> p = {2.0, 2.0};
+  std::vector<double> q = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(Emd1D(p, q), 1.0, 1e-12);
+  EXPECT_NEAR(Emd1D(q, p), 1.0, 1e-12);
+  EXPECT_NEAR(TotalVariation(p, q), 0.5, 1e-12);
+  EXPECT_NEAR(TotalVariation(q, p), 0.5, 1e-12);
+}
+
+TEST(MmdGolden, NormalizationScaleInvariance) {
+  // Histograms are normalized on the common support, so overall counts
+  // cancel: a graph's raw degree counts and its degree frequencies give
+  // identical distances.
+  std::vector<double> counts = {6.0, 3.0, 1.0, 0.0, 2.0};
+  std::vector<double> freqs = {0.5, 0.25, 1.0 / 12, 0.0, 1.0 / 6};
+  std::vector<double> other = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(Emd1D(counts, other), Emd1D(freqs, other), 1e-12);
+  EXPECT_NEAR(TotalVariation(counts, other), TotalVariation(freqs, other),
+              1e-12);
+  EXPECT_NEAR(Emd1D(counts, freqs), 0.0, 1e-12);
+}
+
+TEST(MmdGolden, AllZeroHistograms) {
+  // Degenerate but reachable (an empty graph's histogram): all-zero inputs
+  // normalize to all-zero and compare as identical.
+  std::vector<double> zero2 = {0.0, 0.0};
+  std::vector<double> zero5 = {0.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(Emd1D(zero2, zero5), 0.0, 1e-12);
+  EXPECT_NEAR(TotalVariation(zero2, zero5), 0.0, 1e-12);
+  // Against a real distribution the zero histogram carries no mass; TV
+  // stays within [0, 1].
+  std::vector<double> p = {1.0, 1.0};
+  double tv = TotalVariation(zero5, p);
+  EXPECT_GE(tv, 0.0);
+  EXPECT_LE(tv, 1.0);
+}
+
+}  // namespace
+}  // namespace cpgan::eval

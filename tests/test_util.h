@@ -1,42 +1,29 @@
 #ifndef CPGAN_TESTS_TEST_UTIL_H_
 #define CPGAN_TESTS_TEST_UTIL_H_
 
-#include <cmath>
 #include <functional>
 
 #include <gtest/gtest.h>
 
 #include "tensor/tensor.h"
+#include "testing/gradcheck.h"
 
 namespace cpgan::testing {
 
 /// Checks the autograd gradient of `loss_fn` with respect to `param` against
 /// central finite differences. `loss_fn` must rebuild the loss from the
 /// current value of `param` on every call (no reuse of old graph nodes).
+/// Thin gtest wrapper over the central checker in src/testing/gradcheck.h.
 inline void ExpectGradCheck(tensor::Tensor param,
                             const std::function<tensor::Tensor()>& loss_fn,
                             float step = 1e-3f, float tol = 2e-2f) {
   ASSERT_TRUE(param.requires_grad());
-  param.ZeroGrad();
-  tensor::Tensor loss = loss_fn();
-  tensor::Backward(loss);
-  tensor::Matrix analytic = param.grad();
-
-  tensor::Matrix& value = param.mutable_value();
-  for (int64_t i = 0; i < value.size(); ++i) {
-    float original = value.data()[i];
-    value.data()[i] = original + step;
-    float up = loss_fn().Scalar();
-    value.data()[i] = original - step;
-    float down = loss_fn().Scalar();
-    value.data()[i] = original;
-    float numeric = (up - down) / (2.0f * step);
-    float a = analytic.data()[i];
-    float denom = std::max(1.0f, std::max(std::fabs(a), std::fabs(numeric)));
-    EXPECT_NEAR(a / denom, numeric / denom, tol)
-        << "entry " << i << ": analytic=" << a << " numeric=" << numeric;
-  }
-  param.ZeroGrad();
+  GradCheckOptions options;
+  options.step = step;
+  options.rtol = tol;
+  options.atol = tol;  // matches the historical max(1, |a|, |n|) denominator
+  GradCheckResult result = GradCheck(loss_fn, {param}, options);
+  EXPECT_TRUE(result.ok) << result.Summary();
 }
 
 /// Builds a small matrix filled with deterministic pseudo-random values.

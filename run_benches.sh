@@ -3,7 +3,7 @@
 # repo's own ablations. Roughly an hour on one CPU core.
 cd "$(dirname "$0")"
 : > bench_output.txt
-for b in table2_datasets micro_kernels table9_memory table7_inference_time \
+for b in table2_datasets micro_kernels micro_eval table9_memory table7_inference_time \
          table8_training_time table3_community table4_generation \
          table5_reconstruction table6_ablation fig5_sensitivity \
          fig6_robustness ablation_design; do

@@ -1,54 +1,94 @@
 #include "community/louvain.h"
 
-#include <unordered_map>
+#include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cpgan::community {
 namespace {
 
-/// Weighted multigraph used between aggregation levels. `adjacency[u]` maps
-/// neighbor -> edge weight; `self_loops[u]` holds twice the internal weight
-/// (so degrees stay consistent with the modularity formula).
-struct WeightedGraph {
-  std::vector<std::unordered_map<int, double>> adjacency;
+/// Weighted multigraph used between aggregation levels, stored as flat CSR
+/// arrays (offsets/neighbors/weights) instead of the former map-of-maps:
+/// the local-moving inner loop touches every edge once per sweep, and the
+/// per-node `unordered_map` churn dominated its runtime. `self_loops[u]`
+/// holds twice the internal weight (so degrees stay consistent with the
+/// modularity formula).
+///
+/// Every weight is a sum of the original unit edge weights, i.e. an exact
+/// small integer in double, so the accumulation order here never changes a
+/// value — the rewrite is numerically identical to the map-based one.
+struct FlatGraph {
+  std::vector<int64_t> offsets;  // size() + 1
+  std::vector<int> neighbors;
+  std::vector<double> weights;
   std::vector<double> self_loops;
   std::vector<double> weighted_degree;  // sum of incident weights + self
   double total_weight = 0.0;            // 2m
 
-  int size() const { return static_cast<int>(adjacency.size()); }
+  int size() const { return static_cast<int>(self_loops.size()); }
 };
 
-WeightedGraph FromGraph(const graph::Graph& g) {
-  WeightedGraph wg;
-  wg.adjacency.resize(g.num_nodes());
-  wg.self_loops.assign(g.num_nodes(), 0.0);
-  wg.weighted_degree.assign(g.num_nodes(), 0.0);
-  for (int u = 0; u < g.num_nodes(); ++u) {
-    for (int v : g.neighbors(u)) {
-      wg.adjacency[u][v] = 1.0;
-    }
-    wg.weighted_degree[u] = static_cast<double>(g.degree(u));
-    wg.total_weight += wg.weighted_degree[u];
+/// Scratch buffers reused across local-moving sweeps and aggregation: a
+/// dense per-community weight accumulator plus the touched-list that makes
+/// resetting it O(degree) instead of O(communities) (the classic Louvain
+/// optimization).
+struct Scratch {
+  std::vector<double> comm_weight;  // links to each community; zero outside
+                                    // the entries listed in `touched`
+  std::vector<int> touched;         // communities seen for the current node
+
+  void Resize(int n) {
+    comm_weight.assign(n, 0.0);
+    touched.clear();
+    touched.reserve(64);
   }
-  return wg;
+
+  void Reset() {
+    for (int c : touched) comm_weight[c] = 0.0;
+    touched.clear();
+  }
+};
+
+FlatGraph FromGraph(const graph::Graph& g) {
+  FlatGraph fg;
+  const int n = g.num_nodes();
+  fg.offsets.assign(n + 1, 0);
+  fg.self_loops.assign(n, 0.0);
+  fg.weighted_degree.assign(n, 0.0);
+  int64_t nnz = 0;
+  for (int u = 0; u < n; ++u) nnz += g.degree(u);
+  fg.neighbors.reserve(nnz);
+  fg.weights.assign(nnz, 1.0);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.neighbors(u)) fg.neighbors.push_back(v);
+    fg.offsets[u + 1] = static_cast<int64_t>(fg.neighbors.size());
+    fg.weighted_degree[u] = static_cast<double>(g.degree(u));
+    fg.total_weight += fg.weighted_degree[u];
+  }
+  return fg;
 }
 
 /// One local-moving pass; returns the (non-compacted) community labels and
-/// whether any node moved.
-bool LocalMoving(const WeightedGraph& wg, util::Rng& rng, double min_gain,
-                 std::vector<int>& community) {
-  int n = wg.size();
+/// whether any node moved. Nodes are visited in one RNG-shuffled order (the
+/// same RNG consumption as always); candidate communities are scanned in
+/// first-touch order over the node's CSR neighbor list, and a move needs a
+/// strictly positive gain margin, so the pass is fully deterministic.
+bool LocalMoving(const FlatGraph& fg, util::Rng& rng, double min_gain,
+                 std::vector<int>& community, Scratch& scratch) {
+  CPGAN_TRACE_SPAN("community/louvain/local_moving");
+  int n = fg.size();
   std::vector<double> community_degree(n, 0.0);
-  for (int v = 0; v < n; ++v) community_degree[community[v]] += wg.weighted_degree[v];
+  for (int v = 0; v < n; ++v) community_degree[community[v]] += fg.weighted_degree[v];
 
-  double two_m = wg.total_weight;
+  double two_m = fg.total_weight;
   if (two_m <= 0.0) return false;
 
   std::vector<int> order(n);
   for (int i = 0; i < n; ++i) order[i] = i;
   rng.Shuffle(order);
 
+  scratch.Resize(n);
   bool any_move = false;
   bool improved = true;
   int sweeps = 0;
@@ -58,20 +98,22 @@ bool LocalMoving(const WeightedGraph& wg, util::Rng& rng, double min_gain,
     for (int idx = 0; idx < n; ++idx) {
       int u = order[idx];
       int cu = community[u];
-      // Links from u to each neighboring community.
-      std::unordered_map<int, double> links;
-      for (const auto& [v, w] : wg.adjacency[u]) {
-        links[community[v]] += w;
+      // Links from u to each neighboring community, accumulated into the
+      // dense scratch array; `touched` remembers which entries to reset.
+      for (int64_t e = fg.offsets[u]; e < fg.offsets[u + 1]; ++e) {
+        int c = community[fg.neighbors[e]];
+        if (scratch.comm_weight[c] == 0.0) scratch.touched.push_back(c);
+        scratch.comm_weight[c] += fg.weights[e];
       }
-      community_degree[cu] -= wg.weighted_degree[u];
-      double base = links.count(cu) ? links[cu] : 0.0;
+      community_degree[cu] -= fg.weighted_degree[u];
+      double base = scratch.comm_weight[cu];
       double best_gain = 0.0;
       int best_comm = cu;
-      for (const auto& [c, w] : links) {
+      for (int c : scratch.touched) {
         if (c == cu) continue;
         // dQ (up to a constant factor) of moving u from cu to c.
-        double gain = (w - base) -
-                      wg.weighted_degree[u] *
+        double gain = (scratch.comm_weight[c] - base) -
+                      fg.weighted_degree[u] *
                           (community_degree[c] - community_degree[cu]) / two_m;
         if (gain > best_gain + min_gain) {
           best_gain = gain;
@@ -79,7 +121,8 @@ bool LocalMoving(const WeightedGraph& wg, util::Rng& rng, double min_gain,
         }
       }
       community[u] = best_comm;
-      community_degree[best_comm] += wg.weighted_degree[u];
+      community_degree[best_comm] += fg.weighted_degree[u];
+      scratch.Reset();
       if (best_comm != cu) {
         improved = true;
         any_move = true;
@@ -89,30 +132,57 @@ bool LocalMoving(const WeightedGraph& wg, util::Rng& rng, double min_gain,
   return any_move;
 }
 
-/// Aggregates communities into super-nodes.
-WeightedGraph Aggregate(const WeightedGraph& wg,
-                        const std::vector<int>& community, int num_comms) {
-  WeightedGraph out;
-  out.adjacency.resize(num_comms);
+/// Aggregates communities into super-nodes. Nodes are bucketed by community
+/// with a counting sort (stable in node order) and each super-node's edge
+/// list is accumulated through the same dense-scratch/touched-list pattern,
+/// then emitted with sorted neighbor ids so the CSR is canonical.
+FlatGraph Aggregate(const FlatGraph& fg, const std::vector<int>& community,
+                    int num_comms, Scratch& scratch) {
+  CPGAN_TRACE_SPAN("community/louvain/aggregate");
+  const int n = fg.size();
+  // Counting-sort nodes by community.
+  std::vector<int64_t> comm_start(num_comms + 1, 0);
+  for (int u = 0; u < n; ++u) ++comm_start[community[u] + 1];
+  for (int c = 0; c < num_comms; ++c) comm_start[c + 1] += comm_start[c];
+  std::vector<int> comm_nodes(n);
+  {
+    std::vector<int64_t> cursor(comm_start.begin(), comm_start.end() - 1);
+    for (int u = 0; u < n; ++u) comm_nodes[cursor[community[u]]++] = u;
+  }
+
+  FlatGraph out;
+  out.offsets.assign(num_comms + 1, 0);
   out.self_loops.assign(num_comms, 0.0);
   out.weighted_degree.assign(num_comms, 0.0);
-  out.total_weight = wg.total_weight;
-  for (int u = 0; u < wg.size(); ++u) {
-    int cu = community[u];
-    out.self_loops[cu] += wg.self_loops[u];
-    for (const auto& [v, w] : wg.adjacency[u]) {
-      int cv = community[v];
-      if (cu == cv) {
-        out.self_loops[cu] += w;  // both directions visit; sums to 2*internal
-      } else {
-        out.adjacency[cu][cv] += w;
+  out.total_weight = fg.total_weight;
+  out.neighbors.reserve(fg.neighbors.size());
+  out.weights.reserve(fg.neighbors.size());
+  scratch.Resize(num_comms);
+  for (int cu = 0; cu < num_comms; ++cu) {
+    for (int64_t i = comm_start[cu]; i < comm_start[cu + 1]; ++i) {
+      const int u = comm_nodes[i];
+      out.self_loops[cu] += fg.self_loops[u];
+      for (int64_t e = fg.offsets[u]; e < fg.offsets[u + 1]; ++e) {
+        const int cv = community[fg.neighbors[e]];
+        if (cu == cv) {
+          out.self_loops[cu] += fg.weights[e];  // both directions visit;
+                                                // sums to 2*internal
+        } else {
+          if (scratch.comm_weight[cv] == 0.0) scratch.touched.push_back(cv);
+          scratch.comm_weight[cv] += fg.weights[e];
+        }
       }
     }
-  }
-  for (int c = 0; c < num_comms; ++c) {
-    double deg = out.self_loops[c];
-    for (const auto& [v, w] : out.adjacency[c]) deg += w;
-    out.weighted_degree[c] = deg;
+    std::sort(scratch.touched.begin(), scratch.touched.end());
+    double deg = out.self_loops[cu];
+    for (int cv : scratch.touched) {
+      out.neighbors.push_back(cv);
+      out.weights.push_back(scratch.comm_weight[cv]);
+      deg += scratch.comm_weight[cv];
+    }
+    out.weighted_degree[cu] = deg;
+    out.offsets[cu + 1] = static_cast<int64_t>(out.neighbors.size());
+    scratch.Reset();
   }
   return out;
 }
@@ -121,25 +191,27 @@ WeightedGraph Aggregate(const WeightedGraph& wg,
 
 LouvainResult Louvain(const graph::Graph& g, util::Rng& rng, double min_gain,
                       int max_levels) {
+  CPGAN_TRACE_SPAN("community/louvain");
   LouvainResult result;
   int n = g.num_nodes();
   // node_to_super[v]: super-node of original node v at the current level.
   std::vector<int> node_to_super(n);
   for (int v = 0; v < n; ++v) node_to_super[v] = v;
 
-  WeightedGraph wg = FromGraph(g);
+  FlatGraph fg = FromGraph(g);
+  Scratch scratch;
   for (int level = 0; level < max_levels; ++level) {
-    std::vector<int> community(wg.size());
-    for (int v = 0; v < wg.size(); ++v) community[v] = v;
-    bool moved = LocalMoving(wg, rng, min_gain, community);
+    std::vector<int> community(fg.size());
+    for (int v = 0; v < fg.size(); ++v) community[v] = v;
+    bool moved = LocalMoving(fg, rng, min_gain, community, scratch);
 
-    // Compact community ids.
-    std::unordered_map<int, int> compact;
+    // Compact community ids in first-seen order.
+    std::vector<int> compact(fg.size(), -1);
+    int num_comms = 0;
     for (int& c : community) {
-      auto [it, ignored] = compact.emplace(c, static_cast<int>(compact.size()));
-      c = it->second;
+      if (compact[c] < 0) compact[c] = num_comms++;
+      c = compact[c];
     }
-    int num_comms = static_cast<int>(compact.size());
 
     // Map original nodes through this level.
     std::vector<int> labels(n);
@@ -149,8 +221,8 @@ LouvainResult Louvain(const graph::Graph& g, util::Rng& rng, double min_gain,
     }
     result.levels.emplace_back(std::move(labels));
 
-    if (!moved || num_comms == wg.size()) break;
-    wg = Aggregate(wg, community, num_comms);
+    if (!moved || num_comms == fg.size()) break;
+    fg = Aggregate(fg, community, num_comms, scratch);
     if (num_comms <= 1) break;
   }
   if (result.levels.empty()) {

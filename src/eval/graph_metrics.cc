@@ -40,6 +40,11 @@ GenerationMetrics ComputeGenerationMetrics(const graph::Graph& observed,
   std::vector<int> deg_gen = generated.Degrees();
   m.gini = std::fabs(graph::GiniCoefficient(deg_obs) -
                      graph::GiniCoefficient(deg_gen));
+  // PowerLawExponent returns NaN when a fit is undefined (e.g. an empty or
+  // degenerate generated graph). |NaN - x| is NaN, which we keep: the old
+  // 0.0 sentinel made an empty generated graph look |pwe_obs| away — a
+  // misleading but plausible-looking distance — whereas NaN flags the
+  // comparison as not meaningful for downstream aggregation to skip.
   m.pwe = std::fabs(graph::PowerLawExponent(deg_obs) -
                     graph::PowerLawExponent(deg_gen));
   return m;

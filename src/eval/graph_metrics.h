@@ -14,7 +14,8 @@ struct GenerationMetrics {
   double clus = 0.0;  // MMD of clustering-coefficient distributions
   double cpl = 0.0;   // |characteristic path length difference|
   double gini = 0.0;  // |Gini coefficient difference|
-  double pwe = 0.0;   // |power-law exponent difference|
+  double pwe = 0.0;   // |power-law exponent difference|; NaN when either
+                      // graph has no fittable power-law tail
 };
 
 /// Computes the Table IV metrics of `generated` against `observed`.

@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace cpgan::eval {
 namespace {
@@ -36,11 +37,108 @@ void CommonSupportNormalized(const std::vector<double>& p,
   normalize(qn);
 }
 
-double Kernel(const std::vector<double>& p, const std::vector<double>& q,
-              MmdKernel kernel, double sigma) {
-  double dist = kernel == MmdKernel::kGaussianEmd ? Emd1D(p, q)
-                                                  : TotalVariation(p, q);
-  return std::exp(-dist * dist / (2.0 * sigma * sigma));
+/// Per-sample state shared by every kernel evaluation of one MMD call: the
+/// concatenated samples of a ∪ b, each normalized once on the joint support
+/// (row-major in one flat buffer of `support`-wide rows), plus each sample's
+/// pre-padding length.
+///
+/// The joint support only ever appends zero bins, and a zero bin is inert
+/// everywhere it can appear: it adds exactly 0.0 to the normalizer, divides
+/// to exactly 0.0, and the pairwise distance loops below stop at the longer
+/// of the pair's *original* lengths, so the padded tail is never read for a
+/// pair that historically never saw it. Normalized bin values are therefore
+/// bit-for-bit those the old per-pair CommonSupportNormalized produced.
+///
+/// Prefix CDFs are deliberately NOT cached per sample: EMD accumulates the
+/// *difference* CDF bin by bin, and fl(Σp − Σq) ≠ fl(Σ(p − q)) in floating
+/// point, so serving EMD from per-sample CDFs would perturb results in the
+/// last ulp and break the bitwise 1/2/8-thread reproducibility contract
+/// (docs/INTERNALS.md, "Evaluation pipeline").
+struct PreparedSamples {
+  int count = 0;          // na + nb
+  size_t support = 0;     // joint support width B
+  std::vector<double> hist;   // count x support, normalized rows
+  std::vector<size_t> length; // original (pre-padding) histogram lengths
+
+  const double* Row(int i) const { return hist.data() + i * support; }
+};
+
+PreparedSamples Prepare(const std::vector<std::vector<double>>& a,
+                        const std::vector<std::vector<double>>& b) {
+  CPGAN_TRACE_SPAN("eval/mmd/prepare");
+  PreparedSamples s;
+  s.count = static_cast<int>(a.size() + b.size());
+  for (const auto& h : a) s.support = std::max(s.support, h.size());
+  for (const auto& h : b) s.support = std::max(s.support, h.size());
+  s.hist.assign(static_cast<size_t>(s.count) * s.support, 0.0);
+  s.length.reserve(s.count);
+  int row = 0;
+  auto add = [&](const std::vector<double>& h) {
+    double* out = s.hist.data() + static_cast<size_t>(row) * s.support;
+    std::copy(h.begin(), h.end(), out);
+    double total = 0.0;
+    for (size_t i = 0; i < s.support; ++i) total += out[i];
+    if (total <= 0.0) {
+      std::fill(out, out + s.support, 0.0);
+    } else {
+      for (size_t i = 0; i < s.support; ++i) out[i] /= total;
+    }
+    s.length.push_back(h.size());
+    ++row;
+  };
+  for (const auto& h : a) add(h);
+  for (const auto& h : b) add(h);
+  return s;
+}
+
+/// EMD/TV between two prepared rows, evaluated over the support the pair's
+/// own histograms span (bitwise identical to the historical per-pair path).
+double PairDistance(const PreparedSamples& s, int i, int j, MmdKernel kernel) {
+  const double* p = s.Row(i);
+  const double* q = s.Row(j);
+  const size_t size = std::max(s.length[i], s.length[j]);
+  if (kernel == MmdKernel::kGaussianEmd) {
+    double cdf_diff = 0.0;
+    double total = 0.0;
+    for (size_t k = 0; k < size; ++k) {
+      cdf_diff += p[k] - q[k];
+      total += std::fabs(cdf_diff);
+    }
+    return total;
+  }
+  double total = 0.0;
+  for (size_t k = 0; k < size; ++k) total += std::fabs(p[k] - q[k]);
+  return 0.5 * total;
+}
+
+/// Symmetric kernel Gram matrix over the prepared samples. Each k(i,j) is
+/// evaluated exactly once (j >= i) and mirrored; rows are distributed over
+/// the thread pool with every entry written by exactly one chunk, so the
+/// matrix is independent of the thread count. Below ~16k bin operations the
+/// pool dispatch costs more than the work and the rows run inline.
+std::vector<double> GramMatrix(const PreparedSamples& s, MmdKernel kernel,
+                               double sigma) {
+  CPGAN_TRACE_SPAN("eval/mmd/gram");
+  const int n = s.count;
+  std::vector<double> gram(static_cast<size_t>(n) * n, 0.0);
+  const double denom = 2.0 * sigma * sigma;
+  auto rows = [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      for (int j = static_cast<int>(i); j < n; ++j) {
+        double dist = PairDistance(s, static_cast<int>(i), j, kernel);
+        double k = std::exp(-dist * dist / denom);
+        gram[i * n + j] = k;
+        gram[static_cast<size_t>(j) * n + i] = k;
+      }
+    }
+  };
+  const int64_t work = static_cast<int64_t>(n) * n * std::max<size_t>(s.support, 1);
+  if (work < 16384) {
+    rows(0, n);
+  } else {
+    util::ParallelFor(0, n, 1, rows);
+  }
+  return gram;
 }
 
 }  // namespace
@@ -68,37 +166,68 @@ double TotalVariation(const std::vector<double>& p,
   return 0.5 * total;
 }
 
+double MmdComponents::Squared(MmdEstimator estimator) const {
+  const double within_a = estimator == MmdEstimator::kBiased
+                              ? within_a_biased
+                              : within_a_unbiased;
+  const double within_b = estimator == MmdEstimator::kBiased
+                              ? within_b_biased
+                              : within_b_unbiased;
+  const double mmd2 = within_a + within_b - 2.0 * cross;
+  // A NaN here means a non-finite histogram entry reached the kernel;
+  // std::max(0.0, NaN) would silently turn that into a *perfect* score.
+  return std::isfinite(mmd2) ? std::max(0.0, mmd2) : mmd2;
+}
+
+MmdComponents ComputeMmdComponents(const std::vector<std::vector<double>>& a,
+                                   const std::vector<std::vector<double>>& b,
+                                   MmdKernel kernel, double sigma) {
+  CPGAN_CHECK(!a.empty() && !b.empty());
+  CPGAN_CHECK_GT(sigma, 0.0);
+  CPGAN_TRACE_SPAN("eval/mmd");
+  const PreparedSamples s = Prepare(a, b);
+  const std::vector<double> gram = GramMatrix(s, kernel, sigma);
+  const int na = static_cast<int>(a.size());
+  const int nb = static_cast<int>(b.size());
+  const int n = s.count;
+
+  // The reductions below read the Gram matrix serially in the same row-major
+  // pair order the historical code evaluated its kernels in, so each term is
+  // bitwise identical to the old repeated-evaluation path for any thread
+  // count. `off` is the set's first row in the Gram matrix.
+  auto within = [&](int off, int m, bool unbiased) {
+    if (m < 2) unbiased = false;  // singleton fallback (see MmdEstimator)
+    double total = 0.0;
+    for (int i = 0; i < m; ++i) {
+      const double* row = gram.data() + static_cast<size_t>(off + i) * n + off;
+      for (int j = 0; j < m; ++j) {
+        if (unbiased && i == j) continue;
+        total += row[j];
+      }
+    }
+    const double pairs = unbiased
+                             ? static_cast<double>(m) * (m - 1)
+                             : static_cast<double>(m) * m;
+    return total / pairs;
+  };
+  MmdComponents c;
+  c.within_a_biased = within(0, na, false);
+  c.within_a_unbiased = within(0, na, true);
+  c.within_b_biased = within(na, nb, false);
+  c.within_b_unbiased = within(na, nb, true);
+  double cross_total = 0.0;
+  for (int i = 0; i < na; ++i) {
+    const double* row = gram.data() + static_cast<size_t>(i) * n + na;
+    for (int j = 0; j < nb; ++j) cross_total += row[j];
+  }
+  c.cross = cross_total / (static_cast<double>(na) * nb);
+  return c;
+}
+
 double Mmd(const std::vector<std::vector<double>>& a,
            const std::vector<std::vector<double>>& b, MmdKernel kernel,
            double sigma, MmdEstimator estimator) {
-  CPGAN_CHECK(!a.empty() && !b.empty());
-  CPGAN_TRACE_SPAN("eval/mmd");
-  auto cross_mean = [&](const std::vector<std::vector<double>>& x,
-                        const std::vector<std::vector<double>>& y) {
-    double total = 0.0;
-    for (const auto& p : x) {
-      for (const auto& q : y) total += Kernel(p, q, kernel, sigma);
-    }
-    return total / (static_cast<double>(x.size()) * y.size());
-  };
-  // Within-set mean. The unbiased (U-statistic) form drops the i==j
-  // self-pairs, whose k(p,p) = 1 terms inflate the biased estimate by
-  // O(1/n); it needs at least two samples, so singleton sets keep the
-  // biased form (see MmdEstimator::kUnbiased).
-  auto within_mean = [&](const std::vector<std::vector<double>>& x) {
-    const size_t n = x.size();
-    if (estimator == MmdEstimator::kBiased || n < 2) return cross_mean(x, x);
-    double total = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        total += Kernel(x[i], x[j], kernel, sigma);
-      }
-    }
-    return total / (static_cast<double>(n) * (n - 1));
-  };
-  double mmd2 = within_mean(a) + within_mean(b) - 2.0 * cross_mean(a, b);
-  return std::max(0.0, mmd2);
+  return ComputeMmdComponents(a, b, kernel, sigma).Squared(estimator);
 }
 
 }  // namespace cpgan::eval

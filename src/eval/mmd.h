@@ -36,10 +36,47 @@ enum class MmdEstimator {
   kUnbiased,
 };
 
+/// Every term of the MMD^2 decomposition, computed from one shared kernel
+/// Gram matrix over a ∪ b (each k(i,j) evaluated once; the Gram rows are
+/// parallelized over util::ThreadPool with results independent of the
+/// thread count). Use this instead of repeated Mmd() calls when both
+/// estimators — or the raw cross-terms — are needed for the same sample
+/// sets: the Gram matrix is built once and every field below is read from
+/// it.
+struct MmdComponents {
+  /// Within-set kernel means including the i==j self-pairs (V-statistic).
+  double within_a_biased = 0.0;
+  double within_b_biased = 0.0;
+  /// Within-set kernel means excluding i==j (U-statistic); singleton sets
+  /// fall back to the biased mean (see MmdEstimator::kUnbiased).
+  double within_a_unbiased = 0.0;
+  double within_b_unbiased = 0.0;
+  /// Cross-set kernel mean E[k(x, y)].
+  double cross = 0.0;
+
+  /// MMD^2 under the chosen estimator, clamped at 0 when finite; NaN (from
+  /// non-finite histogram entries) propagates instead of being clamped into
+  /// a perfect score.
+  double Squared(MmdEstimator estimator) const;
+};
+
+/// Builds the shared Gram matrix for the two sample sets and returns every
+/// estimator term. Histograms are zero-padded to the joint support of
+/// a ∪ b and normalized there once per sample (not once per pair); each
+/// pairwise distance is evaluated over exactly the support the pair's own
+/// histograms span, so the results are bit-for-bit those of the historical
+/// per-pair path. Requires sigma > 0 (CHECK) and non-empty sets.
+MmdComponents ComputeMmdComponents(const std::vector<std::vector<double>>& a,
+                                   const std::vector<std::vector<double>>& b,
+                                   MmdKernel kernel = MmdKernel::kGaussianEmd,
+                                   double sigma = 1.0);
+
 /// Squared maximum mean discrepancy between two sets of histograms under the
-/// chosen kernel and estimator, clamped at 0. Each histogram is one graph's
-/// distribution (e.g. its degree histogram); singleton sets compare two
-/// graphs directly, which is the Table IV setting.
+/// chosen kernel and estimator, clamped at 0 when finite. Non-finite inputs
+/// (NaN histogram entries) yield NaN rather than a silently perfect 0.
+/// Each histogram is one graph's distribution (e.g. its degree histogram);
+/// singleton sets compare two graphs directly, which is the Table IV
+/// setting. Requires sigma > 0 (CHECK).
 double Mmd(const std::vector<std::vector<double>>& a,
            const std::vector<std::vector<double>>& b,
            MmdKernel kernel = MmdKernel::kGaussianEmd, double sigma = 1.0,

@@ -2,29 +2,80 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/sparse.h"
 #include "util/check.h"
 
 namespace cpgan::graph {
 namespace {
 
-/// Gram-Schmidt orthonormalization of the columns of `m` in place.
-void Orthonormalize(tensor::Matrix& m) {
+/// A column counts as collapsed when projecting out the previous columns
+/// removes all but this fraction of its norm. The threshold must be
+/// *relative*: a linearly dependent column's float residual is not exactly
+/// zero but rounding noise ~1e-7 of its magnitude, and normalizing that
+/// noise yields a junk column still parallel to an earlier one. Healthy
+/// power-iteration columns keep O(1) fractions of their norm, so they never
+/// come near 1e-4.
+constexpr double kCollapseRatio = 1e-4;
+
+/// Gram-Schmidt orthonormalization of the columns of `m` in place, with
+/// per-row pointers hoisted out of the inner loops (the checked At() calls
+/// dominated this routine's runtime; the arithmetic — float products
+/// accumulated in double — is unchanged, so results are bitwise identical).
+///
+/// A column whose post-projection norm collapses (see kCollapseRatio) is
+/// re-drawn from the RNG and re-orthonormalized instead of being zeroed:
+/// the old zero column stayed zero through every remaining power iteration,
+/// so disconnected or tiny graphs silently lost embedding dimensions. With
+/// cols() <= rows() (guaranteed by SpectralEmbedding) a fresh random draw
+/// escapes the span of the previous columns with probability 1; the retry
+/// cap only guards against pathological RNG streaks. Healthy columns never
+/// touch the RNG, so non-degenerate embeddings are unchanged.
+void Orthonormalize(tensor::Matrix& m, util::Rng& rng) {
   int n = m.rows();
   int k = m.cols();
   for (int c = 0; c < k; ++c) {
-    for (int prev = 0; prev < c; ++prev) {
-      double dot = 0.0;
-      for (int r = 0; r < n; ++r) dot += m.At(r, c) * m.At(r, prev);
+    constexpr int kMaxRedraws = 8;
+    for (int attempt = 0; attempt <= kMaxRedraws; ++attempt) {
+      double pre_norm = 0.0;
       for (int r = 0; r < n; ++r) {
-        m.At(r, c) -= static_cast<float>(dot) * m.At(r, prev);
+        const float v = m.Row(r)[c];
+        pre_norm += static_cast<double>(v) * v;
+      }
+      pre_norm = std::sqrt(pre_norm);
+      for (int prev = 0; prev < c; ++prev) {
+        double dot = 0.0;
+        for (int r = 0; r < n; ++r) {
+          const float* row = m.Row(r);
+          dot += row[c] * row[prev];
+        }
+        const float fdot = static_cast<float>(dot);
+        for (int r = 0; r < n; ++r) {
+          float* row = m.Row(r);
+          row[c] -= fdot * row[prev];
+        }
+      }
+      double norm = 0.0;
+      for (int r = 0; r < n; ++r) {
+        const float v = m.Row(r)[c];
+        norm += static_cast<double>(v) * v;
+      }
+      norm = std::sqrt(norm);
+      if (norm > kCollapseRatio * pre_norm && norm > 0.0) {
+        const float inv = static_cast<float>(1.0 / norm);
+        for (int r = 0; r < n; ++r) m.Row(r)[c] *= inv;
+        break;
+      }
+      if (attempt == kMaxRedraws || c >= n) {
+        // Unreachable for c < n in practice; keep the old zeroing as the
+        // last-resort fallback rather than looping forever.
+        for (int r = 0; r < n; ++r) m.Row(r)[c] = 0.0f;
+        break;
+      }
+      for (int r = 0; r < n; ++r) {
+        m.Row(r)[c] = static_cast<float>(rng.Normal(0.0, 1.0));
       }
     }
-    double norm = 0.0;
-    for (int r = 0; r < n; ++r) norm += static_cast<double>(m.At(r, c)) * m.At(r, c);
-    norm = std::sqrt(norm);
-    float inv = norm > 1e-9 ? static_cast<float>(1.0 / norm) : 0.0f;
-    for (int r = 0; r < n; ++r) m.At(r, c) *= inv;
   }
 }
 
@@ -33,15 +84,19 @@ void Orthonormalize(tensor::Matrix& m) {
 tensor::Matrix SpectralEmbedding(const Graph& g, int dim, util::Rng& rng,
                                  int iterations) {
   CPGAN_CHECK_GE(dim, 1);
+  CPGAN_TRACE_SPAN("graph/spectral_embedding");
   int n = g.num_nodes();
   int k = std::min(dim, n);
   tensor::SparseMatrix a_hat = tensor::NormalizedAdjacency(n, g.Edges());
   tensor::Matrix q(n, k);
   q.FillNormal(rng, 1.0f);
-  Orthonormalize(q);
+  Orthonormalize(q, rng);
   for (int it = 0; it < iterations; ++it) {
+    // SparseMatrix::Multiply is the row-parallel SpMM kernel (bitwise
+    // deterministic for any thread count); the power iteration inherits
+    // both properties.
     q = a_hat.Multiply(q);
-    Orthonormalize(q);
+    Orthonormalize(q, rng);
   }
   if (k == dim) return q;
   // Pad with zero columns when the graph is smaller than the requested dim.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "graph/algorithms.h"
 #include "util/check.h"
@@ -32,7 +33,14 @@ double PowerLawExponent(const std::vector<int>& degrees, int dmin) {
     log_sum += std::log(static_cast<double>(d) / (dmin - 0.5));
     ++count;
   }
-  if (count == 0 || log_sum <= 0.0) return 0.0;
+  // No fittable tail (no degrees >= dmin, or every qualifying degree equals
+  // the minimum so the MLE diverges): the fit is undefined. NaN is the
+  // sentinel — a fitted exponent is always > 1, so the old 0.0 sentinel was
+  // indistinguishable from a (nonsensical but arithmetic-safe) value and
+  // poisoned downstream |obs - gen| comparisons with misleading distances.
+  if (count == 0 || log_sum <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   return 1.0 + static_cast<double>(count) / log_sum;
 }
 

@@ -15,7 +15,10 @@ double GiniCoefficient(const std::vector<int>& degrees);
 
 /// Power-law exponent of the degree distribution via the discrete MLE of
 /// Clauset et al. (alpha = 1 + n / sum ln(d / (dmin - 0.5)) over d >= dmin).
-/// Degrees below `dmin` (default 1) are ignored; returns 0 when empty.
+/// Degrees below `dmin` (default 1) are ignored. Returns NaN when the fit
+/// is undefined (no degrees >= dmin, or a degenerate tail with log-sum 0);
+/// a fitted value is always > 1, and callers comparing exponents must skip
+/// or flag NaN rather than treat it as a number.
 double PowerLawExponent(const std::vector<int>& degrees, int dmin = 1);
 
 /// Degree assortativity: the Pearson correlation of the degrees at the two
@@ -39,7 +42,7 @@ struct GraphSummary {
   double mean_degree = 0.0;
   double cpl = 0.0;
   double gini = 0.0;
-  double power_law_exponent = 0.0;
+  double power_law_exponent = 0.0;  // NaN when the fit is undefined
   double avg_clustering = 0.0;
 };
 

@@ -1,0 +1,78 @@
+// Regression pins for the two silent-failure modes the MMD rewrite fixed:
+//
+//  * sigma <= 0 used to produce exp(-d^2 / 0) = exp(-inf) or exp(nan)
+//    kernels silently; it is now a CHECK (a zero bandwidth is always a
+//    caller bug, never data-dependent).
+//  * A non-finite input histogram used to come out as a *perfect score*:
+//    the final `std::max(0.0, mmd2)` clamp turned NaN into 0.0 because NaN
+//    comparisons are false. Mmd now propagates NaN so a poisoned pipeline
+//    is visible instead of optimal.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/mmd.h"
+
+namespace cpgan::eval {
+namespace {
+
+const std::vector<std::vector<double>> kA = {{1.0, 2.0, 1.0}, {0.0, 3.0, 1.0}};
+const std::vector<std::vector<double>> kB = {{2.0, 1.0}, {1.0, 1.0, 1.0, 1.0}};
+
+TEST(MmdRegressionDeathTest, NonPositiveSigmaIsACheckFailure) {
+  EXPECT_DEATH(Mmd(kA, kB, MmdKernel::kGaussianEmd, 0.0,
+                   MmdEstimator::kBiased),
+               "sigma");
+  EXPECT_DEATH(Mmd(kA, kB, MmdKernel::kGaussianTv, -1.0,
+                   MmdEstimator::kUnbiased),
+               "sigma");
+}
+
+TEST(MmdRegression, NanInputPropagatesToNanResult) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> poisoned = kA;
+  poisoned[1][0] = nan;
+  for (MmdKernel kernel : {MmdKernel::kGaussianEmd, MmdKernel::kGaussianTv}) {
+    for (MmdEstimator est :
+         {MmdEstimator::kBiased, MmdEstimator::kUnbiased}) {
+      EXPECT_TRUE(std::isnan(Mmd(poisoned, kB, kernel, 1.0, est)));
+      EXPECT_TRUE(std::isnan(Mmd(kA, poisoned, kernel, 1.0, est)));
+    }
+  }
+}
+
+TEST(MmdRegression, InfInputPropagatesToNanResult) {
+  std::vector<std::vector<double>> poisoned = kA;
+  poisoned[0][2] = std::numeric_limits<double>::infinity();
+  // inf mass normalizes to inf/inf = NaN bins; the result must not clamp.
+  EXPECT_TRUE(std::isnan(
+      Mmd(poisoned, kB, MmdKernel::kGaussianEmd, 1.0, MmdEstimator::kBiased)));
+}
+
+TEST(MmdRegression, FiniteInputsStillClampToZeroFromBelow) {
+  // The clamp still guards the legitimate case: the unbiased estimator can
+  // go a hair negative through cancellation, and a squared discrepancy must
+  // not. Same-distribution sets exercise it.
+  const double v = Mmd(kA, kA, MmdKernel::kGaussianEmd, 1.0,
+                       MmdEstimator::kUnbiased);
+  EXPECT_GE(v, 0.0);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MmdRegression, ComponentsAgreeWithMmd) {
+  // The component view (one Gram matrix, every estimator served from it)
+  // must agree exactly with the scalar entry point for both estimators.
+  const MmdComponents c =
+      ComputeMmdComponents(kA, kB, MmdKernel::kGaussianEmd, 1.3);
+  EXPECT_EQ(c.Squared(MmdEstimator::kBiased),
+            Mmd(kA, kB, MmdKernel::kGaussianEmd, 1.3, MmdEstimator::kBiased));
+  EXPECT_EQ(
+      c.Squared(MmdEstimator::kUnbiased),
+      Mmd(kA, kB, MmdKernel::kGaussianEmd, 1.3, MmdEstimator::kUnbiased));
+}
+
+}  // namespace
+}  // namespace cpgan::eval

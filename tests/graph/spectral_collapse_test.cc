@@ -1,0 +1,96 @@
+// Regression for the spectral-embedding rank collapse: on graphs whose
+// propagation matrix is rank-deficient (disconnected low-rank components),
+// Gram-Schmidt used to zero out the trailing columns — downstream GCN
+// inputs silently carried all-zero feature columns. Orthonormalize now
+// re-draws collapsed columns from the RNG and re-projects them, so the
+// embedding always has orthonormal (full-rank) columns.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/spectral.h"
+#include "tensor/matrix.h"
+#include "testing/diff_harness.h"
+#include "util/rng.h"
+
+namespace cpgan::graph {
+namespace {
+
+double ColumnNorm(const tensor::Matrix& m, int c) {
+  double n2 = 0.0;
+  for (int r = 0; r < m.rows(); ++r) {
+    n2 += static_cast<double>(m.At(r, c)) * m.At(r, c);
+  }
+  return std::sqrt(n2);
+}
+
+double ColumnDot(const tensor::Matrix& m, int a, int b) {
+  double dot = 0.0;
+  for (int r = 0; r < m.rows(); ++r) {
+    dot += static_cast<double>(m.At(r, a)) * m.At(r, b);
+  }
+  return dot;
+}
+
+void ExpectOrthonormalColumns(const tensor::Matrix& emb) {
+  for (int c = 0; c < emb.cols(); ++c) {
+    EXPECT_NEAR(ColumnNorm(emb, c), 1.0, 1e-3) << "column " << c;
+    for (int d = c + 1; d < emb.cols(); ++d) {
+      EXPECT_NEAR(ColumnDot(emb, c, d), 0.0, 5e-3)
+          << "columns " << c << ", " << d;
+    }
+  }
+}
+
+TEST(SpectralCollapseTest, TwoDisjointEdgesKeepFullRank) {
+  // A + I of a single edge is the all-ones 2x2 block: rank 1 per component,
+  // rank 2 total. Power iteration at dim 4 used to leave column 4 exactly
+  // zero; it must now be a unit vector orthogonal to the rest.
+  Graph g(4, {{0, 1}, {2, 3}});
+  util::Rng rng(3);
+  tensor::Matrix emb = SpectralEmbedding(g, 4, rng, 20);
+  ASSERT_EQ(emb.rows(), 4);
+  ASSERT_EQ(emb.cols(), 4);
+  ExpectOrthonormalColumns(emb);
+}
+
+TEST(SpectralCollapseTest, TwoDisjointTrianglesKeepFullRank) {
+  // Each triangle's A + I is the rank-1 all-ones 3x3 block, so the
+  // propagation matrix has rank 2 at embedding dim 6 — the worst observed
+  // collapse (three zero columns before the fix).
+  Graph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  util::Rng rng(3);
+  tensor::Matrix emb = SpectralEmbedding(g, 6, rng, 20);
+  ASSERT_EQ(emb.cols(), 6);
+  ExpectOrthonormalColumns(emb);
+}
+
+TEST(SpectralCollapseTest, EmbeddingIsThreadCountInvariant) {
+  // The power iteration runs through the parallel SpMM; the determinism
+  // contract requires bitwise-identical embeddings at any thread count —
+  // including on degenerate inputs that trigger the re-draw path.
+  std::vector<Edge> edges;
+  util::Rng build(17);
+  for (int i = 1; i < 80; ++i) {
+    edges.emplace_back(static_cast<int>(build.UniformInt(i)), i);
+  }
+  Graph g(80, edges);
+  tensor::Matrix want;
+  {
+    testing::ScopedThreads scoped(1);
+    util::Rng rng(9);
+    want = SpectralEmbedding(g, 16, rng, 10);
+  }
+  for (int threads : {2, 8}) {
+    testing::ScopedThreads scoped(threads);
+    util::Rng rng(9);
+    tensor::Matrix got = SpectralEmbedding(g, 16, rng, 10);
+    EXPECT_TRUE(testing::BitwiseEqual(got, want)) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace cpgan::graph

@@ -68,7 +68,22 @@ TEST(PowerLawTest, RespectsDmin) {
   double with_all = PowerLawExponent(degrees, 1);
   double tail_only = PowerLawExponent(degrees, 5);
   EXPECT_NE(with_all, tail_only);
-  EXPECT_DOUBLE_EQ(PowerLawExponent({}, 1), 0.0);
+}
+
+TEST(PowerLawTest, UndefinedFitIsNaN) {
+  // Regression for the 0.0 sentinel: an undefined fit used to return 0.0,
+  // which is a legal-looking exponent (|pwe_a - 0.0| read as a real
+  // distance in the Table IV metrics). Undefined fits are now NaN.
+  EXPECT_TRUE(std::isnan(PowerLawExponent({}, 1)));
+  // No degree reaches dmin.
+  EXPECT_TRUE(std::isnan(PowerLawExponent({1, 2, 3}, 10)));
+  // All degrees below dmin are ignored, so an all-zeros sequence has no
+  // fittable tail either.
+  EXPECT_TRUE(std::isnan(PowerLawExponent({0, 0, 0}, 1)));
+  // A defined fit is always > 1 and finite.
+  double alpha = PowerLawExponent({2, 3, 4, 5}, 2);
+  EXPECT_TRUE(std::isfinite(alpha));
+  EXPECT_GT(alpha, 1.0);
 }
 
 TEST(DegreeHistogramTest, NormalizedWithTailFold) {

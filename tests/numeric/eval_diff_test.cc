@@ -1,0 +1,213 @@
+// Differential tests for the eval/community hot-path rewrite: the cached
+// Gram-matrix MMD and the flat-CSR Louvain against the pre-rewrite
+// implementations preserved verbatim in testing/eval_ref.*.
+//
+// MMD must agree *bitwise* with the reference at every thread count — the
+// rewrite caches the per-sample common-support normalization and shares one
+// symmetric Gram matrix, but every surviving floating-point operation is the
+// same op in the same order (see the note in eval/mmd.cc on why the prefix
+// CDFs are deliberately not cached).
+//
+// Louvain's gains are bitwise identical too (all weights are exact integers
+// in double); the one legal divergence channel is the argmax scan order on
+// exactly-tied gains, so tie-free fixtures are held to exact partition
+// equality and tie-heavy ones to quality parity.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "community/louvain.h"
+#include "community/metrics.h"
+#include "data/synthetic.h"
+#include "eval/mmd.h"
+#include "generators/ba.h"
+#include "graph/stats.h"
+#include "testing/diff_harness.h"
+#include "testing/eval_ref.h"
+#include "util/rng.h"
+
+namespace cpgan {
+namespace {
+
+using eval::Mmd;
+using eval::MmdEstimator;
+using eval::MmdKernel;
+
+graph::Graph MakeSbm(int nodes, int edges, int comms, uint64_t seed) {
+  data::CommunityGraphParams params;
+  params.num_nodes = nodes;
+  params.num_edges = edges;
+  params.num_communities = comms;
+  params.intra_fraction = 0.95;
+  params.community_size_skew = 0.0;
+  util::Rng rng(seed);
+  return data::MakeCommunityGraph(params, rng);
+}
+
+// Degree-histogram sample sets with deliberately unequal supports (SBM
+// histograms are ~30 bins, BA ones 40-65), so the common-support padding is
+// exercised on every pair.
+void MakeHistogramSets(std::vector<std::vector<double>>& a,
+                       std::vector<std::vector<double>>& b) {
+  for (uint64_t s = 0; s < 6; ++s) {
+    graph::Graph g = MakeSbm(200, 900, 8, 20 + s);
+    int maxd = 1;
+    for (int v = 0; v < g.num_nodes(); ++v) maxd = std::max(maxd, g.degree(v));
+    a.push_back(graph::DegreeHistogram(g, maxd));
+    util::Rng rng(40 + s);
+    graph::Graph h = generators::BaGenerator(200, 4).Generate(rng);
+    int maxdh = 1;
+    for (int v = 0; v < h.num_nodes(); ++v) {
+      maxdh = std::max(maxdh, h.degree(v));
+    }
+    b.push_back(graph::DegreeHistogram(h, maxdh));
+  }
+}
+
+TEST(MmdDiffTest, BitwiseMatchesReferenceAcrossThreads) {
+  std::vector<std::vector<double>> a, b;
+  MakeHistogramSets(a, b);
+  const struct {
+    MmdKernel kernel;
+    MmdEstimator estimator;
+    double sigma;
+  } kCases[] = {
+      {MmdKernel::kGaussianEmd, MmdEstimator::kBiased, 1.0},
+      {MmdKernel::kGaussianEmd, MmdEstimator::kUnbiased, 1.0},
+      {MmdKernel::kGaussianTv, MmdEstimator::kBiased, 1.0},
+      {MmdKernel::kGaussianTv, MmdEstimator::kUnbiased, 1.0},
+      {MmdKernel::kGaussianEmd, MmdEstimator::kBiased, 2.0},
+      {MmdKernel::kGaussianEmd, MmdEstimator::kUnbiased, 0.5},
+  };
+  for (const auto& c : kCases) {
+    const double want =
+        testing::RefMmd(a, b, c.kernel, c.sigma, c.estimator);
+    for (int threads : {1, 2, 8}) {
+      testing::ScopedThreads scoped(threads);
+      const double got = Mmd(a, b, c.kernel, c.sigma, c.estimator);
+      EXPECT_EQ(got, want) << "threads=" << threads
+                           << " sigma=" << c.sigma;
+    }
+  }
+}
+
+TEST(MmdDiffTest, BitwiseMatchesReferenceOnSmallSets) {
+  // Singleton and two-element sets take the serial Gram fallback and the
+  // singleton within-set estimator fallback; hold those to the reference
+  // too.
+  std::vector<std::vector<double>> a, b;
+  MakeHistogramSets(a, b);
+  const std::vector<std::vector<double>> a1 = {a[0]};
+  const std::vector<std::vector<double>> b1 = {b[0]};
+  const std::vector<std::vector<double>> a2 = {a[0], a[1]};
+  for (MmdEstimator est : {MmdEstimator::kBiased, MmdEstimator::kUnbiased}) {
+    EXPECT_EQ(Mmd(a1, b1, MmdKernel::kGaussianEmd, 1.0, est),
+              testing::RefMmd(a1, b1, MmdKernel::kGaussianEmd, 1.0, est));
+    EXPECT_EQ(Mmd(a2, b1, MmdKernel::kGaussianTv, 0.7, est),
+              testing::RefMmd(a2, b1, MmdKernel::kGaussianTv, 0.7, est));
+  }
+}
+
+TEST(MmdDiffTest, IdenticalSetsGiveExactZero) {
+  std::vector<std::vector<double>> a, b;
+  MakeHistogramSets(a, b);
+  // k(p, p) multiplies exp(-0.0) = 1 exactly, and the unbiased estimator's
+  // cross/within sums then cancel term-for-term in the same order, so the
+  // self-comparison is an exact 0.0 — in both implementations.
+  EXPECT_EQ(Mmd(a, a, MmdKernel::kGaussianEmd, 1.0, MmdEstimator::kUnbiased),
+            0.0);
+  EXPECT_EQ(testing::RefMmd(a, a, MmdKernel::kGaussianEmd, 1.0,
+                            MmdEstimator::kUnbiased),
+            0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Louvain
+// ---------------------------------------------------------------------------
+
+graph::Graph TwoCliquesWithBridge() {
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(6 + i, 6 + j);
+    }
+  }
+  edges.emplace_back(0, 6);
+  return graph::Graph(12, edges);
+}
+
+void ExpectSamePartitions(const community::LouvainResult& got,
+                          const community::LouvainResult& want) {
+  ASSERT_EQ(got.levels.size(), want.levels.size());
+  for (size_t l = 0; l < got.levels.size(); ++l) {
+    ASSERT_EQ(got.levels[l].num_nodes(), want.levels[l].num_nodes());
+    for (int v = 0; v < got.levels[l].num_nodes(); ++v) {
+      ASSERT_EQ(got.levels[l].label(v), want.levels[l].label(v))
+          << "level " << l << " node " << v;
+    }
+  }
+  EXPECT_EQ(got.modularity, want.modularity);
+}
+
+TEST(LouvainDiffTest, ExactMatchOnTieFreeFixtures) {
+  // On these fixtures no two candidate moves ever have exactly equal gain,
+  // so the rewrite must reproduce the reference level-by-level, including
+  // the compacted community numbering (both compact in first-seen order).
+  const graph::Graph cliques = TwoCliquesWithBridge();
+  const graph::Graph sbm = MakeSbm(200, 900, 8, 11);
+  const struct {
+    const graph::Graph* g;
+    uint64_t seed;
+  } kCases[] = {{&cliques, 1}, {&sbm, 111}};
+  for (const auto& c : kCases) {
+    util::Rng ref_rng(c.seed);
+    const community::LouvainResult want =
+        testing::RefLouvain(*c.g, ref_rng);
+    for (int threads : {1, 2, 8}) {
+      testing::ScopedThreads scoped(threads);
+      util::Rng rng(c.seed);
+      const community::LouvainResult got = community::Louvain(*c.g, rng);
+      ExpectSamePartitions(got, want);
+    }
+  }
+}
+
+TEST(LouvainDiffTest, QualityParityOnTieHeavyGraphs) {
+  // Sparse SBM and BA graphs hit exactly-tied gains (gain gaps are integer
+  // multiples of 1/2m), where the reference breaks ties in unordered_map
+  // iteration order — a libstdc++ hashing artifact the flat-CSR rewrite
+  // cannot (and should not) replicate. Partition quality must still agree:
+  // near-identical modularity and high NMI against the reference labels.
+  data::CommunityGraphParams params;  // 500 nodes, 1500 edges, 40 comms
+  util::Rng gseed(7);
+  const graph::Graph sbm = data::MakeCommunityGraph(params, gseed);
+  util::Rng bseed(5);
+  const graph::Graph ba = generators::BaGenerator(300, 3).Generate(bseed);
+  const struct {
+    const char* name;
+    const graph::Graph* g;
+    uint64_t seed;
+    // BA graphs have no planted structure, so tie-breaking reshuffles the
+    // (many, near-equivalent) partitions wholesale; the SBM's planted
+    // blocks keep the two partitions strongly aligned.
+    double min_nmi;
+  } kCases[] = {{"sbm500", &sbm, 77, 0.8}, {"ba300", &ba, 55, 0.4}};
+  for (const auto& c : kCases) {
+    util::Rng ref_rng(c.seed);
+    const community::LouvainResult want =
+        testing::RefLouvain(*c.g, ref_rng);
+    util::Rng rng(c.seed);
+    const community::LouvainResult got = community::Louvain(*c.g, rng);
+    EXPECT_NEAR(got.modularity, want.modularity, 0.02) << c.name;
+    EXPECT_GE(community::NormalizedMutualInformation(
+                  got.FinalPartition(), want.FinalPartition()),
+              c.min_nmi)
+        << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace cpgan

@@ -40,7 +40,10 @@
 #include "generators/registry.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 #include "train/checkpoint.h"
+#include "train/signal.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -180,7 +183,18 @@ int CmdGenerate(const std::string& model, const std::string& ref,
         return 1;
       }
     }
+    // Ctrl-C / SIGTERM stop training at the next epoch boundary: a final
+    // checkpoint is written (when checkpointing is on) and all sinks are
+    // flushed before Fit returns, so an interrupted run is resumable.
+    train::InstallStopSignalHandlers();
     core::TrainStats stats = cpgan.Fit(observed);
+    if (stats.interrupted) {
+      std::printf("interrupted by signal at epoch %zu%s\n",
+                  stats.g_loss.size(),
+                  options.checkpoint_dir.empty()
+                      ? ""
+                      : "; final checkpoint written");
+    }
     std::printf("trained: %s, peak memory %s",
                 eval::FormatMillis(stats.train_seconds * 1000.0).c_str(),
                 eval::FormatBytes(stats.peak_bytes).c_str());
@@ -216,6 +230,90 @@ int CmdGenerate(const std::string& model, const std::string& ref,
   return 0;
 }
 
+struct ServeOptions {
+  std::string model_name = "default";
+  std::string checkpoint;     // warm-load; empty = train in-process
+  int epochs = 60;            // in-process training budget
+  bool strict_io = false;
+  serve::ServerOptions server;
+};
+
+bool ParseServeFlag(const std::string& arg, ServeOptions* options) {
+  auto value_of = [&arg](const std::string& prefix, std::string* out) {
+    if (arg.rfind(prefix, 0) != 0) return false;
+    *out = arg.substr(prefix.size());
+    return true;
+  };
+  std::string value;
+  if (value_of("--model=", &value)) {
+    options->model_name = value;
+    return !value.empty();
+  }
+  if (value_of("--checkpoint=", &value)) {
+    options->checkpoint = value;
+    return !value.empty();
+  }
+  if (value_of("--epochs=", &value)) {
+    options->epochs = std::atoi(value.c_str());
+    return options->epochs > 0;
+  }
+  if (arg == "--strict-io") {
+    options->strict_io = true;
+    return true;
+  }
+  if (value_of("--workers=", &value)) {
+    options->server.num_workers = std::atoi(value.c_str());
+    return options->server.num_workers > 0;
+  }
+  if (value_of("--queue=", &value)) {
+    options->server.queue_capacity = std::atoi(value.c_str());
+    return options->server.queue_capacity > 0;
+  }
+  if (value_of("--deadline-ms=", &value)) {
+    options->server.default_deadline_ms = std::atof(value.c_str());
+    return options->server.default_deadline_ms >= 0.0;
+  }
+  if (value_of("--memory-budget-mb=", &value)) {
+    options->server.memory_budget_bytes =
+        static_cast<int64_t>(std::atoll(value.c_str())) * (1 << 20);
+    return options->server.memory_budget_bytes > 0;
+  }
+  if (value_of("--request-log=", &value)) {
+    options->server.request_log = value;
+    return !value.empty();
+  }
+  std::fprintf(stderr, "unknown serve flag '%s'\n", arg.c_str());
+  return false;
+}
+
+int CmdServe(const std::string& ref, const ServeOptions& options) {
+  graph::LoadOptions load_options;
+  load_options.strict = options.strict_io;
+  serve::ModelSpec spec;
+  spec.name = options.model_name;
+  spec.graph = data::LoadGraph(ref, load_options);
+  spec.checkpoint = options.checkpoint;
+  spec.config.epochs = options.epochs;
+  if (options.checkpoint.empty()) {
+    std::fprintf(stderr, "serve: training %s for %d epochs (pass "
+                 "--checkpoint=FILE to warm-load instead)...\n",
+                 options.model_name.c_str(), options.epochs);
+  }
+  serve::ModelRegistry registry;
+  std::string error;
+  if (!registry.AddModel(spec, &error)) {
+    std::fprintf(stderr, "serve: cannot build model: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serve: model '%s' warm (n=%d m=%lld); reading requests from "
+               "stdin (GENERATE/RELOAD/STATS/QUIT)\n",
+               options.model_name.c_str(), spec.graph.num_nodes(),
+               static_cast<long long>(spec.graph.num_edges()));
+  serve::Server server(&registry, options.server);
+  return server.RunStdio(stdin, stdout);
+}
+
 int CmdCompare(const std::string& ref_a, const std::string& ref_b) {
   graph::Graph a = data::LoadGraph(ref_a);
   graph::Graph b = data::LoadGraph(ref_b);
@@ -248,6 +346,12 @@ int Usage() {
                "      --metrics-out=FILE    --profile\n"
                "      --trace=FILE\n"
                "  cpgan_cli compare  <graph-a> <graph-b>\n"
+               "  cpgan_cli serve    [flags] <graph>\n"
+               "      --model=NAME          --checkpoint=FILE\n"
+               "      --epochs=N            --strict-io\n"
+               "      --workers=N           --queue=N\n"
+               "      --deadline-ms=D       --memory-budget-mb=M\n"
+               "      --request-log=FILE    (see docs/SERVING.md)\n"
                "--threads=N sizes the kernel thread pool (default: the\n"
                "CPGAN_NUM_THREADS env var, else all cores); results are\n"
                "identical for any N\n");
@@ -293,5 +397,19 @@ int main(int argc, char** argv) {
                        positional.size() == 3 ? positional[2] : "", options);
   }
   if (cmd == "compare" && args.size() >= 3) return CmdCompare(args[1], args[2]);
+  if (cmd == "serve") {
+    ServeOptions options;
+    std::vector<std::string> positional;
+    for (size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--", 0) == 0) {
+        if (!ParseServeFlag(arg, &options)) return 2;
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() != 1) return Usage();
+    return CmdServe(positional[0], options);
+  }
   return Usage();
 }

@@ -25,13 +25,21 @@ graph::Graph AssembleGraph(int num_nodes, int64_t target_edges,
   std::vector<int> perm(num_nodes);
   for (int i = 0; i < num_nodes; ++i) perm[i] = i;
 
+  auto aborting = [&options]() {
+    if (!options.should_abort || !options.should_abort()) return false;
+    if (options.aborted != nullptr) *options.aborted = true;
+    return true;
+  };
+
   for (int pass = 0;
        pass < options.max_passes &&
        static_cast<int64_t>(edges.size()) < target_edges;
        ++pass) {
+    if (aborting()) break;
     rng.Shuffle(perm);
     for (int chunk = 0; chunk < chunks_per_pass; ++chunk) {
       if (static_cast<int64_t>(edges.size()) >= target_edges) break;
+      if (aborting()) break;
       int begin = chunk * ns;
       int end = std::min(num_nodes, begin + ns);
       std::vector<int> ids(perm.begin() + begin, perm.begin() + end);

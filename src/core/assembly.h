@@ -29,6 +29,17 @@ struct AssemblyOptions {
   /// describes top-k; proportional filling is the lower-variance variant
   /// that keeps block densities faithful when probabilities are diffuse.
   bool proportional_fill = false;
+
+  /// Cooperative cancellation, polled at every phase boundary (before each
+  /// decode chunk and between passes). When it returns true, assembly stops
+  /// and returns the edges built so far; the serving watchdog uses this to
+  /// cancel decodes whose deadline expired without tearing down the worker
+  /// (docs/SERVING.md). Unset = never abort.
+  std::function<bool()> should_abort;
+
+  /// Set to true when should_abort stopped the assembly early (out-param;
+  /// left untouched otherwise so callers can reuse one options struct).
+  bool* aborted = nullptr;
 };
 
 /// Assembles a full n-node graph from subgraph probability matrices:

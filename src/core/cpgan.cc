@@ -16,6 +16,8 @@
 #include "tensor/serialize.h"
 #include "train/checkpoint.h"
 #include "train/guard.h"
+#include "train/signal.h"
+#include "util/backoff.h"
 #include "util/fileio.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
@@ -142,27 +144,8 @@ TrainStats Cpgan::Fit(const graph::Graph& observed) {
   return FitMany({observed});
 }
 
-TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
-  CPGAN_CHECK(!graphs.empty());
+void Cpgan::BuildModel(const std::vector<graph::Graph>& graphs) {
   const graph::Graph& observed = graphs[0];
-  CPGAN_CHECK(!trained_);
-  util::Timer timer;
-  util::MemoryTracker::Global().ResetPeak();
-
-  // ----- Observability setup (src/obs/; docs/OBSERVABILITY.md) -----
-  TraceFlagsGuard trace_flags_guard;
-  if (config_.profile || !config_.trace_out.empty()) {
-    // Only reset collected spans when this run explicitly asked for
-    // tracing; a caller (e.g. bench_util) that enabled tracing itself owns
-    // the collection window.
-    obs::ResetTraces();
-    obs::SetTracingEnabled(true);
-    if (!config_.trace_out.empty()) obs::SetTraceEventsEnabled(true);
-  }
-  obs::RunLogger run_logger;
-  if (!config_.metrics_out.empty()) run_logger.Open(config_.metrics_out);
-  const int run_threads = util::ThreadPool::Global().num_threads();
-
   observed_ = std::make_unique<graph::Graph>(observed);
   int n = observed.num_nodes();
   int ns = std::min(config_.subgraph_size, n);
@@ -215,6 +198,65 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
                                             config_.concat_decoder, rng_);
   discriminator_ = std::make_unique<Discriminator>(effective_levels_,
                                                    config_.hidden_dim, rng_);
+}
+
+std::vector<t::Tensor> Cpgan::CollectAllParams() const {
+  std::vector<t::Tensor> params;
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(encoder_.get()),
+        static_cast<const nn::Module*>(vae_.get()),
+        static_cast<const nn::Module*>(decoder_.get()),
+        static_cast<const nn::Module*>(discriminator_.get())}) {
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  params.push_back(features_);
+  for (const TrainContext& ctx : extra_contexts_) {
+    params.push_back(ctx.features);
+  }
+  return params;
+}
+
+bool Cpgan::WarmStart(const graph::Graph& observed,
+                      const std::string& checkpoint_path, std::string* error) {
+  CPGAN_CHECK(!trained_);
+  BuildModel({observed});
+  std::vector<t::Tensor> params_all = CollectAllParams();
+  train::CheckpointMeta meta;
+  std::string err;
+  if (!train::LoadCheckpoint(checkpoint_path, &meta, params_all,
+                             ArchitectureHash(), &err)) {
+    CPGAN_LOG(Error) << "WarmStart(" << checkpoint_path << "): " << err;
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  trained_ = true;
+  return true;
+}
+
+TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
+  CPGAN_CHECK(!graphs.empty());
+  const graph::Graph& observed = graphs[0];
+  CPGAN_CHECK(!trained_);
+  util::Timer timer;
+  util::MemoryTracker::Global().ResetPeak();
+
+  // ----- Observability setup (src/obs/; docs/OBSERVABILITY.md) -----
+  TraceFlagsGuard trace_flags_guard;
+  if (config_.profile || !config_.trace_out.empty()) {
+    // Only reset collected spans when this run explicitly asked for
+    // tracing; a caller (e.g. bench_util) that enabled tracing itself owns
+    // the collection window.
+    obs::ResetTraces();
+    obs::SetTracingEnabled(true);
+    if (!config_.trace_out.empty()) obs::SetTraceEventsEnabled(true);
+  }
+  obs::RunLogger run_logger;
+  if (!config_.metrics_out.empty()) run_logger.Open(config_.metrics_out);
+  const int run_threads = util::ThreadPool::Global().num_threads();
+
+  BuildModel(graphs);
+  int ns = std::min(config_.subgraph_size, observed.num_nodes());
 
   auto collect = [](std::initializer_list<const nn::Module*> modules) {
     std::vector<t::Tensor> params;
@@ -245,10 +287,7 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   // ----- Fault-tolerance runtime (docs/INTERNALS.md) -----
   // The guard snapshots/restores the union of every trainable parameter;
   // the same list is what checkpoints persist.
-  std::vector<t::Tensor> params_all = collect(
-      {encoder_.get(), vae_.get(), decoder_.get(), discriminator_.get()});
-  params_all.push_back(features_);
-  for (TrainContext& ctx : extra_contexts_) params_all.push_back(ctx.features);
+  std::vector<t::Tensor> params_all = CollectAllParams();
 
   train::GuardConfig guard_config;
   guard_config.enabled = config_.guard_enabled;
@@ -296,6 +335,33 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
                        << config_.checkpoint_dir << "'; checkpoints disabled";
     checkpointing = false;
   }
+  // Checkpoint writes go through retry-with-backoff so a single flaky
+  // rename/fsync cannot lose the run. The jitter RNG is a separate stream
+  // from the training RNG so transient I/O can never perturb the numerics.
+  util::Rng io_rng(config_.seed ^ 0xC3A5C85C97CB3127ULL);
+  util::BackoffPolicy io_backoff;
+  auto write_checkpoint = [&](int completed_epochs) -> bool {
+    train::CheckpointMeta meta;
+    meta.epoch = completed_epochs;
+    meta.config_hash = arch_hash;
+    std::string path =
+        train::CheckpointPath(config_.checkpoint_dir, completed_epochs);
+    util::RetryResult retried = util::RetryWithBackoff(
+        io_backoff, io_rng,
+        [&] { return train::SaveCheckpoint(path, meta, params_all); });
+    stats.checkpoint_retries += retried.retries();
+    if (retried.ok) {
+      ++stats.checkpoints_written;
+      if (retried.retries() > 0) {
+        CPGAN_LOG(Warning) << "checkpoint " << path << " written after "
+                           << retried.retries() << " transient I/O retries";
+      }
+    } else {
+      CPGAN_LOG(Warning) << "failed to write checkpoint " << path << " after "
+                         << retried.attempts << " attempts";
+    }
+    return retried.ok;
+  };
   // Per-epoch guard telemetry for the structured run log.
   int epoch_trips = 0;
   int epoch_rollbacks = 0;
@@ -554,21 +620,14 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
 
     // Periodic checkpoint at the epoch boundary (plus one after the final
     // epoch) so a killed run can resume via ResumeFrom.
+    if (fault_plan_.InjectIoFailure(epoch)) {
+      util::InjectAtomicWriteFailures(fault_plan_.io_fail_count);
+    }
     bool final_epoch = epoch + 1 == config_.epochs;
     if (checkpointing &&
         ((epoch + 1) % config_.checkpoint_every == 0 || final_epoch)) {
-      train::CheckpointMeta meta;
-      meta.epoch = epoch + 1;
-      meta.config_hash = arch_hash;
-      std::string path =
-          train::CheckpointPath(config_.checkpoint_dir, epoch + 1);
       util::Timer checkpoint_timer;
-      if (train::SaveCheckpoint(path, meta, params_all)) {
-        ++stats.checkpoints_written;
-        wrote_checkpoint = true;
-      } else {
-        CPGAN_LOG(Warning) << "failed to write checkpoint " << path;
-      }
+      wrote_checkpoint = write_checkpoint(epoch + 1);
       checkpoint_ms = checkpoint_timer.Millis();
     }
 
@@ -606,6 +665,16 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
       // Simulated crash: leave the model untrained, like a killed process.
       stats.stopped_by_fault = true;
       killed = true;
+      break;
+    }
+    // Graceful SIGINT/SIGTERM shutdown (train/signal.h): finish the epoch,
+    // persist a final checkpoint, and fall through to the sink flushes below
+    // instead of dying mid-epoch. The model keeps its current weights.
+    if (train::StopRequested()) {
+      CPGAN_LOG(Info) << "stop requested; ending training after epoch "
+                      << epoch;
+      if (checkpointing && !wrote_checkpoint) write_checkpoint(epoch + 1);
+      stats.interrupted = true;
       break;
     }
   }
@@ -698,7 +767,7 @@ tensor::Tensor Cpgan::ClusteringLoss(
   return loss;
 }
 
-std::vector<t::Matrix> Cpgan::FullGraphLatents(bool sample) {
+std::vector<t::Matrix> Cpgan::PosteriorMeanLatents() const {
   CPGAN_CHECK(trained_);
   auto a_hat = std::make_shared<t::SparseMatrix>(
       config_.use_two_hop_adjacency
@@ -708,7 +777,11 @@ std::vector<t::Matrix> Cpgan::FullGraphLatents(bool sample) {
                                    observed_->Edges()));
   t::Tensor x = features_.Detach();
   EncoderOutput enc = encoder_->Forward(a_hat, x);
-  VariationalOutput vae_out = vae_->Forward(enc.z_rec, rng_, sample);
+  // sample=false keeps the posterior means and draws nothing, so the local
+  // RNG is never advanced and the result is a pure function of the weights.
+  util::Rng unused_rng(0);
+  VariationalOutput vae_out =
+      vae_->Forward(enc.z_rec, unused_rng, /*sample=*/false);
   std::vector<t::Matrix> latents;
   latents.reserve(vae_out.z_vae.size());
   for (const t::Tensor& z : vae_out.z_vae) latents.push_back(z.value());
@@ -726,45 +799,75 @@ t::Matrix Cpgan::ScoreSubgraph(const std::vector<t::Matrix>& latents,
   return t::Sigmoid(decoder_->EdgeLogits(h)).value();
 }
 
-graph::Graph Cpgan::Generate() {
+graph::Graph Cpgan::GenerateFromLatents(const std::vector<t::Matrix>& latents,
+                                        int num_nodes, int64_t num_edges,
+                                        const GenerateControls& controls,
+                                        util::Rng& rng) const {
   CPGAN_CHECK(trained_);
-  // Posterior means: the sampled-prior path is exposed via GenerateWithSize;
-  // Table III/IV evaluation uses the mean latents, whose decoded structure
-  // carries the learned community signal with the least noise.
-  std::vector<t::Matrix> latents = FullGraphLatents(/*sample=*/false);
+  CPGAN_CHECK(!latents.empty());
+  CPGAN_CHECK_EQ(latents[0].rows(), num_nodes);
   AssemblyOptions options;
-  options.subgraph_size = std::min(observed_->num_nodes(),
-                                   std::max(config_.subgraph_size, 1024));
-  return AssembleGraph(
-      observed_->num_nodes(), observed_->num_edges(),
-      [this, &latents](const std::vector<int>& ids) {
-        return ScoreSubgraph(latents, ids);
-      },
-      options, rng_);
-}
-
-graph::Graph Cpgan::GenerateWithSize(int num_nodes, int64_t num_edges) {
-  CPGAN_CHECK(trained_);
-  std::vector<t::Matrix> latents;
-  for (int l = 0; l < effective_levels_; ++l) {
-    t::Matrix noise(num_nodes, config_.latent_dim);
-    noise.FillNormal(rng_, 1.0f);
-    latents.push_back(std::move(noise));
+  if (controls.subgraph_size > 0) {
+    options.subgraph_size = controls.subgraph_size;
+  } else if (controls.from_prior || num_nodes != observed_->num_nodes()) {
+    options.subgraph_size = std::max(config_.subgraph_size, 256);
+  } else {
+    options.subgraph_size =
+        std::min(num_nodes, std::max(config_.subgraph_size, 1024));
   }
-  AssemblyOptions options;
-  options.subgraph_size = std::max(config_.subgraph_size, 256);
+  options.max_passes = controls.max_passes;
+  options.should_abort = controls.should_abort;
+  options.aborted = controls.aborted;
   return AssembleGraph(
       num_nodes, num_edges,
       [this, &latents](const std::vector<int>& ids) {
         return ScoreSubgraph(latents, ids);
       },
-      options, rng_);
+      options, rng);
+}
+
+graph::Graph Cpgan::GenerateWith(const GenerateControls& controls,
+                                 util::Rng& rng) const {
+  CPGAN_CHECK(trained_);
+  int num_nodes =
+      controls.num_nodes > 0 ? controls.num_nodes : observed_->num_nodes();
+  int64_t num_edges =
+      controls.num_edges > 0 ? controls.num_edges : observed_->num_edges();
+  bool prior = controls.from_prior || num_nodes != observed_->num_nodes();
+  std::vector<t::Matrix> latents;
+  if (prior) {
+    for (int l = 0; l < effective_levels_; ++l) {
+      t::Matrix noise(num_nodes, config_.latent_dim);
+      noise.FillNormal(rng, 1.0f);
+      latents.push_back(std::move(noise));
+    }
+  } else {
+    latents = PosteriorMeanLatents();
+  }
+  return GenerateFromLatents(latents, num_nodes, num_edges, controls, rng);
+}
+
+graph::Graph Cpgan::Generate() {
+  CPGAN_CHECK(trained_);
+  // Posterior means: the sampled-prior path is exposed via GenerateWithSize;
+  // Table III/IV evaluation uses the mean latents, whose decoded structure
+  // carries the learned community signal with the least noise.
+  return GenerateWith(GenerateControls{}, rng_);
+}
+
+graph::Graph Cpgan::GenerateWithSize(int num_nodes, int64_t num_edges) {
+  CPGAN_CHECK(trained_);
+  GenerateControls controls;
+  controls.num_nodes = num_nodes;
+  controls.num_edges = num_edges;
+  controls.from_prior = true;
+  return GenerateWith(controls, rng_);
 }
 
 std::vector<double> Cpgan::EdgeProbabilities(
     const std::vector<graph::Edge>& pairs) {
   CPGAN_CHECK(trained_);
-  std::vector<t::Matrix> latents = FullGraphLatents(/*sample=*/false);
+  std::vector<t::Matrix> latents = PosteriorMeanLatents();
   std::vector<t::Tensor> z;
   z.reserve(latents.size());
   for (t::Matrix& level : latents) z.push_back(t::Constant(std::move(level)));

@@ -1,6 +1,7 @@
 #ifndef CPGAN_CORE_CPGAN_H_
 #define CPGAN_CORE_CPGAN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,8 +50,50 @@ struct TrainStats {
   /// True when a fault-plan simulated crash stopped the run (tests only).
   bool stopped_by_fault = false;
 
+  /// True when a SIGINT/SIGTERM stop request (train/signal.h) ended the run
+  /// early; a final checkpoint was written (when checkpointing is enabled)
+  /// and all sinks were flushed before Fit returned.
+  bool interrupted = false;
+
+  /// Checkpoint/weight writes that needed transient-I/O retries
+  /// (util/backoff.h) before succeeding.
+  int checkpoint_retries = 0;
+
   /// JSONL records written to config.metrics_out (0 when disabled).
   int metrics_records = 0;
+};
+
+/// Controls for the reentrant generation path used by the serving runtime
+/// (src/serve/). Unlike Generate()/GenerateWithSize() — which draw from the
+/// model's own RNG and therefore mutate it — GenerateWith() is const and
+/// takes a per-request RNG stream, so concurrent requests against one warm
+/// model are independent and bitwise reproducible per seed.
+struct GenerateControls {
+  /// Nodes in the generated graph; 0 = the observed graph's node count.
+  int num_nodes = 0;
+
+  /// Target edge count; 0 = the observed graph's edge count.
+  int64_t num_edges = 0;
+
+  /// Draw latents from the Gaussian prior even at the observed size (the
+  /// GenerateWithSize path). Sizes other than the observed one always use
+  /// the prior, since posterior latents only exist per observed node.
+  bool from_prior = false;
+
+  /// Assembly batch: nodes decoded per round. 0 picks the default heuristic
+  /// (the serving degradation policy shrinks this under pressure).
+  int subgraph_size = 0;
+
+  /// Upper bound on assembly passes (reduced-fidelity generation lowers it;
+  /// see AssemblyOptions::max_passes).
+  int max_passes = 8;
+
+  /// Cooperative cancellation, polled at phase boundaries (the serving
+  /// watchdog's deadline enforcement). Unset = never abort.
+  std::function<bool()> should_abort;
+
+  /// Set to true when should_abort stopped assembly early.
+  bool* aborted = nullptr;
 };
 
 /// Community-Preserving GAN — the paper's primary contribution.
@@ -80,6 +123,38 @@ class Cpgan {
   /// Generates a graph of arbitrary size from the Gaussian prior
   /// (Section III-G; "new graphs of arbitrary sizes").
   graph::Graph GenerateWithSize(int num_nodes, int64_t num_edges);
+
+  /// Reentrant generation with a caller-owned RNG stream: const, so any
+  /// number of requests can run against one trained model without mutating
+  /// it (kernel execution itself must still be serialized by the caller —
+  /// the thread pool accepts one top-level parallel region at a time; the
+  /// serving runtime holds its decode lock around this call).
+  graph::Graph GenerateWith(const GenerateControls& controls,
+                            util::Rng& rng) const;
+
+  /// Latent features of the observed graph under the posterior means, one
+  /// n x latent matrix per hierarchy level. Deterministic (no RNG), so the
+  /// serving layer computes this once per model load and reuses it across
+  /// requests via GenerateFromLatents.
+  std::vector<tensor::Matrix> PosteriorMeanLatents() const;
+
+  /// Assembly over precomputed latents (posterior means or prior draws).
+  /// `num_nodes` must match the latents' row count.
+  graph::Graph GenerateFromLatents(const std::vector<tensor::Matrix>& latents,
+                                   int num_nodes, int64_t num_edges,
+                                   const GenerateControls& controls,
+                                   util::Rng& rng) const;
+
+  /// Builds the model architecture for `observed` and restores the full
+  /// parameter set from a training checkpoint, without running any training
+  /// epochs — the warm-load path of the serving model registry. The
+  /// checkpoint's CRCs and architecture hash are validated before any
+  /// parameter changes; on failure the model stays untrained and `error`
+  /// (if non-null) explains why. The graph must match the one the
+  /// checkpoint was trained on (the architecture hash covers its size).
+  bool WarmStart(const graph::Graph& observed,
+                 const std::string& checkpoint_path,
+                 std::string* error = nullptr);
 
   /// Edge probability for each node pair under the trained
   /// reconstruction path (used for NLL evaluation, Table V).
@@ -118,6 +193,14 @@ class Cpgan {
   /// Derives pooling sizes from the training subgraph size if unset.
   std::vector<int> ResolvePoolSizes(int subgraph_nodes) const;
 
+  /// Shared model construction for Fit/FitMany and WarmStart: observed-graph
+  /// context, spectral features, Louvain targets, and all modules.
+  void BuildModel(const std::vector<graph::Graph>& graphs);
+
+  /// Every trainable parameter in checkpoint order (modules, then the
+  /// primary feature table, then per-extra-graph feature tables).
+  std::vector<tensor::Tensor> CollectAllParams() const;
+
   /// Per-graph training context for multi-graph fitting.
   struct TrainContext {
     graph::Graph graph{0};
@@ -132,10 +215,6 @@ class Cpgan {
       const std::vector<tensor::Tensor>& assignments,
       const std::vector<int>& node_ids,
       const std::vector<std::vector<int>>& targets) const;
-
-  /// Latent features of the full observed graph (per level, n x latent),
-  /// detached; drawn from the posterior when `sample` is true.
-  std::vector<tensor::Matrix> FullGraphLatents(bool sample);
 
   /// Decoder pass over constant latents restricted to `ids`.
   tensor::Matrix ScoreSubgraph(const std::vector<tensor::Matrix>& latents,

@@ -36,6 +36,14 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
   };
   while (std::getline(in, line)) {
     ++line_number;
+    // Windows exports: strip one trailing CR per line (getline keeps it on
+    // files with CRLF endings, which would otherwise make every line's
+    // second id "v\r" — trailing garbage in strict mode) and a UTF-8 BOM on
+    // the first line. Neither is data, so neither counts as malformed.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_number == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) {
+      line.erase(0, 3);
+    }
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ss(line);
     long u = 0;

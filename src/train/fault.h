@@ -32,13 +32,23 @@ struct FaultPlan {
   /// untrained). -1 = run to completion.
   int stop_after_epoch = -1;
 
+  /// Transient checkpoint-I/O fault: arm util::InjectAtomicWriteFailures
+  /// with `io_fail_count` immediately before the checkpoint write of this
+  /// epoch (0-based, matching the epoch whose boundary writes the file).
+  /// With the retry/backoff wrapper in place the write succeeds anyway as
+  /// long as io_fail_count stays below the retry budget. -1 = never.
+  int io_fail_epoch = -1;
+  int io_fail_count = 1;
+
   bool InjectNanGrad(int epoch) const { return epoch == nan_grad_epoch; }
   bool InjectInfLoss(int epoch) const { return epoch == inf_loss_epoch; }
+  bool InjectIoFailure(int epoch) const { return epoch == io_fail_epoch; }
   bool StopAfter(int epoch) const {
     return stop_after_epoch >= 0 && epoch >= stop_after_epoch;
   }
   bool Any() const {
-    return nan_grad_epoch >= 0 || inf_loss_epoch >= 0 || stop_after_epoch >= 0;
+    return nan_grad_epoch >= 0 || inf_loss_epoch >= 0 ||
+           stop_after_epoch >= 0 || io_fail_epoch >= 0;
   }
 };
 

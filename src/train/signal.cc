@@ -1,0 +1,35 @@
+#include "train/signal.h"
+
+#include <csignal>
+
+namespace cpgan::train {
+
+namespace {
+
+// volatile sig_atomic_t is the only state a signal handler may touch
+// portably; reads from the training loop are racy-by-design polling.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signum*/) {
+  if (g_stop_requested) {
+    // Second signal: restore default behavior so the next one kills us.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+  g_stop_requested = 1;
+}
+
+}  // namespace
+
+void InstallStopSignalHandlers() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
+
+bool StopRequested() { return g_stop_requested != 0; }
+
+void RequestStop() { g_stop_requested = 1; }
+
+void ClearStopRequest() { g_stop_requested = 0; }
+
+}  // namespace cpgan::train

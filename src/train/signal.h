@@ -1,0 +1,31 @@
+#ifndef CPGAN_TRAIN_SIGNAL_H_
+#define CPGAN_TRAIN_SIGNAL_H_
+
+namespace cpgan::train {
+
+/// Cooperative stop request for long-running training loops.
+///
+/// The training CLI installs SIGINT/SIGTERM handlers that only set an
+/// async-signal-safe flag; Cpgan::Fit polls StopRequested() at each epoch
+/// boundary and, when set, writes a final checkpoint, flushes the JSONL /
+/// metrics sinks, and returns with TrainStats::interrupted instead of dying
+/// mid-epoch. Tests drive the same path programmatically via RequestStop().
+///
+/// Installs handlers for SIGINT and SIGTERM (idempotent). The previous
+/// disposition is not chained: a second signal while shutdown is already in
+/// progress falls through to the default action, so a stuck run can still
+/// be killed with a second Ctrl-C.
+void InstallStopSignalHandlers();
+
+/// True once a stop signal arrived (or RequestStop was called).
+bool StopRequested();
+
+/// Programmatic equivalent of receiving SIGINT (tests, embedders).
+void RequestStop();
+
+/// Clears the stop flag (test isolation; call between Fit runs).
+void ClearStopRequest();
+
+}  // namespace cpgan::train
+
+#endif  // CPGAN_TRAIN_SIGNAL_H_

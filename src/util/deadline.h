@@ -1,0 +1,45 @@
+#ifndef CPGAN_UTIL_DEADLINE_H_
+#define CPGAN_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace cpgan::util {
+
+/// A point in time a request must finish by, on the same steady clock as
+/// util::Timer so serving latencies and deadlines are directly comparable.
+/// A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now (ms <= 0 yields an already-expired
+  /// deadline, which callers use to force the timeout path in tests).
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool unlimited() const { return !has_deadline_; }
+
+  bool expired() const { return has_deadline_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry (negative once expired; +inf when unlimited).
+  double remaining_ms() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_DEADLINE_H_

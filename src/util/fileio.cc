@@ -4,12 +4,40 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 
 namespace cpgan::util {
 
+namespace {
+// Pending injected AtomicWriteFile failures (see InjectAtomicWriteFailures).
+std::atomic<int> g_atomic_write_failures{0};
+
+// Consumes one injected failure if any are pending.
+bool ConsumeInjectedWriteFailure() {
+  int pending = g_atomic_write_failures.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (g_atomic_write_failures.compare_exchange_weak(
+            pending, pending - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+void InjectAtomicWriteFailures(int count) {
+  g_atomic_write_failures.store(count > 0 ? count : 0,
+                                std::memory_order_relaxed);
+}
+
+int PendingAtomicWriteFailures() {
+  return g_atomic_write_failures.load(std::memory_order_relaxed);
+}
+
 bool AtomicWriteFile(const std::string& path,
                      const std::function<bool(std::FILE*)>& writer) {
+  if (ConsumeInjectedWriteFailure()) return false;
   std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;

@@ -15,6 +15,15 @@ namespace cpgan::util {
 bool AtomicWriteFile(const std::string& path,
                      const std::function<bool(std::FILE*)>& writer);
 
+/// Deterministic transient-I/O fault injection for the retry/backoff paths
+/// (train::FaultPlan and serve::ChaosPlan): the next `count` AtomicWriteFile
+/// calls fail before touching the filesystem, as a flaky rename/fsync would.
+/// Thread-safe; count <= 0 clears any pending injection. Test-only.
+void InjectAtomicWriteFailures(int count);
+
+/// Injected failures not yet consumed.
+int PendingAtomicWriteFailures();
+
 /// True if `path` exists and is readable.
 bool FileExists(const std::string& path);
 

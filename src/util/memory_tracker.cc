@@ -42,6 +42,7 @@ void MemoryTracker::Release(size_t bytes) {
 void MemoryTracker::Reset() {
   live_bytes_.store(0, std::memory_order_relaxed);
   peak_bytes_.store(0, std::memory_order_relaxed);
+  budget_bytes_.store(0, std::memory_order_relaxed);
   region_depth_.store(0, std::memory_order_relaxed);
   for (auto& slot : region_peaks_) slot.store(0, std::memory_order_relaxed);
 }

@@ -64,9 +64,32 @@ class MemoryTracker {
   /// Closes the region and returns its peak live bytes.
   int64_t EndRegion(int token);
 
+  /// Soft memory budget used by the serving runtime's load-shedding and
+  /// degradation policy (docs/SERVING.md). 0 (the default) means unlimited.
+  /// The budget is advisory: allocations never fail because of it; callers
+  /// poll BudgetPressure() and back off when it runs hot.
+  void SetBudgetBytes(int64_t bytes) {
+    budget_bytes_.store(bytes > 0 ? bytes : 0, std::memory_order_relaxed);
+  }
+
+  int64_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// live_bytes / budget, with `extra_bytes` of simulated pressure added
+  /// (chaos testing injects allocation pressure this way). 0 when no budget
+  /// is configured.
+  double BudgetPressure(int64_t extra_bytes = 0) const {
+    int64_t budget = budget_bytes();
+    if (budget <= 0) return 0.0;
+    return static_cast<double>(live_bytes() + extra_bytes) /
+           static_cast<double>(budget);
+  }
+
  private:
   std::atomic<int64_t> live_bytes_{0};
   std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> budget_bytes_{0};
   std::atomic<int> region_depth_{0};
   std::atomic<int64_t> region_peaks_[kMaxRegionDepth]{};
 };

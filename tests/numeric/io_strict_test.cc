@@ -164,6 +164,61 @@ TEST(IoStrict, StrictModeAcceptsCleanFile) {
   EXPECT_EQ(result.graph->num_edges(), 2);
 }
 
+TEST(IoStrict, CrlfLineEndingsLoadCleanlyRegression) {
+  // Pinned regression: Windows exports end lines with \r\n; getline keeps
+  // the \r, which strict mode used to reject as trailing garbage on every
+  // line (lenient mode silently dropped the whole file as malformed).
+  LoadOptions strict;
+  strict.strict = true;
+  TempEdgeFile file("# comment\r\n0 1\r\n1 2\r\n");
+  LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.total_skipped(), 0);
+  EXPECT_EQ(result.graph->num_nodes(), 3);
+  EXPECT_EQ(result.graph->num_edges(), 2);
+}
+
+TEST(IoStrict, BareCarriageReturnOnBlankLineIsSkipped) {
+  // A CRLF file's "blank" lines are "\r": after stripping the CR they are
+  // empty and must be skipped, not counted malformed.
+  TempEdgeFile file("0 1\r\n\r\n1 2\r\n");
+  LoadResult result = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.malformed_lines, 0);
+  EXPECT_EQ(result.graph->num_edges(), 2);
+}
+
+TEST(IoStrict, Utf8BomOnFirstLineIsStripped) {
+  LoadOptions strict;
+  strict.strict = true;
+  {
+    // BOM before a comment.
+    TempEdgeFile file("\xEF\xBB\xBF# header\n0 1\n");
+    LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.graph->num_edges(), 1);
+  }
+  {
+    // BOM directly before data, with CRLF endings (Notepad's output).
+    // Literal split so \xBF does not swallow the following hex digit.
+    TempEdgeFile file("\xEF\xBB\xBF" "0 1\r\n1 2\r\n");
+    LoadResult result = LoadEdgeListDetailed(file.path(), strict);
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.graph->num_nodes(), 3);
+    EXPECT_EQ(result.graph->num_edges(), 2);
+  }
+}
+
+TEST(IoStrict, BomOnLaterLineIsStillMalformed) {
+  // Only a first-line BOM is encoding noise; bytes like that mid-file are
+  // real data corruption and must keep failing.
+  TempEdgeFile file("0 1\n\xEF\xBB\xBF" "1 2\n");
+  LoadResult result = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.malformed_lines, 1);
+  EXPECT_EQ(result.graph->num_edges(), 1);
+}
+
 TEST(IoStrict, MissingFileReportsError) {
   LoadResult result =
       LoadEdgeListDetailed("/tmp/cpgan_definitely_missing_file.txt");

@@ -1,0 +1,109 @@
+#ifndef CPGAN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define CPGAN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cpgan.h"
+#include "data/synthetic.h"
+#include "serve/registry.h"
+#include "train/checkpoint.h"
+#include "util/check.h"
+#include "util/fileio.h"
+#include "util/rng.h"
+
+namespace cpgan::serve {
+
+/// Small community graph shared by the serve suites (kept tiny so each test
+/// binary trains its warm model in about a second).
+inline graph::Graph ServeTestGraph() {
+  data::CommunityGraphParams params;
+  params.num_nodes = 100;
+  params.num_edges = 320;
+  params.num_communities = 5;
+  params.intra_fraction = 0.9;
+  params.degree_exponent = 2.6;
+  util::Rng rng(3);
+  return data::MakeCommunityGraph(params, rng);
+}
+
+inline core::CpganConfig ServeTestConfig() {
+  core::CpganConfig config;
+  config.epochs = 12;
+  config.subgraph_size = 64;
+  config.hidden_dim = 12;
+  config.latent_dim = 6;
+  config.feature_dim = 5;
+  config.seed = 11;
+  return config;
+}
+
+/// Fresh (emptied) per-test temp directory.
+inline std::string ServeTempDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  util::MakeDirs(dir);
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* entry = ::readdir(d)) {
+      std::remove((dir + "/" + entry->d_name).c_str());
+    }
+    ::closedir(d);
+  }
+  return dir;
+}
+
+/// Trains the shared config once per process and returns the final training
+/// checkpoint — the warm-load input for registry tests. Deterministic: the
+/// weights inside are bitwise identical to an in-process Fit of the same
+/// config (checkpoint writes draw from a separate RNG stream).
+inline const std::string& ServeTestCheckpoint() {
+  static const std::string* path = [] {
+    std::string dir = ServeTempDir("serve_shared_ckpt");
+    core::CpganConfig config = ServeTestConfig();
+    config.checkpoint_dir = dir;
+    config.checkpoint_every = 1000;  // only the final checkpoint
+    core::Cpgan model(config);
+    model.Fit(ServeTestGraph());
+    std::string latest = train::LatestCheckpoint(dir);
+    CPGAN_CHECK_MSG(!latest.empty(), "serve test checkpoint missing");
+    return new std::string(latest);
+  }();
+  return *path;
+}
+
+/// Spec for the default warm model, optionally warm-loading the shared
+/// checkpoint instead of training in-process.
+inline ModelSpec ServeTestSpec(bool warm_load = false) {
+  ModelSpec spec;
+  spec.name = "default";
+  spec.config = ServeTestConfig();
+  spec.graph = ServeTestGraph();
+  if (warm_load) spec.checkpoint = ServeTestCheckpoint();
+  return spec;
+}
+
+/// Registry with the default model, built once per process (in-process
+/// training path).
+inline ModelRegistry& SharedServeRegistry() {
+  static ModelRegistry* registry = [] {
+    auto* r = new ModelRegistry();
+    std::string error;
+    CPGAN_CHECK_MSG(r->AddModel(ServeTestSpec(), &error), error.c_str());
+    return r;
+  }();
+  return *registry;
+}
+
+/// Reads a whole file; empty string when missing.
+inline std::string SlurpFile(const std::string& path) {
+  std::string contents;
+  if (!util::ReadFileToString(path, &contents)) return "";
+  return contents;
+}
+
+}  // namespace cpgan::serve
+
+#endif  // CPGAN_TESTS_SERVE_SERVE_TEST_UTIL_H_

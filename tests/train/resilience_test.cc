@@ -1,0 +1,162 @@
+// Training-loop resilience: checkpoint writes that survive injected
+// transient I/O failures via retry/backoff, hard I/O outages that exhaust
+// the retry budget without killing the run, and SIGINT/SIGTERM stop
+// requests that end training at an epoch boundary with a final checkpoint.
+
+#include <csignal>
+#include <dirent.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cpgan.h"
+#include "data/synthetic.h"
+#include "train/checkpoint.h"
+#include "train/fault.h"
+#include "train/signal.h"
+#include "util/fileio.h"
+#include "util/rng.h"
+
+namespace cpgan::core {
+namespace {
+
+graph::Graph SmallCommunityGraph(uint64_t seed = 3) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 100;
+  params.num_edges = 320;
+  params.num_communities = 5;
+  params.intra_fraction = 0.9;
+  params.degree_exponent = 2.6;
+  util::Rng rng(seed);
+  return data::MakeCommunityGraph(params, rng);
+}
+
+CpganConfig FastConfig() {
+  CpganConfig config;
+  config.epochs = 16;
+  config.subgraph_size = 64;
+  config.hidden_dim = 12;
+  config.latent_dim = 6;
+  config.feature_dim = 5;
+  config.seed = 11;
+  return config;
+}
+
+std::string TempDirFor(const char* name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  util::MakeDirs(dir);
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* entry = ::readdir(d)) {
+      std::remove((dir + "/" + entry->d_name).c_str());
+    }
+    ::closedir(d);
+  }
+  return dir;
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train::ClearStopRequest();
+    util::InjectAtomicWriteFailures(0);
+  }
+  void TearDown() override {
+    train::ClearStopRequest();
+    util::InjectAtomicWriteFailures(0);
+  }
+};
+
+TEST_F(ResilienceTest, CheckpointSurvivesTransientIoFailure) {
+  graph::Graph observed = SmallCommunityGraph();
+  CpganConfig config = FastConfig();
+  config.checkpoint_dir = TempDirFor("resilience_io_retry");
+  config.checkpoint_every = 8;
+  Cpgan model(config);
+  train::FaultPlan plan;
+  plan.io_fail_epoch = 7;   // poisons the write at the epoch-8 checkpoint
+  plan.io_fail_count = 2;   // two transient failures, then the disk heals
+  model.SetFaultPlan(plan);
+  TrainStats stats = model.Fit(observed);
+
+  // Training finished, the flaky writes were retried, and the checkpoint on
+  // disk is complete and loadable (atomic replace means no torn file).
+  EXPECT_EQ(static_cast<int>(stats.g_loss.size()), config.epochs);
+  EXPECT_GE(stats.checkpoint_retries, 2);
+  EXPECT_EQ(stats.checkpoints_written, 2);  // epoch 8 + final
+  std::string latest = train::LatestCheckpoint(config.checkpoint_dir);
+  ASSERT_FALSE(latest.empty());
+  std::string error;
+  EXPECT_TRUE(train::ValidateCheckpoint(latest, nullptr, 0, &error)) << error;
+}
+
+TEST_F(ResilienceTest, ExhaustedIoRetriesDoNotKillTraining) {
+  graph::Graph observed = SmallCommunityGraph();
+  CpganConfig config = FastConfig();
+  config.checkpoint_dir = TempDirFor("resilience_io_outage");
+  config.checkpoint_every = 8;
+  Cpgan model(config);
+  train::FaultPlan plan;
+  plan.io_fail_epoch = 7;
+  plan.io_fail_count = 1000;  // outage outlasts any backoff budget
+  model.SetFaultPlan(plan);
+  TrainStats stats = model.Fit(observed);
+
+  // The epoch-8 checkpoint is lost but training continues to completion;
+  // the injection is consumed by the failed attempts, so the final
+  // checkpoint (post-outage in wall-clock, but injections are counted per
+  // write) depends on how many attempts the budget allowed. The invariants:
+  // the run finished, the model is usable, and no torn file exists.
+  EXPECT_EQ(static_cast<int>(stats.g_loss.size()), config.epochs);
+  EXPECT_TRUE(model.trained());
+  util::InjectAtomicWriteFailures(0);
+  std::string latest = train::LatestCheckpoint(config.checkpoint_dir);
+  if (!latest.empty()) {
+    std::string error;
+    EXPECT_TRUE(train::ValidateCheckpoint(latest, nullptr, 0, &error)) << error;
+  }
+}
+
+TEST_F(ResilienceTest, StopRequestEndsTrainingWithFinalCheckpoint) {
+  graph::Graph observed = SmallCommunityGraph();
+  CpganConfig config = FastConfig();
+  config.epochs = 400;  // far more than we intend to run
+  config.checkpoint_dir = TempDirFor("resilience_interrupt");
+  config.checkpoint_every = 1000;  // only the interrupt writes one
+  Cpgan model(config);
+  train::RequestStop();  // as a signal handler would
+  TrainStats stats = model.Fit(observed);
+
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_LT(static_cast<int>(stats.g_loss.size()), config.epochs);
+  // The interrupt wrote a final checkpoint so the run is resumable.
+  std::string latest = train::LatestCheckpoint(config.checkpoint_dir);
+  ASSERT_FALSE(latest.empty());
+  std::string error;
+  EXPECT_TRUE(train::ValidateCheckpoint(latest, nullptr, 0, &error)) << error;
+
+  // A second run resumes from it and completes cleanly.
+  train::ClearStopRequest();
+  CpganConfig resume_config = config;
+  resume_config.epochs = static_cast<int>(stats.g_loss.size()) + 4;
+  Cpgan resumed(resume_config);
+  ASSERT_TRUE(resumed.ResumeFrom(latest));
+  TrainStats resumed_stats = resumed.Fit(observed);
+  EXPECT_FALSE(resumed_stats.interrupted);
+  EXPECT_GT(resumed_stats.start_epoch, 0);
+  EXPECT_TRUE(resumed.trained());
+}
+
+TEST_F(ResilienceTest, SignalHandlerSetsStopFlag) {
+  train::InstallStopSignalHandlers();
+  EXPECT_FALSE(train::StopRequested());
+  std::raise(SIGTERM);
+  EXPECT_TRUE(train::StopRequested());
+  train::ClearStopRequest();
+  std::raise(SIGINT);
+  EXPECT_TRUE(train::StopRequested());
+  train::ClearStopRequest();
+}
+
+}  // namespace
+}  // namespace cpgan::core

@@ -7,16 +7,24 @@
 // any sweep point — only the wall clock moves. bench/BENCH_kernels.json
 // holds a reference run (see its "context" block for the machine; speedups
 // only show up with > 1 physical core).
+//
+// The *Backend benchmarks (registered in main() for every backend compiled
+// into this binary and usable on this machine) run the SAME shapes under
+// each kernel backend, so the scalar-vs-avx2 column pairs in
+// BENCH_kernels.json are directly comparable. These are single-core
+// vectorization wins — they show up even on the 1-CPU reference machine.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "community/louvain.h"
 #include "data/datasets.h"
 #include "graph/algorithms.h"
 #include "graph/spectral.h"
 #include "nn/gcn.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -162,6 +170,96 @@ void BM_SpectralEmbedding(benchmark::State& state) {
 }
 BENCHMARK(BM_SpectralEmbedding)->Arg(256)->Arg(1024);
 
+// ---------------------------------------------------------------------------
+// Backend sweeps: the same shape under every compiled kernel backend
+// (benchmark name carries the backend; registered in main()).
+// ---------------------------------------------------------------------------
+
+void BM_DenseMatmulBackend(benchmark::State& state,
+                           const std::string& backend) {
+  tensor::kernels::SetBackend(backend);
+  int n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  tensor::Matrix a(n, n);
+  tensor::Matrix b(n, n);
+  a.FillNormal(rng, 1.0f);
+  b.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+
+void BM_SpMMBackend(benchmark::State& state, const std::string& backend) {
+  tensor::kernels::SetBackend(backend);
+  int n = static_cast<int>(state.range(0));
+  graph::Graph g = MakeGraph(n);
+  tensor::SparseMatrix a = tensor::NormalizedAdjacency(n, g.Edges());
+  util::Rng rng(1);
+  tensor::Matrix x(n, 32);
+  x.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 32);
+}
+
+void BM_AxpyBackend(benchmark::State& state, const std::string& backend) {
+  tensor::kernels::SetBackend(backend);
+  int64_t n = state.range(0);
+  util::Rng rng(6);
+  tensor::Matrix x(1, static_cast<int>(n));
+  tensor::Matrix y(1, static_cast<int>(n));
+  x.FillNormal(rng, 1.0f);
+  y.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    y.Axpy(0.5f, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SumBackend(benchmark::State& state, const std::string& backend) {
+  tensor::kernels::SetBackend(backend);
+  int64_t n = state.range(0);
+  util::Rng rng(7);
+  tensor::Matrix x(1, static_cast<int>(n));
+  x.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.Sum());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void RegisterBackendSweeps() {
+  for (const tensor::kernels::KernelOps* ops :
+       tensor::kernels::AvailableBackends()) {
+    const std::string name = ops->name;
+    benchmark::RegisterBenchmark(
+        ("BM_DenseMatmulBackend/" + name).c_str(), BM_DenseMatmulBackend, name)
+        ->Arg(256)
+        ->Arg(512)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark(("BM_SpMMBackend/" + name).c_str(),
+                                 BM_SpMMBackend, name)
+        ->Arg(4096)
+        ->Arg(12800);
+    benchmark::RegisterBenchmark(("BM_AxpyBackend/" + name).c_str(),
+                                 BM_AxpyBackend, name)
+        ->Arg(1 << 20);
+    benchmark::RegisterBenchmark(("BM_SumBackend/" + name).c_str(),
+                                 BM_SumBackend, name)
+        ->Arg(1 << 20);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RegisterBackendSweeps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

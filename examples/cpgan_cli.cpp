@@ -14,6 +14,9 @@
 //   --threads=N            size of the kernel thread pool (default: the
 //                          CPGAN_NUM_THREADS env var, else all cores);
 //                          results are identical for any N
+//   --kernel-backend=NAME  SIMD kernel backend: scalar, avx2, or neon
+//                          (default: the CPGAN_KERNEL_BACKEND env var,
+//                          else CPUID auto-detection)
 //
 // generate flags (CPGAN only):
 //   --checkpoint-dir=DIR   write periodic training checkpoints into DIR
@@ -42,6 +45,7 @@
 #include "graph/stats.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "tensor/kernels.h"
 #include "train/checkpoint.h"
 #include "train/signal.h"
 #include "util/rng.h"
@@ -337,7 +341,8 @@ int CmdCompare(const std::string& ref_a, const std::string& ref_b) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  cpgan_cli [--threads=N] <command> ...\n"
+               "  cpgan_cli [--threads=N] [--kernel-backend=NAME] "
+               "<command> ...\n"
                "  cpgan_cli datasets\n"
                "  cpgan_cli stats    <graph>\n"
                "  cpgan_cli generate [flags] <model> <graph> [out.txt]\n"
@@ -354,15 +359,19 @@ int Usage() {
                "      --request-log=FILE    (see docs/SERVING.md)\n"
                "--threads=N sizes the kernel thread pool (default: the\n"
                "CPGAN_NUM_THREADS env var, else all cores); results are\n"
-               "identical for any N\n");
+               "identical for any N\n"
+               "--kernel-backend=NAME picks the SIMD kernel backend\n"
+               "(scalar, avx2, neon; default: the CPGAN_KERNEL_BACKEND env\n"
+               "var, else CPUID auto-detection)\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract the global --threads flag (accepted anywhere) before dispatch.
+  // Extract the global flags (accepted anywhere) before dispatch.
   const std::string kThreads = "--threads=";
+  const std::string kKernelBackend = "--kernel-backend=";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -373,6 +382,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       util::ThreadPool::SetGlobalThreads(threads);
+    } else if (arg.rfind(kKernelBackend, 0) == 0) {
+      std::string name = arg.substr(kKernelBackend.size());
+      std::string error;
+      if (!tensor::kernels::SetBackend(name, &error)) {
+        std::fprintf(stderr, "--kernel-backend: %s\n", error.c_str());
+        return 2;
+      }
     } else {
       args.push_back(arg);
     }

@@ -2,6 +2,16 @@
 # Regenerates bench_output.txt: every table/figure of the paper plus the
 # repo's own ablations. Roughly an hour on one CPU core.
 cd "$(dirname "$0")"
+
+# Refuse to snapshot numbers from anything but a Release build — a debug
+# BENCH_*.json silently poisons every later comparison against it.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt 2>/dev/null)
+if [ "$build_type" != "Release" ]; then
+  echo "error: build/ is configured as '${build_type:-<unconfigured>}', not Release." >&2
+  echo "Re-run: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+
 : > bench_output.txt
 for b in table2_datasets micro_kernels micro_eval table9_memory table7_inference_time \
          table8_training_time table3_community table4_generation \

@@ -1,5 +1,14 @@
 #!/bin/bash
 cd /root/repo
+
+# Same Release gate as run_benches.sh: never snapshot debug numbers.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt 2>/dev/null)
+if [ "$build_type" != "Release" ]; then
+  echo "error: build/ is configured as '${build_type:-<unconfigured>}', not Release." >&2
+  echo "Re-run: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+
 for b in table4_generation table5_reconstruction table6_ablation \
          fig5_sensitivity fig6_robustness ablation_design; do
   echo "===== build/bench/$b =====" >> bench_output.txt

@@ -97,6 +97,14 @@ struct CpganConfig {
   /// "Threading model").
   int num_threads = 0;
 
+  /// Kernel backend for the dense/sparse tensor primitives: "scalar",
+  /// "avx2", or "neon" (must be available on this machine). Empty keeps the
+  /// process-wide selection (CPGAN_KERNEL_BACKEND env var, falling back to
+  /// CPUID auto-detection). Results are bitwise reproducible within a
+  /// backend; backends differ from each other below the differential-test
+  /// tolerance (docs/INTERNALS.md, "Kernel backends").
+  std::string kernel_backend;
+
   /// RNG seed for parameters, sampling, and generation.
   uint64_t seed = 1;
 

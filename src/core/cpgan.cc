@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/run_logger.h"
 #include "obs/trace.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "train/checkpoint.h"
@@ -124,6 +125,13 @@ Cpgan::Cpgan(const CpganConfig& config) : config_(config), rng_(config.seed) {
   CPGAN_CHECK_GE(config_.feature_dim, 1);
   if (config_.num_threads > 0) {
     util::ThreadPool::SetGlobalThreads(config_.num_threads);
+  }
+  if (!config_.kernel_backend.empty()) {
+    std::string error;
+    if (!tensor::kernels::SetBackend(config_.kernel_backend, &error)) {
+      CPGAN_LOG(Warning) << "kernel_backend: " << error
+                         << "; keeping process-wide selection";
+    }
   }
 }
 

@@ -1,0 +1,140 @@
+#ifndef CPGAN_TENSOR_KERNELS_H_
+#define CPGAN_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpgan::tensor::kernels {
+
+/// \file
+/// Kernel backend layer: one definition per hot primitive, multiple
+/// implementations selected at runtime (docs/INTERNALS.md, "Kernel
+/// backends"). Structured after the functor-per-op idiom of TF's
+/// softplus_op.h / Dali's device-parameterized tensor functions: the blocked
+/// matmul, SpMM, elementwise and reduction kernels in matrix.cc / sparse.cc
+/// call through a KernelOps function-pointer table instead of open-coded
+/// loops, and the table is chosen once per process.
+///
+/// Backends:
+///   scalar — the PR-2 loops, verbatim. Always available; the reference.
+///   avx2   — 8-wide FMA micro-kernels (x86-64 with AVX2+FMA only; the TU is
+///            compiled with -mavx2 -mfma and its code is reached exclusively
+///            through this table after a CPUID check).
+///   neon   — AArch64 stub: registered on AArch64 builds, currently
+///            delegating to the scalar loops until real NEON micro-kernels
+///            land. Keeps the dispatch surface identical across ISAs.
+///
+/// Selection order (first match wins), performed once on first Active()
+/// call: CPGAN_KERNEL_BACKEND env var (or the CLI's --kernel-backend, which
+/// calls SetBackend before any kernel runs) > CPUID detection (avx2 when
+/// supported, else neon, else scalar). An env/flag naming an unavailable
+/// backend logs a warning and falls back to auto-detection; "scalar" always
+/// honors the request, even on AVX2 hardware.
+///
+/// Determinism contract (docs/INTERNALS.md, "Determinism"): results are
+/// bitwise identical across thread counts *within* a backend — the PR-2
+/// guarantee, now stated per-backend. Different backends may round
+/// differently (FMA contraction, vector-lane summation); every backend is
+/// validated against the double-accumulator references at tile-boundary
+/// shapes by tests/numeric/ (ctest -L kernels), and the coverage registry in
+/// src/testing/kernel_coverage.h fails that suite when a compiled backend
+/// ships an op without a differential check.
+
+/// One backend: a name plus an implementation of every kernel primitive.
+/// All pointers are non-null in a registered backend.
+struct KernelOps {
+  const char* name;
+
+  /// Matmul macro-kernel: out[0..jb) += sum_{r<kb} a[r] * tile[r*jb + 0..jb)
+  /// for one output row against one packed B tile (tile rows are stored
+  /// contiguously with stride jb). Per output element the accumulation runs
+  /// in ascending r, so the result does not depend on the j-tile width —
+  /// which is what lets the autotuner pick the width freely (see
+  /// MatmulTileCols) without perturbing a single bit.
+  void (*matmul_tile)(const float* a, const float* tile, float* out, int kb,
+                      int jb);
+
+  /// y[0..n) += alpha * x[0..n). The SpMM row kernel: one call per sparse
+  /// entry, streaming the dense row.
+  void (*axpy)(float alpha, const float* x, float* y, int64_t n);
+
+  /// y[0..n) += x[0..n).
+  void (*add)(const float* x, float* y, int64_t n);
+
+  /// y[0..n) *= alpha.
+  void (*scale)(float alpha, float* y, int64_t n);
+
+  /// sum_{i<n} a[i] * b[i], accumulated in double (MatmulNT inner loop).
+  double (*dot)(const float* a, const float* b, int64_t n);
+
+  /// sum_{i<n} x[i], accumulated in double.
+  double (*sum)(const float* x, int64_t n);
+
+  /// sum_{i<n} x[i]^2, accumulated in double (Frobenius norm).
+  double (*sumsq)(const float* x, int64_t n);
+};
+
+/// The scalar backend (always available).
+const KernelOps& Scalar();
+
+/// The avx2 backend, or nullptr when the build target or the running CPU
+/// lacks AVX2+FMA.
+const KernelOps* Avx2();
+
+/// The neon stub backend, or nullptr on non-AArch64 builds.
+const KernelOps* Neon();
+
+/// Every backend usable on this machine, scalar first.
+std::vector<const KernelOps*> AvailableBackends();
+
+/// Canonical op-name list, in KernelOps declaration order. The differential
+/// coverage registry requires a check for every (backend, op) pair.
+const std::vector<std::string>& OpNames();
+
+/// The active backend. First call performs the env/CPUID selection above,
+/// publishes the choice to the obs gauges (kernels.backend.<name> = 1) and
+/// logs it; later calls are a single acquire load.
+const KernelOps& Active();
+
+/// Forces the active backend by name ("scalar", "avx2", "neon"). Returns
+/// false and leaves the selection unchanged when the name is unknown or the
+/// backend is unavailable on this machine; `error` (optional) receives the
+/// reason. Not thread-safe against concurrently running kernels — call it
+/// from the control thread between parallel regions (startup, CLI parsing,
+/// tests).
+bool SetBackend(std::string_view name, std::string* error = nullptr);
+
+/// Re-runs the selection (env var, then CPUID) as if the process had just
+/// started. For tests that set CPGAN_KERNEL_BACKEND after startup.
+void ReselectFromEnvironment();
+
+/// Names of every registered backend (available on this machine), for help
+/// text and error messages.
+std::string AvailableBackendNames();
+
+// ---------------------------------------------------------------------------
+// Matmul tile autotuner.
+// ---------------------------------------------------------------------------
+
+/// The j-tile width (packed B tile columns) used by the blocked matmul.
+/// Resolution order, once per process: CPGAN_KERNEL_TILE_COLS env var if it
+/// parses to a positive multiple of 8, else a timing sweep of
+/// AutotuneCandidates() over the active backend's matmul_tile micro-kernel
+/// (cached; the winning width goes to the kernels.matmul_tile_cols gauge).
+/// The width is a pure performance knob: per-element accumulation order is
+/// fixed by the k loop, so any width gives bitwise-identical products —
+/// pinned by tests/numeric/kernel_backend_test.cc.
+int MatmulTileCols();
+
+/// Overrides the tile width (tests, benchmarks). `cols` must be a positive
+/// multiple of 8; 0 clears the cache so the next MatmulTileCols() re-tunes.
+void SetMatmulTileCols(int cols);
+
+/// Candidate widths the autotuner sweeps.
+const std::vector<int>& AutotuneCandidates();
+
+}  // namespace cpgan::tensor::kernels
+
+#endif  // CPGAN_TENSOR_KERNELS_H_

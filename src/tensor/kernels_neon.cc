@@ -1,0 +1,60 @@
+// NEON kernel backend stub. On AArch64 builds this registers a "neon"
+// backend behind the same KernelOps interface so dispatch, flags, tests and
+// the coverage registry all exercise the three-backend surface; the
+// implementations currently delegate to the scalar loops. Replacing a
+// delegation with a real NEON micro-kernel is a local change to this file —
+// the differential suite (ctest -L kernels) already covers every (backend,
+// op) pair and will validate it automatically.
+
+#include "tensor/kernels_backends.h"
+
+namespace cpgan::tensor::kernels::internal {
+
+#if defined(__aarch64__)
+
+namespace {
+
+void NeonMatmulTile(const float* a, const float* tile, float* out, int kb,
+                    int jb) {
+  ScalarOps().matmul_tile(a, tile, out, kb, jb);
+}
+
+void NeonAxpy(float alpha, const float* x, float* y, int64_t n) {
+  ScalarOps().axpy(alpha, x, y, n);
+}
+
+void NeonAdd(const float* x, float* y, int64_t n) {
+  ScalarOps().add(x, y, n);
+}
+
+void NeonScale(float alpha, float* y, int64_t n) {
+  ScalarOps().scale(alpha, y, n);
+}
+
+double NeonDot(const float* a, const float* b, int64_t n) {
+  return ScalarOps().dot(a, b, n);
+}
+
+double NeonSum(const float* x, int64_t n) { return ScalarOps().sum(x, n); }
+
+double NeonSumSq(const float* x, int64_t n) {
+  return ScalarOps().sumsq(x, n);
+}
+
+}  // namespace
+
+const KernelOps* NeonOpsIfBuilt() {
+  static const KernelOps ops = {
+      "neon",    NeonMatmulTile, NeonAxpy, NeonAdd,
+      NeonScale, NeonDot,        NeonSum,  NeonSumSq,
+  };
+  return &ops;
+}
+
+#else  // !defined(__aarch64__)
+
+const KernelOps* NeonOpsIfBuilt() { return nullptr; }
+
+#endif
+
+}  // namespace cpgan::tensor::kernels::internal

@@ -2,53 +2,61 @@
 
 #include <cmath>
 #include <cstring>
-#include <vector>
 
 #include "obs/trace.h"
-#include "util/memory_tracker.h"
+#include "tensor/kernels.h"
 #include "util/thread_pool.h"
 
 namespace cpgan::tensor {
 
 namespace {
 
-/// Cache-blocking tile sizes for the dense matmul kernels: row panels of
-/// kTileRows output rows are the unit of parallelism, and B is repacked
-/// into contiguous kTileK x kTileCols tiles so the inner loops stream.
+/// Cache-blocking tile sizes for the dense kernels. Row panels of kTileRows
+/// output rows are the unit of parallelism and kTileK is the fixed k-tile
+/// depth; the j-tile width is NOT a constant — it comes from the kernel
+/// autotuner (kernels::MatmulTileCols()). Per output element the
+/// accumulation order is (k-tile ascending, k ascending) regardless of the
+/// j width, so the autotuned width is a pure performance knob: any width
+/// gives bitwise-identical results within a backend.
 constexpr int kTileRows = 64;
 constexpr int kTileK = 64;
-constexpr int kTileCols = 64;
+/// Fixed blocking for Transposed() (data movement only; not autotuned).
+constexpr int kTransposeTileCols = 64;
 
 /// Below this many multiply-adds the blocked/parallel path is not worth its
 /// setup; the original streaming i-k-j loop runs instead. The cutoff is a
 /// pure function of the shapes, so the chosen path — and therefore the
-/// floating-point order — never depends on the thread count.
+/// floating-point order — never depends on the thread count. Small products
+/// always use the scalar loops, so they are additionally identical across
+/// kernel backends.
 constexpr int64_t kSerialMatmulFlops = 1 << 15;
 
 /// Flat elementwise loops shorter than this run inline without the pool.
 constexpr int64_t kElemGrain = 1 << 15;
 
-/// B (k x m, row-major) repacked tile-major: tiles ordered by (k-tile,
-/// j-tile), each tile stored row-major with its exact width as the stride.
-/// Offset math: all k-tiles before `kt` hold kt*kTileK full-width rows, and
-/// within k-tile `kt` (kb rows) the tiles before `jt` hold kb * jt*kTileCols
-/// elements.
+/// B (k x m, row-major) repacked tile-major into 64-byte-aligned storage:
+/// tiles ordered by (k-tile, j-tile), each tile stored row-major with its
+/// exact width as the stride. Offset math: all k-tiles before `kt` hold
+/// kt*kTileK full-width rows, and within k-tile `kt` (kb rows) the tiles
+/// before `jt` hold kb * jt*tile_cols elements.
 struct PackedB {
-  std::vector<float> data;
+  util::AlignedFloats data;
   int k = 0;
   int m = 0;
+  int tile_cols = 0;
 
   const float* Tile(int kt, int jt, int kb) const {
     return data.data() + static_cast<int64_t>(kt) * kTileK * m +
-           static_cast<int64_t>(kb) * jt * kTileCols;
+           static_cast<int64_t>(kb) * jt * tile_cols;
   }
 };
 
-PackedB PackB(const Matrix& b) {
+PackedB PackB(const Matrix& b, int tile_cols) {
   PackedB packed;
   packed.k = b.rows();
   packed.m = b.cols();
-  packed.data.resize(static_cast<size_t>(b.size()));
+  packed.tile_cols = tile_cols;
+  packed.data.resize(b.size());
   const int k = packed.k;
   const int m = packed.m;
   const int num_ktiles = (k + kTileK - 1) / kTileK;
@@ -56,11 +64,11 @@ PackedB PackB(const Matrix& b) {
     for (int64_t kt = t0; kt < t1; ++kt) {
       const int kk0 = static_cast<int>(kt) * kTileK;
       const int kb = std::min(kTileK, k - kk0);
-      for (int j0 = 0, jt = 0; j0 < m; j0 += kTileCols, ++jt) {
-        const int jb = std::min(kTileCols, m - j0);
+      for (int j0 = 0, jt = 0; j0 < m; j0 += tile_cols, ++jt) {
+        const int jb = std::min(tile_cols, m - j0);
         float* dst = packed.data.data() +
                      static_cast<int64_t>(kt) * kTileK * m +
-                     static_cast<int64_t>(kb) * jt * kTileCols;
+                     static_cast<int64_t>(kb) * jt * tile_cols;
         for (int r = 0; r < kb; ++r) {
           std::memcpy(dst + static_cast<int64_t>(r) * jb,
                       b.Row(kk0 + r) + j0, sizeof(float) * jb);
@@ -71,33 +79,30 @@ PackedB PackB(const Matrix& b) {
   return packed;
 }
 
-/// out[i0:i1) += A[i0:i1) * B using the packed tiles. Per output row the
-/// accumulation order is (k-tile asc, j-tile asc, k asc) — independent of
-/// the panel boundaries, so results are identical for any thread count.
+/// out[i0:i1) += A[i0:i1) * B via the active backend's macro-kernel over the
+/// packed tiles. Per output row the accumulation order is (k-tile asc,
+/// j-tile asc, k asc) — independent of the panel boundaries and of the tile
+/// width, so results are identical for any thread count.
 void MatmulPanel(const Matrix& a, const PackedB& packed, Matrix& out,
-                 int64_t i0, int64_t i1) {
+                 const kernels::KernelOps& ops, int64_t i0, int64_t i1) {
   const int k = packed.k;
   const int m = packed.m;
+  const int tile_cols = packed.tile_cols;
   for (int kk0 = 0, kt = 0; kk0 < k; kk0 += kTileK, ++kt) {
     const int kb = std::min(kTileK, k - kk0);
-    for (int j0 = 0, jt = 0; j0 < m; j0 += kTileCols, ++jt) {
-      const int jb = std::min(kTileCols, m - j0);
+    for (int j0 = 0, jt = 0; j0 < m; j0 += tile_cols, ++jt) {
+      const int jb = std::min(tile_cols, m - j0);
       const float* tile = packed.Tile(kt, jt, kb);
       for (int64_t i = i0; i < i1; ++i) {
-        const float* arow = a.Row(static_cast<int>(i)) + kk0;
-        float* orow = out.Row(static_cast<int>(i)) + j0;
-        for (int r = 0; r < kb; ++r) {
-          const float aik = arow[r];
-          if (aik == 0.0f) continue;
-          const float* trow = tile + static_cast<int64_t>(r) * jb;
-          for (int c = 0; c < jb; ++c) orow[c] += aik * trow[c];
-        }
+        ops.matmul_tile(a.Row(static_cast<int>(i)) + kk0, tile,
+                        out.Row(static_cast<int>(i)) + j0, kb, jb);
       }
     }
   }
 }
 
-/// The original streaming i-k-j loop, kept for small products.
+/// The original streaming i-k-j loop, kept for small products. Always
+/// scalar (see kSerialMatmulFlops).
 void MatmulSerialSmall(const Matrix& a, const Matrix& b, Matrix& out) {
   const int n = a.rows();
   const int k = a.cols();
@@ -121,58 +126,34 @@ Matrix::Matrix() = default;
 Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
   CPGAN_CHECK(rows >= 0 && cols >= 0);
   data_.assign(size(), 0.0f);
-  Register();
 }
 
 Matrix::Matrix(int rows, int cols, float fill) : rows_(rows), cols_(cols) {
   CPGAN_CHECK(rows >= 0 && cols >= 0);
   data_.assign(size(), fill);
-  Register();
 }
 
-Matrix::Matrix(const Matrix& other)
-    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
-  Register();
-}
+Matrix::Matrix(const Matrix& other) = default;
 
-Matrix& Matrix::operator=(const Matrix& other) {
-  if (this == &other) return *this;
-  Unregister();
-  rows_ = other.rows_;
-  cols_ = other.cols_;
-  data_ = other.data_;
-  Register();
-  return *this;
-}
+Matrix& Matrix::operator=(const Matrix& other) = default;
 
 Matrix::Matrix(Matrix&& other) noexcept
     : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
   other.rows_ = 0;
   other.cols_ = 0;
-  other.data_.clear();
 }
 
 Matrix& Matrix::operator=(Matrix&& other) noexcept {
   if (this == &other) return *this;
-  Unregister();
   rows_ = other.rows_;
   cols_ = other.cols_;
   data_ = std::move(other.data_);
   other.rows_ = 0;
   other.cols_ = 0;
-  other.data_.clear();
   return *this;
 }
 
-Matrix::~Matrix() { Unregister(); }
-
-void Matrix::Register() {
-  util::MemoryTracker::Global().Allocate(data_.capacity() * sizeof(float));
-}
-
-void Matrix::Unregister() {
-  util::MemoryTracker::Global().Release(data_.capacity() * sizeof(float));
-}
+Matrix::~Matrix() = default;
 
 void Matrix::Fill(float value) {
   float* p = data_.data();
@@ -192,24 +173,20 @@ void Matrix::FillUniform(util::Rng& rng, float lo, float hi) {
 
 float Matrix::Norm() const {
   const float* p = data_.data();
+  const kernels::KernelOps& ops = kernels::Active();
   double acc =
-      util::ParallelSum(0, size(), kElemGrain, [p](int64_t b, int64_t e) {
-        double partial = 0.0;
-        for (int64_t i = b; i < e; ++i) {
-          partial += static_cast<double>(p[i]) * p[i];
-        }
-        return partial;
+      util::ParallelSum(0, size(), kElemGrain, [p, &ops](int64_t b, int64_t e) {
+        return ops.sumsq(p + b, e - b);
       });
   return static_cast<float>(std::sqrt(acc));
 }
 
 float Matrix::Sum() const {
   const float* p = data_.data();
+  const kernels::KernelOps& ops = kernels::Active();
   double acc =
-      util::ParallelSum(0, size(), kElemGrain, [p](int64_t b, int64_t e) {
-        double partial = 0.0;
-        for (int64_t i = b; i < e; ++i) partial += p[i];
-        return partial;
+      util::ParallelSum(0, size(), kElemGrain, [p, &ops](int64_t b, int64_t e) {
+        return ops.sum(p + b, e - b);
       });
   return static_cast<float>(acc);
 }
@@ -218,34 +195,39 @@ void Matrix::AddInPlace(const Matrix& other) {
   CPGAN_CHECK(SameShape(other));
   float* dst = data_.data();
   const float* src = other.data_.data();
-  util::ParallelFor(0, size(), kElemGrain, [dst, src](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) dst[i] += src[i];
-  });
+  const kernels::KernelOps& ops = kernels::Active();
+  util::ParallelFor(0, size(), kElemGrain,
+                    [dst, src, &ops](int64_t b, int64_t e) {
+                      ops.add(src + b, dst + b, e - b);
+                    });
 }
 
 void Matrix::Axpy(float alpha, const Matrix& other) {
   CPGAN_CHECK(SameShape(other));
   float* dst = data_.data();
   const float* src = other.data_.data();
+  const kernels::KernelOps& ops = kernels::Active();
   util::ParallelFor(0, size(), kElemGrain,
-                    [dst, src, alpha](int64_t b, int64_t e) {
-                      for (int64_t i = b; i < e; ++i) dst[i] += alpha * src[i];
+                    [dst, src, alpha, &ops](int64_t b, int64_t e) {
+                      ops.axpy(alpha, src + b, dst + b, e - b);
                     });
 }
 
 void Matrix::Scale(float alpha) {
   float* p = data_.data();
-  util::ParallelFor(0, size(), kElemGrain, [p, alpha](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) p[i] *= alpha;
-  });
+  const kernels::KernelOps& ops = kernels::Active();
+  util::ParallelFor(0, size(), kElemGrain,
+                    [p, alpha, &ops](int64_t b, int64_t e) {
+                      ops.scale(alpha, p + b, e - b);
+                    });
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
   // Parallel over output row panels (= source column panels): each chunk
   // writes a disjoint band of `out`, reading the source in cache-friendly
-  // kTileRows x kTileCols blocks.
-  util::ParallelFor(0, cols_, kTileCols, [&](int64_t c0, int64_t c1) {
+  // kTileRows x kTransposeTileCols blocks.
+  util::ParallelFor(0, cols_, kTransposeTileCols, [&](int64_t c0, int64_t c1) {
     for (int r0 = 0; r0 < rows_; r0 += kTileRows) {
       const int r1 = std::min(rows_, r0 + kTileRows);
       for (int r = r0; r < r1; ++r) {
@@ -280,9 +262,10 @@ void MatmulAccum(const Matrix& a, const Matrix& b, Matrix& out) {
   }
   // Spans only on the blocked path so small products stay overhead-free.
   CPGAN_TRACE_SPAN("tensor/matmul");
-  const PackedB packed = PackB(b);
+  const kernels::KernelOps& ops = kernels::Active();
+  const PackedB packed = PackB(b, kernels::MatmulTileCols());
   util::ParallelFor(0, n, kTileRows, [&](int64_t i0, int64_t i1) {
-    MatmulPanel(a, packed, out, i0, i1);
+    MatmulPanel(a, packed, out, ops, i0, i1);
   });
 }
 
@@ -326,17 +309,16 @@ Matrix MatmulNT(const Matrix& a, const Matrix& b) {
   if (n == 0 || k == 0 || m == 0) return out;
   // Dot-product form: each output row depends only on one row of A and all
   // of B, so row panels parallelize with no write sharing; the per-element
-  // double accumulator order is fixed by the k loop regardless of panels.
+  // double accumulator order is fixed by the backend's dot kernel
+  // regardless of panels.
   CPGAN_TRACE_SPAN("tensor/matmul_nt");
+  const kernels::KernelOps& ops = kernels::Active();
   util::ParallelFor(0, n, kTileRows, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float* arow = a.Row(static_cast<int>(i));
       float* orow = out.Row(static_cast<int>(i));
       for (int j = 0; j < m; ++j) {
-        const float* brow = b.Row(j);
-        double acc = 0.0;
-        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        orow[j] = static_cast<float>(acc);
+        orow[j] = static_cast<float>(ops.dot(arow, b.Row(j), k));
       }
     }
   });

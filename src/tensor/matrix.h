@@ -2,8 +2,8 @@
 #define CPGAN_TENSOR_MATRIX_H_
 
 #include <cstdint>
-#include <vector>
 
+#include "util/aligned.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -14,8 +14,10 @@ namespace cpgan::tensor {
 /// This is the storage type underlying the autograd engine. All shapes in the
 /// library are rank-2; higher-rank quantities (e.g. the n x k x d ladder
 /// features) are represented as vectors of matrices, one per hierarchy level.
-/// Allocations are reported to util::MemoryTracker so the benchmarks can
-/// report peak training memory (Table IX analogue).
+/// Storage is 64-byte aligned (util::AlignedFloats) so the SIMD kernel
+/// backends issue unmasked vector loads, and every allocation — alignment
+/// padding included — is reported to util::MemoryTracker so the benchmarks
+/// and the serving memory-pressure ladder see the real footprint.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -87,12 +89,9 @@ class Matrix {
   Matrix Transposed() const;
 
  private:
-  void Register();
-  void Unregister();
-
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  util::AlignedFloats data_;
 };
 
 /// C = A * B.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "tensor/kernels.h"
 #include "util/memory_tracker.h"
 #include "util/thread_pool.h"
 
@@ -62,15 +63,14 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
   const int d = dense.cols();
   // Each output row is owned by exactly one chunk; within a row, entries
   // accumulate in CSR (column-ascending) order for any thread count.
+  const kernels::KernelOps& ops = kernels::Active();
   util::ParallelFor(
       0, rows_, SpmmRowGrain(rows_, nnz(), d), [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
           float* orow = out.Row(static_cast<int>(r));
           for (int64_t idx = row_offsets_[r]; idx < row_offsets_[r + 1];
                ++idx) {
-            float v = values_[idx];
-            const float* drow = dense.Row(col_indices_[idx]);
-            for (int c = 0; c < d; ++c) orow[c] += v * drow[c];
+            ops.axpy(values_[idx], dense.Row(col_indices_[idx]), orow, d);
           }
         }
       });

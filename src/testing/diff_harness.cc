@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -220,6 +221,16 @@ ScopedThreads::ScopedThreads(int num_threads)
 
 ScopedThreads::~ScopedThreads() {
   util::ThreadPool::SetGlobalThreads(previous_);
+}
+
+ScopedBackend::ScopedBackend(const std::string& name)
+    : previous_(tensor::kernels::Active().name) {
+  std::string error;
+  CPGAN_CHECK_MSG(tensor::kernels::SetBackend(name, &error), error.c_str());
+}
+
+ScopedBackend::~ScopedBackend() {
+  CPGAN_CHECK(tensor::kernels::SetBackend(previous_));
 }
 
 }  // namespace cpgan::testing

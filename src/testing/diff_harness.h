@@ -100,6 +100,22 @@ class ScopedThreads {
   int previous_;
 };
 
+/// RAII override of the active kernel backend; restores the previous
+/// selection on destruction. CHECK-fails on an unavailable name — tests
+/// iterate kernels::AvailableBackends(), so a miss is a test bug, not an
+/// environment condition.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const std::string& name);
+  ~ScopedBackend();
+
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 }  // namespace cpgan::testing
 
 #endif  // CPGAN_TESTING_DIFF_HARNESS_H_

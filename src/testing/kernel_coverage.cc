@@ -1,0 +1,61 @@
+#include "testing/kernel_coverage.h"
+
+#include <algorithm>
+
+#include "tensor/kernels.h"
+#include "util/check.h"
+
+namespace cpgan::testing {
+
+namespace {
+
+std::string PairKey(const std::string& backend, const std::string& op) {
+  return backend + "/" + op;
+}
+
+bool IsKnownOp(const std::string& op) {
+  const std::vector<std::string>& ops = tensor::kernels::OpNames();
+  return std::find(ops.begin(), ops.end(), op) != ops.end();
+}
+
+}  // namespace
+
+KernelCheckRegistry& KernelCheckRegistry::Global() {
+  static KernelCheckRegistry* registry = new KernelCheckRegistry();
+  return *registry;
+}
+
+std::vector<std::string> KernelCheckRegistry::RequiredChecks() {
+  std::vector<std::string> required;
+  for (const tensor::kernels::KernelOps* backend :
+       tensor::kernels::AvailableBackends()) {
+    for (const std::string& op : tensor::kernels::OpNames()) {
+      required.push_back(PairKey(backend->name, op));
+    }
+  }
+  std::sort(required.begin(), required.end());
+  return required;
+}
+
+void KernelCheckRegistry::MarkCovered(const std::string& backend,
+                                      const std::string& op_name) {
+  CPGAN_CHECK_MSG(IsKnownOp(op_name), op_name.c_str());
+  std::lock_guard<std::mutex> lock(mutex_);
+  covered_.insert(PairKey(backend, op_name));
+}
+
+std::vector<std::string> KernelCheckRegistry::Missing() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> missing;
+  for (const std::string& pair : RequiredChecks()) {
+    if (covered_.find(pair) == covered_.end()) missing.push_back(pair);
+  }
+  return missing;
+}
+
+std::vector<std::string> KernelCheckRegistry::Covered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::string>(covered_.begin(), covered_.end());
+}
+
+}  // namespace cpgan::testing

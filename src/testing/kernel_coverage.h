@@ -1,0 +1,48 @@
+#ifndef CPGAN_TESTING_KERNEL_COVERAGE_H_
+#define CPGAN_TESTING_KERNEL_COVERAGE_H_
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cpgan::testing {
+
+/// \file
+/// Backend x op coverage registry for the kernel differential suite,
+/// mirroring GradCheckRegistry for autograd ops. The required set is the
+/// cross product of kernels::AvailableBackends() and kernels::OpNames():
+/// every backend compiled into this binary must validate every KernelOps
+/// entry against the double-accumulator references. A backend that ships an
+/// op without a differential check fails the bundle's coverage assertion
+/// (tests/numeric/kernel_coverage.cc). See docs/TESTING.md.
+
+/// Tracks which (backend, op) pairs have been exercised by a differential
+/// check in this process. Thread-safe.
+class KernelCheckRegistry {
+ public:
+  static KernelCheckRegistry& Global();
+
+  /// Required pairs, as "backend/op" strings: every available backend
+  /// crossed with every KernelOps function-pointer slot.
+  static std::vector<std::string> RequiredChecks();
+
+  /// Records that `op_name` was differentially validated under `backend`.
+  /// `op_name` must be one of kernels::OpNames() (checked) so a typo cannot
+  /// silently satisfy nothing.
+  void MarkCovered(const std::string& backend, const std::string& op_name);
+
+  /// Required pairs with no recorded check, sorted.
+  std::vector<std::string> Missing() const;
+
+  /// Pairs recorded so far, sorted.
+  std::vector<std::string> Covered() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::set<std::string> covered_;
+};
+
+}  // namespace cpgan::testing
+
+#endif  // CPGAN_TESTING_KERNEL_COVERAGE_H_

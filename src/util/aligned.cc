@@ -1,0 +1,81 @@
+#include "util/aligned.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/memory_tracker.h"
+
+namespace cpgan::util {
+
+size_t AlignedAllocationBytes(size_t bytes) {
+  return (bytes + kKernelAlignment - 1) / kKernelAlignment * kKernelAlignment;
+}
+
+void AlignedFloats::AllocateRaw(int64_t n) {
+  clear();
+  if (n == 0) return;
+  CPGAN_CHECK(n > 0);
+  const size_t bytes =
+      AlignedAllocationBytes(static_cast<size_t>(n) * sizeof(float));
+  data_ = static_cast<float*>(std::aligned_alloc(kKernelAlignment, bytes));
+  CPGAN_CHECK(data_ != nullptr);
+  size_ = n;
+  tracked_bytes_ = bytes;
+  MemoryTracker::Global().Allocate(tracked_bytes_);
+}
+
+void AlignedFloats::assign(int64_t n, float value) {
+  AllocateRaw(n);
+  if (n > 0) std::fill(data_, data_ + n, value);
+}
+
+void AlignedFloats::clear() {
+  if (data_ != nullptr) {
+    std::free(data_);
+    MemoryTracker::Global().Release(tracked_bytes_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  tracked_bytes_ = 0;
+}
+
+AlignedFloats::AlignedFloats(const AlignedFloats& other) {
+  AllocateRaw(other.size_);
+  if (size_ > 0) {
+    std::memcpy(data_, other.data_, static_cast<size_t>(size_) * sizeof(float));
+  }
+}
+
+AlignedFloats& AlignedFloats::operator=(const AlignedFloats& other) {
+  if (this == &other) return *this;
+  AllocateRaw(other.size_);
+  if (size_ > 0) {
+    std::memcpy(data_, other.data_, static_cast<size_t>(size_) * sizeof(float));
+  }
+  return *this;
+}
+
+AlignedFloats::AlignedFloats(AlignedFloats&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      tracked_bytes_(other.tracked_bytes_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.tracked_bytes_ = 0;
+}
+
+AlignedFloats& AlignedFloats::operator=(AlignedFloats&& other) noexcept {
+  if (this == &other) return *this;
+  clear();
+  data_ = other.data_;
+  size_ = other.size_;
+  tracked_bytes_ = other.tracked_bytes_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.tracked_bytes_ = 0;
+  return *this;
+}
+
+}  // namespace cpgan::util

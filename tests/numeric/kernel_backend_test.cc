@@ -1,0 +1,177 @@
+// Backend dispatch and autotuner contract tests:
+//  * CPGAN_KERNEL_BACKEND forces the named backend — in particular
+//    "scalar" wins even on a machine where CPUID detects AVX2 (the
+//    regression that would silently re-enable SIMD under a forced-scalar
+//    reproducibility run);
+//  * unknown / unavailable names fall back to auto-detection instead of
+//    failing startup;
+//  * SetBackend distinguishes unknown names from locally unavailable ones;
+//  * the autotuned matmul tile width is a pure performance knob: every
+//    candidate width (and odd non-candidate widths) yields a BITWISE
+//    identical product within a backend;
+//  * Matrix storage honors the 64-byte kernel alignment contract.
+
+#include <cstdlib>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.h"
+#include "tensor/matrix.h"
+#include "testing/diff_harness.h"
+#include "util/aligned.h"
+#include "util/cpuid.h"
+
+namespace cpgan::testing {
+namespace {
+
+namespace t = cpgan::tensor;
+namespace k = cpgan::tensor::kernels;
+
+/// Scoped CPGAN_KERNEL_BACKEND override + re-selection; restores the prior
+/// environment AND the prior active backend on destruction so tests stay
+/// order-independent.
+class ScopedBackendEnv {
+ public:
+  explicit ScopedBackendEnv(const char* value)
+      : previous_active_(k::Active().name) {
+    const char* old = std::getenv("CPGAN_KERNEL_BACKEND");
+    had_previous_ = old != nullptr;
+    if (had_previous_) previous_env_ = old;
+    ::setenv("CPGAN_KERNEL_BACKEND", value, /*overwrite=*/1);
+    k::ReselectFromEnvironment();
+  }
+
+  ~ScopedBackendEnv() {
+    if (had_previous_) {
+      ::setenv("CPGAN_KERNEL_BACKEND", previous_env_.c_str(), 1);
+    } else {
+      ::unsetenv("CPGAN_KERNEL_BACKEND");
+    }
+    EXPECT_TRUE(k::SetBackend(previous_active_));
+  }
+
+ private:
+  std::string previous_active_;
+  std::string previous_env_;
+  bool had_previous_ = false;
+};
+
+TEST(KernelBackend, ScalarAlwaysAvailableAndActiveIsListed) {
+  bool scalar_listed = false;
+  bool active_listed = false;
+  for (const k::KernelOps* ops : k::AvailableBackends()) {
+    if (std::string(ops->name) == "scalar") scalar_listed = true;
+    if (ops == &k::Active()) active_listed = true;
+  }
+  EXPECT_TRUE(scalar_listed);
+  EXPECT_TRUE(active_listed)
+      << "active backend " << k::Active().name << " not in AvailableBackends";
+}
+
+TEST(KernelBackend, EnvForcesScalarEvenWhenSimdDetected) {
+  ScopedBackendEnv env("scalar");
+  EXPECT_STREQ(k::Active().name, "scalar");
+  if (k::Avx2() != nullptr) {
+    // The interesting half of the regression: AVX2 is detected and compiled
+    // in, yet the env override still pins the scalar fallback.
+    EXPECT_TRUE(cpgan::util::CpuSupportsAvx2());
+    EXPECT_STRNE(k::Active().name, "avx2");
+  }
+}
+
+TEST(KernelBackend, EnvForcesAvx2WhenAvailable) {
+  if (k::Avx2() == nullptr) GTEST_SKIP() << "no AVX2 on this machine";
+  ScopedBackendEnv env("avx2");
+  EXPECT_STREQ(k::Active().name, "avx2");
+}
+
+TEST(KernelBackend, UnknownEnvNameFallsBackToAutoDetect) {
+  const std::string expected =
+      k::Avx2() ? "avx2" : (k::Neon() ? "neon" : "scalar");
+  ScopedBackendEnv env("quantum");
+  EXPECT_EQ(std::string(k::Active().name), expected);
+}
+
+TEST(KernelBackend, SetBackendRejectsUnknownName) {
+  std::string error;
+  EXPECT_FALSE(k::SetBackend("quantum", &error));
+  EXPECT_NE(error.find("not a known backend"), std::string::npos) << error;
+}
+
+TEST(KernelBackend, SetBackendRejectsUnavailableKnownName) {
+  // Exactly one of avx2/neon is compiled per architecture, so the other is
+  // known-but-unavailable everywhere.
+  const char* unavailable = k::Avx2() ? "neon" : "avx2";
+  std::string error;
+  EXPECT_FALSE(k::SetBackend(unavailable, &error));
+  EXPECT_NE(error.find("not available on this machine"), std::string::npos)
+      << error;
+}
+
+TEST(KernelBackend, TileWidthNeverChangesABit) {
+  // 127x65x129: straddles the k-tile boundary and exercises the 32-wide,
+  // 8-wide, and scalar-tail column paths for every candidate width.
+  t::Matrix a = RandomMatrix(127, 65, 11000);
+  t::Matrix b = RandomMatrix(65, 129, 12000);
+  for (const k::KernelOps* ops : k::AvailableBackends()) {
+    ScopedBackend backend_scope(ops->name);
+    k::SetMatmulTileCols(k::AutotuneCandidates().front());
+    t::Matrix baseline = t::Matmul(a, b);
+    std::vector<int> widths(k::AutotuneCandidates());
+    widths.push_back(8);    // narrower than any candidate
+    widths.push_back(520);  // wider than the whole output
+    for (int width : widths) {
+      k::SetMatmulTileCols(width);
+      EXPECT_EQ(k::MatmulTileCols(), width);
+      t::Matrix got = t::Matmul(a, b);
+      EXPECT_TRUE(BitwiseEqual(got, baseline))
+          << ops->name << ": tile width " << width
+          << " changed the product bitwise";
+    }
+    k::SetMatmulTileCols(0);  // back to autotuned for later tests
+  }
+}
+
+TEST(KernelBackend, NonMultipleOfEightTileWidthIgnored) {
+  k::SetMatmulTileCols(64);
+  EXPECT_EQ(k::MatmulTileCols(), 64);
+  k::SetMatmulTileCols(60);  // warned and ignored
+  EXPECT_EQ(k::MatmulTileCols(), 64);
+  k::SetMatmulTileCols(0);
+}
+
+TEST(KernelBackend, AutotunerPicksACandidate) {
+  k::SetMatmulTileCols(0);
+  // No CPGAN_KERNEL_TILE_COLS in the test environment, so this resolves via
+  // the sweep; the result must be one of the candidates and must stick.
+  ::unsetenv("CPGAN_KERNEL_TILE_COLS");
+  const int chosen = k::MatmulTileCols();
+  bool is_candidate = false;
+  for (int c : k::AutotuneCandidates()) is_candidate |= (chosen == c);
+  EXPECT_TRUE(is_candidate) << chosen;
+  EXPECT_EQ(k::MatmulTileCols(), chosen);  // cached, no second sweep
+}
+
+TEST(KernelBackend, TileColsEnvOverride) {
+  k::SetMatmulTileCols(0);
+  ::setenv("CPGAN_KERNEL_TILE_COLS", "48", 1);
+  EXPECT_EQ(k::MatmulTileCols(), 48);
+  ::unsetenv("CPGAN_KERNEL_TILE_COLS");
+  k::SetMatmulTileCols(0);
+}
+
+TEST(KernelBackend, MatrixStorageIs64ByteAligned) {
+  for (int rows : {1, 3, 63, 64, 65}) {
+    t::Matrix m(rows, rows);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) %
+                  cpgan::util::kKernelAlignment,
+              0u)
+        << rows << "x" << rows;
+  }
+}
+
+}  // namespace
+}  // namespace cpgan::testing

@@ -1,0 +1,52 @@
+// Coverage backstop for the kernel bundle: after every differential test in
+// this binary has run, assert that each (backend, op) pair in
+// KernelCheckRegistry::RequiredChecks() — every compiled backend crossed
+// with every KernelOps slot — was validated against the double-accumulator
+// references at least once. Adding an op to KernelOps (and its name to
+// kernels::OpNames()) or compiling in a new backend without extending the
+// differential sweep fails the bundle here.
+//
+// Same ordering requirements as gradcheck_coverage.cc, enforced by
+// tests/CMakeLists.txt: this file must be linked into the same executable
+// as the kernel diff tests, and must be the LAST source of the bundle so
+// gtest's registration-order execution runs it after the sweep.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/kernel_coverage.h"
+
+namespace cpgan::testing {
+namespace {
+
+// Sanity: the required set itself is well-formed (non-empty, no dups).
+TEST(KernelCoverage, RequiredChecksListIsWellFormed) {
+  const std::vector<std::string> required =
+      KernelCheckRegistry::RequiredChecks();
+  ASSERT_FALSE(required.empty());
+  std::set<std::string> unique(required.begin(), required.end());
+  EXPECT_EQ(unique.size(), required.size())
+      << "duplicate entry in RequiredChecks";
+}
+
+TEST(KernelCoverage, EveryBackendOpPairHasADifferentialCheck) {
+  const std::vector<std::string> missing =
+      KernelCheckRegistry::Global().Missing();
+  std::string joined;
+  for (const std::string& pair : missing) {
+    if (!joined.empty()) joined += ", ";
+    joined += pair;
+  }
+  EXPECT_TRUE(missing.empty())
+      << missing.size()
+      << " (backend, op) pair(s) have no differential check: " << joined
+      << "\nAdd a MarkCovered(...) alongside a reference comparison in "
+         "tests/numeric/kernel_diff_test.cc, or remove the op from "
+         "kernels::OpNames().";
+}
+
+}  // namespace
+}  // namespace cpgan::testing

@@ -1,24 +1,33 @@
-// Kernel differential tests: every optimized tensor kernel (the blocked /
-// parallel PR-2 paths) against the naive double-accumulator references in
+// Kernel differential tests: every optimized tensor kernel, under EVERY
+// compiled kernel backend (scalar, and avx2/neon where the hardware has
+// them), against the naive double-accumulator references in
 // src/testing/diff_harness.h, on shapes that straddle the serial/blocked
 // flop cutoff and the 64-wide tile boundaries (63/64/65), and at 1, 2, and
 // 8 threads. Two contracts are enforced:
 //   1. Accuracy: the optimized float result stays within a small relative
 //      tolerance of the double reference (summation order differs, bitwise
-//      equality is not expected).
-//   2. Determinism: the result at any thread count is BITWISE identical to
-//      the 1-thread result (the thread-pool blocking is static).
+//      equality is not expected). The tolerance is shared by all backends —
+//      FMA contraction in avx2 changes results only below it.
+//   2. Determinism: within a backend, the result at any thread count is
+//      BITWISE identical to the 1-thread result (the thread-pool blocking
+//      is static and per-element accumulation order is panel-independent).
+// Every (backend, op) pair checked here is recorded in KernelCheckRegistry;
+// kernel_coverage.cc fails this bundle if a backend ships an op the sweep
+// missed.
 
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 #include "tensor/sparse.h"
 #include "testing/diff_harness.h"
+#include "testing/kernel_coverage.h"
 
 namespace cpgan::testing {
 namespace {
@@ -33,6 +42,21 @@ constexpr double kTol = 1e-4;
 const std::vector<int>& Threads() {
   static const std::vector<int> counts = {1, 2, 8};
   return counts;
+}
+
+/// Names of every backend compiled into this binary and usable on this
+/// machine. The scalar backend is always present, so the sweep is never
+/// vacuous on pre-AVX2 hardware.
+std::vector<std::string> BackendNames() {
+  std::vector<std::string> names;
+  for (const t::kernels::KernelOps* ops : t::kernels::AvailableBackends()) {
+    names.push_back(ops->name);
+  }
+  return names;
+}
+
+void MarkCovered(const std::string& backend, const std::string& op) {
+  KernelCheckRegistry::Global().MarkCovered(backend, op);
 }
 
 /// (n, k, m) triples mixing below-cutoff serial shapes with blocked shapes
@@ -54,109 +78,123 @@ std::vector<std::array<int, 3>> MatmulShapes() {
 }
 
 TEST(KernelDiff, Matmul) {
-  for (auto [n, k, m] : MatmulShapes()) {
-    t::Matrix a = RandomMatrix(n, k, 1000 + n * 31 + k);
-    t::Matrix b = RandomMatrix(k, m, 2000 + k * 31 + m);
-    t::Matrix want = RefMatmul(a, b);
+  for (const std::string& backend : BackendNames()) {
+    ScopedBackend backend_scope(backend);
+    MarkCovered(backend, "matmul_tile");
+    for (auto [n, k, m] : MatmulShapes()) {
+      t::Matrix a = RandomMatrix(n, k, 1000 + n * 31 + k);
+      t::Matrix b = RandomMatrix(k, m, 2000 + k * 31 + m);
+      t::Matrix want = RefMatmul(a, b);
 
-    t::Matrix first;
-    for (int threads : Threads()) {
-      ScopedThreads scope(threads);
-      t::Matrix got = t::Matmul(a, b);
-      DiffStats stats = Compare(got, want);
-      EXPECT_LT(stats.max_rel_diff, kTol)
-          << "Matmul " << n << "x" << k << "x" << m << " @" << threads
-          << " threads: " << stats.Summary();
-      if (threads == Threads().front()) {
-        first = got;
-      } else {
-        EXPECT_TRUE(BitwiseEqual(got, first))
-            << "Matmul " << n << "x" << k << "x" << m
-            << " differs bitwise between 1 and " << threads << " threads";
+      t::Matrix first;
+      for (int threads : Threads()) {
+        ScopedThreads scope(threads);
+        t::Matrix got = t::Matmul(a, b);
+        DiffStats stats = Compare(got, want);
+        EXPECT_LT(stats.max_rel_diff, kTol)
+            << backend << " Matmul " << n << "x" << k << "x" << m << " @"
+            << threads << " threads: " << stats.Summary();
+        if (threads == Threads().front()) {
+          first = got;
+        } else {
+          EXPECT_TRUE(BitwiseEqual(got, first))
+              << backend << " Matmul " << n << "x" << k << "x" << m
+              << " differs bitwise between 1 and " << threads << " threads";
+        }
       }
     }
   }
 }
 
 TEST(KernelDiff, MatmulTN) {
-  for (auto [n, k, m] : MatmulShapes()) {
-    // A is k x n, result is A^T B = n x m.
-    t::Matrix a = RandomMatrix(k, n, 3000 + n * 31 + k);
-    t::Matrix b = RandomMatrix(k, m, 4000 + k * 31 + m);
-    t::Matrix want = RefMatmulTN(a, b);
+  for (const std::string& backend : BackendNames()) {
+    ScopedBackend backend_scope(backend);
+    for (auto [n, k, m] : MatmulShapes()) {
+      // A is k x n, result is A^T B = n x m.
+      t::Matrix a = RandomMatrix(k, n, 3000 + n * 31 + k);
+      t::Matrix b = RandomMatrix(k, m, 4000 + k * 31 + m);
+      t::Matrix want = RefMatmulTN(a, b);
 
-    t::Matrix first;
-    for (int threads : Threads()) {
-      ScopedThreads scope(threads);
-      t::Matrix got = t::MatmulTN(a, b);
-      DiffStats stats = Compare(got, want);
-      EXPECT_LT(stats.max_rel_diff, kTol)
-          << "MatmulTN " << n << "x" << k << "x" << m << " @" << threads
-          << " threads: " << stats.Summary();
-      if (threads == Threads().front()) {
-        first = got;
-      } else {
-        EXPECT_TRUE(BitwiseEqual(got, first))
-            << "MatmulTN " << n << "x" << k << "x" << m
-            << " differs bitwise between 1 and " << threads << " threads";
+      t::Matrix first;
+      for (int threads : Threads()) {
+        ScopedThreads scope(threads);
+        t::Matrix got = t::MatmulTN(a, b);
+        DiffStats stats = Compare(got, want);
+        EXPECT_LT(stats.max_rel_diff, kTol)
+            << backend << " MatmulTN " << n << "x" << k << "x" << m << " @"
+            << threads << " threads: " << stats.Summary();
+        if (threads == Threads().front()) {
+          first = got;
+        } else {
+          EXPECT_TRUE(BitwiseEqual(got, first))
+              << backend << " MatmulTN " << n << "x" << k << "x" << m
+              << " differs bitwise between 1 and " << threads << " threads";
+        }
       }
     }
   }
 }
 
 TEST(KernelDiff, MatmulNT) {
-  for (auto [n, k, m] : MatmulShapes()) {
-    // B is m x k, result is A B^T = n x m.
-    t::Matrix a = RandomMatrix(n, k, 5000 + n * 31 + k);
-    t::Matrix b = RandomMatrix(m, k, 6000 + k * 31 + m);
-    t::Matrix want = RefMatmulNT(a, b);
+  for (const std::string& backend : BackendNames()) {
+    ScopedBackend backend_scope(backend);
+    MarkCovered(backend, "dot");  // MatmulNT is dot-product form
+    for (auto [n, k, m] : MatmulShapes()) {
+      // B is m x k, result is A B^T = n x m.
+      t::Matrix a = RandomMatrix(n, k, 5000 + n * 31 + k);
+      t::Matrix b = RandomMatrix(m, k, 6000 + k * 31 + m);
+      t::Matrix want = RefMatmulNT(a, b);
 
-    t::Matrix first;
-    for (int threads : Threads()) {
-      ScopedThreads scope(threads);
-      t::Matrix got = t::MatmulNT(a, b);
-      DiffStats stats = Compare(got, want);
-      EXPECT_LT(stats.max_rel_diff, kTol)
-          << "MatmulNT " << n << "x" << k << "x" << m << " @" << threads
-          << " threads: " << stats.Summary();
-      if (threads == Threads().front()) {
-        first = got;
-      } else {
-        EXPECT_TRUE(BitwiseEqual(got, first))
-            << "MatmulNT " << n << "x" << k << "x" << m
-            << " differs bitwise between 1 and " << threads << " threads";
+      t::Matrix first;
+      for (int threads : Threads()) {
+        ScopedThreads scope(threads);
+        t::Matrix got = t::MatmulNT(a, b);
+        DiffStats stats = Compare(got, want);
+        EXPECT_LT(stats.max_rel_diff, kTol)
+            << backend << " MatmulNT " << n << "x" << k << "x" << m << " @"
+            << threads << " threads: " << stats.Summary();
+        if (threads == Threads().front()) {
+          first = got;
+        } else {
+          EXPECT_TRUE(BitwiseEqual(got, first))
+              << backend << " MatmulNT " << n << "x" << k << "x" << m
+              << " differs bitwise between 1 and " << threads << " threads";
+        }
       }
     }
   }
 }
 
 TEST(KernelDiff, MatmulAccum) {
-  for (auto [n, k, m] : MatmulShapes()) {
-    t::Matrix a = RandomMatrix(n, k, 6500 + n);
-    t::Matrix b = RandomMatrix(k, m, 6600 + m);
-    t::Matrix base = RandomMatrix(n, m, 6700 + n + m);
+  for (const std::string& backend : BackendNames()) {
+    ScopedBackend backend_scope(backend);
+    for (auto [n, k, m] : MatmulShapes()) {
+      t::Matrix a = RandomMatrix(n, k, 6500 + n);
+      t::Matrix b = RandomMatrix(k, m, 6600 + m);
+      t::Matrix base = RandomMatrix(n, m, 6700 + n + m);
 
-    // want = base + A*B, double accumulation for the product part.
-    t::Matrix want = RefMatmul(a, b);
-    for (int64_t i = 0; i < want.size(); ++i) {
-      want.data()[i] += base.data()[i];
-    }
+      // want = base + A*B, double accumulation for the product part.
+      t::Matrix want = RefMatmul(a, b);
+      for (int64_t i = 0; i < want.size(); ++i) {
+        want.data()[i] += base.data()[i];
+      }
 
-    t::Matrix first;
-    for (int threads : Threads()) {
-      ScopedThreads scope(threads);
-      t::Matrix got = base;
-      t::MatmulAccum(a, b, got);
-      DiffStats stats = Compare(got, want);
-      EXPECT_LT(stats.max_rel_diff, kTol)
-          << "MatmulAccum " << n << "x" << k << "x" << m << " @" << threads
-          << " threads: " << stats.Summary();
-      if (threads == Threads().front()) {
-        first = got;
-      } else {
-        EXPECT_TRUE(BitwiseEqual(got, first))
-            << "MatmulAccum " << n << "x" << k << "x" << m
-            << " differs bitwise between 1 and " << threads << " threads";
+      t::Matrix first;
+      for (int threads : Threads()) {
+        ScopedThreads scope(threads);
+        t::Matrix got = base;
+        t::MatmulAccum(a, b, got);
+        DiffStats stats = Compare(got, want);
+        EXPECT_LT(stats.max_rel_diff, kTol)
+            << backend << " MatmulAccum " << n << "x" << k << "x" << m << " @"
+            << threads << " threads: " << stats.Summary();
+        if (threads == Threads().front()) {
+          first = got;
+        } else {
+          EXPECT_TRUE(BitwiseEqual(got, first))
+              << backend << " MatmulAccum " << n << "x" << k << "x" << m
+              << " differs bitwise between 1 and " << threads << " threads";
+        }
       }
     }
   }
@@ -171,37 +209,46 @@ TEST(KernelDiff, Spmm) {
       {1, 1, 1, 1.0},   {7, 5, 3, 0.4},   {63, 64, 65, 0.1},
       {64, 64, 64, 0.05}, {127, 65, 63, 0.02}, {50, 50, 8, 0.0},  // all-zero
   };
-  for (const Case& c : cases) {
-    t::SparseMatrix s = RandomSparse(c.rows, c.cols, c.density,
-                                     7000 + c.rows * 131 + c.cols);
-    t::Matrix d = RandomMatrix(c.cols, c.feat, 8000 + c.feat);
-    t::Matrix want = RefSpmm(s, d);
-    t::Matrix want_t = RefSpmmTransposed(s, RandomMatrix(c.rows, c.feat, 9000));
-    t::Matrix d_t = RandomMatrix(c.rows, c.feat, 9000);
+  for (const std::string& backend : BackendNames()) {
+    ScopedBackend backend_scope(backend);
+    MarkCovered(backend, "axpy");  // SpMM rows accumulate via ops.axpy
+    for (const Case& c : cases) {
+      t::SparseMatrix s = RandomSparse(c.rows, c.cols, c.density,
+                                       7000 + c.rows * 131 + c.cols);
+      t::Matrix d = RandomMatrix(c.cols, c.feat, 8000 + c.feat);
+      t::Matrix want = RefSpmm(s, d);
+      t::Matrix want_t =
+          RefSpmmTransposed(s, RandomMatrix(c.rows, c.feat, 9000));
+      t::Matrix d_t = RandomMatrix(c.rows, c.feat, 9000);
 
-    t::Matrix first, first_t;
-    for (int threads : Threads()) {
-      ScopedThreads scope(threads);
-      t::Matrix got = s.Multiply(d);
-      DiffStats stats = Compare(got, want);
-      EXPECT_LT(stats.max_rel_diff, kTol)
-          << "Spmm " << c.rows << "x" << c.cols << " nnz=" << s.nnz() << " @"
-          << threads << " threads: " << stats.Summary();
+      t::Matrix first, first_t;
+      for (int threads : Threads()) {
+        ScopedThreads scope(threads);
+        t::Matrix got = s.Multiply(d);
+        DiffStats stats = Compare(got, want);
+        EXPECT_LT(stats.max_rel_diff, kTol)
+            << backend << " Spmm " << c.rows << "x" << c.cols
+            << " nnz=" << s.nnz() << " @" << threads
+            << " threads: " << stats.Summary();
 
-      t::Matrix got_t = s.MultiplyTransposed(d_t);
-      DiffStats stats_t = Compare(got_t, want_t);
-      EXPECT_LT(stats_t.max_rel_diff, kTol)
-          << "SpmmT " << c.rows << "x" << c.cols << " nnz=" << s.nnz() << " @"
-          << threads << " threads: " << stats_t.Summary();
+        t::Matrix got_t = s.MultiplyTransposed(d_t);
+        DiffStats stats_t = Compare(got_t, want_t);
+        EXPECT_LT(stats_t.max_rel_diff, kTol)
+            << backend << " SpmmT " << c.rows << "x" << c.cols
+            << " nnz=" << s.nnz() << " @" << threads
+            << " threads: " << stats_t.Summary();
 
-      if (threads == Threads().front()) {
-        first = got;
-        first_t = got_t;
-      } else {
-        EXPECT_TRUE(BitwiseEqual(got, first))
-            << "Spmm differs bitwise between 1 and " << threads << " threads";
-        EXPECT_TRUE(BitwiseEqual(got_t, first_t))
-            << "SpmmT differs bitwise between 1 and " << threads << " threads";
+        if (threads == Threads().front()) {
+          first = got;
+          first_t = got_t;
+        } else {
+          EXPECT_TRUE(BitwiseEqual(got, first))
+              << backend << " Spmm differs bitwise between 1 and " << threads
+              << " threads";
+          EXPECT_TRUE(BitwiseEqual(got_t, first_t))
+              << backend << " SpmmT differs bitwise between 1 and " << threads
+              << " threads";
+        }
       }
     }
   }
@@ -216,55 +263,69 @@ TEST(KernelDiff, SparseTransposeAgreesWithDense) {
 }
 
 TEST(KernelDiff, Reductions) {
-  // Matrix::Sum / Norm / Transposed / AddInPlace / Axpy / Scale against
-  // serial double-accumulator references, across the boundary dims.
-  for (int rows : BoundaryDims()) {
-    for (int cols : {1, 64, 65}) {
-      t::Matrix m = RandomMatrix(rows, cols, 9200 + rows * 7 + cols);
+  // Matrix::Sum / Norm / Transposed against serial double-accumulator
+  // references, across the boundary dims, per backend.
+  for (const std::string& backend : BackendNames()) {
+    ScopedBackend backend_scope(backend);
+    MarkCovered(backend, "sum");
+    MarkCovered(backend, "sumsq");
+    for (int rows : BoundaryDims()) {
+      for (int cols : {1, 64, 65}) {
+        t::Matrix m = RandomMatrix(rows, cols, 9200 + rows * 7 + cols);
 
-      double want_sum = RefSum(m);
-      double want_norm = RefFrobeniusNorm(m);
+        double want_sum = RefSum(m);
+        double want_norm = RefFrobeniusNorm(m);
 
-      float first_sum = 0.0f, first_norm = 0.0f;
-      for (int threads : Threads()) {
-        ScopedThreads scope(threads);
-        float got_sum = m.Sum();
-        float got_norm = m.Norm();
-        EXPECT_NEAR(got_sum, want_sum,
-                    kTol * std::max(1.0, std::abs(want_sum)))
-            << rows << "x" << cols << " @" << threads;
-        EXPECT_NEAR(got_norm, want_norm, kTol * std::max(1.0, want_norm))
-            << rows << "x" << cols << " @" << threads;
-        if (threads == Threads().front()) {
-          first_sum = got_sum;
-          first_norm = got_norm;
-        } else {
-          EXPECT_EQ(got_sum, first_sum) << "Sum not thread-deterministic";
-          EXPECT_EQ(got_norm, first_norm) << "Norm not thread-deterministic";
+        float first_sum = 0.0f, first_norm = 0.0f;
+        for (int threads : Threads()) {
+          ScopedThreads scope(threads);
+          float got_sum = m.Sum();
+          float got_norm = m.Norm();
+          EXPECT_NEAR(got_sum, want_sum,
+                      kTol * std::max(1.0, std::abs(want_sum)))
+              << backend << " " << rows << "x" << cols << " @" << threads;
+          EXPECT_NEAR(got_norm, want_norm, kTol * std::max(1.0, want_norm))
+              << backend << " " << rows << "x" << cols << " @" << threads;
+          if (threads == Threads().front()) {
+            first_sum = got_sum;
+            first_norm = got_norm;
+          } else {
+            EXPECT_EQ(got_sum, first_sum)
+                << backend << " Sum not thread-deterministic";
+            EXPECT_EQ(got_norm, first_norm)
+                << backend << " Norm not thread-deterministic";
+          }
         }
-      }
 
-      t::Matrix transposed = m.Transposed();
-      EXPECT_EQ(Compare(transposed, RefTranspose(m)).max_abs_diff, 0.0);
+        t::Matrix transposed = m.Transposed();
+        EXPECT_EQ(Compare(transposed, RefTranspose(m)).max_abs_diff, 0.0);
+      }
     }
   }
 }
 
 TEST(KernelDiff, InPlaceOps) {
-  for (int rows : {1, 63, 64, 65}) {
-    t::Matrix a = RandomMatrix(rows, 65, 9300 + rows);
-    t::Matrix b = RandomMatrix(rows, 65, 9400 + rows);
+  for (const std::string& backend : BackendNames()) {
+    ScopedBackend backend_scope(backend);
+    MarkCovered(backend, "add");
+    MarkCovered(backend, "axpy");
+    MarkCovered(backend, "scale");
+    for (int rows : {1, 63, 64, 65}) {
+      t::Matrix a = RandomMatrix(rows, 65, 9300 + rows);
+      t::Matrix b = RandomMatrix(rows, 65, 9400 + rows);
 
-    t::Matrix add = a;
-    add.AddInPlace(b);
-    t::Matrix axpy = a;
-    axpy.Axpy(-0.5f, b);
-    t::Matrix scaled = a;
-    scaled.Scale(1.25f);
-    for (int64_t i = 0; i < a.size(); ++i) {
-      ASSERT_FLOAT_EQ(add.data()[i], a.data()[i] + b.data()[i]);
-      ASSERT_FLOAT_EQ(axpy.data()[i], a.data()[i] - 0.5f * b.data()[i]);
-      ASSERT_FLOAT_EQ(scaled.data()[i], a.data()[i] * 1.25f);
+      t::Matrix add = a;
+      add.AddInPlace(b);
+      t::Matrix axpy = a;
+      axpy.Axpy(-0.5f, b);
+      t::Matrix scaled = a;
+      scaled.Scale(1.25f);
+      for (int64_t i = 0; i < a.size(); ++i) {
+        ASSERT_FLOAT_EQ(add.data()[i], a.data()[i] + b.data()[i]) << backend;
+        ASSERT_FLOAT_EQ(axpy.data()[i], a.data()[i] - 0.5f * b.data()[i])
+            << backend;
+        ASSERT_FLOAT_EQ(scaled.data()[i], a.data()[i] * 1.25f) << backend;
+      }
     }
   }
 }

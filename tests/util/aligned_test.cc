@@ -1,0 +1,85 @@
+// AlignedFloats contract tests: 64-byte alignment of the data pointer and
+// exact MemoryTracker accounting of the *rounded* allocation size. The
+// serving degradation ladder thresholds on MemoryTracker::BudgetPressure(),
+// so padding that was allocated but not reported would let real footprint
+// drift above the ladder's view of it.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+#include "util/aligned.h"
+#include "util/memory_tracker.h"
+
+namespace cpgan::util {
+namespace {
+
+TEST(AlignedFloats, AllocationBytesRoundUpToCacheLines) {
+  EXPECT_EQ(AlignedAllocationBytes(0), 0u);
+  EXPECT_EQ(AlignedAllocationBytes(1), 64u);
+  EXPECT_EQ(AlignedAllocationBytes(64), 64u);
+  EXPECT_EQ(AlignedAllocationBytes(65), 128u);
+  EXPECT_EQ(AlignedAllocationBytes(9 * sizeof(float)), 64u);   // 3x3 matrix
+  EXPECT_EQ(AlignedAllocationBytes(17 * sizeof(float)), 128u);
+}
+
+TEST(AlignedFloats, DataPointerIsCacheLineAligned) {
+  for (int64_t n : {1, 2, 15, 16, 17, 1000}) {
+    AlignedFloats buf;
+    buf.assign(n, 1.5f);
+    ASSERT_EQ(buf.size(), n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kKernelAlignment, 0u);
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(buf[i], 1.5f);
+  }
+}
+
+TEST(AlignedFloats, TracksRoundedBytesAndBalancesOnRelease) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const int64_t baseline = tracker.live_bytes();
+  {
+    // 3x3 = 9 floats = 36 payload bytes, but one whole cache line is
+    // reserved — and one whole cache line must be reported.
+    tensor::Matrix m(3, 3);
+    EXPECT_EQ(tracker.live_bytes(), baseline + 64);
+  }
+  EXPECT_EQ(tracker.live_bytes(), baseline);
+  {
+    AlignedFloats buf;
+    buf.assign(17, 0.0f);  // 68 payload bytes -> 128 reserved
+    EXPECT_EQ(tracker.live_bytes(), baseline + 128);
+    buf.clear();
+    EXPECT_EQ(tracker.live_bytes(), baseline);
+  }
+}
+
+TEST(AlignedFloats, CopyAndMoveKeepAccountingBalanced) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const int64_t baseline = tracker.live_bytes();
+  {
+    AlignedFloats a;
+    a.assign(32, 2.0f);  // 128 bytes
+    AlignedFloats b = a;  // independent copy: another 128
+    EXPECT_EQ(tracker.live_bytes(), baseline + 256);
+    AlignedFloats c = std::move(a);  // steals, no new allocation
+    EXPECT_EQ(tracker.live_bytes(), baseline + 256);
+    EXPECT_EQ(c.size(), 32);
+    EXPECT_EQ(b[31], 2.0f);
+    b = std::move(c);  // frees b's old buffer
+    EXPECT_EQ(tracker.live_bytes(), baseline + 128);
+  }
+  EXPECT_EQ(tracker.live_bytes(), baseline);
+}
+
+TEST(AlignedFloats, ZeroSizeHoldsNoMemory) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const int64_t baseline = tracker.live_bytes();
+  AlignedFloats buf;
+  EXPECT_TRUE(buf.empty());
+  buf.assign(0, 0.0f);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(tracker.live_bytes(), baseline);
+}
+
+}  // namespace
+}  // namespace cpgan::util

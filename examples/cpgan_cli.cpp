@@ -5,6 +5,7 @@
 //   cpgan_cli generate [flags] <model> <graph> [out.txt]   # fit + generate
 //   cpgan_cli compare  <graph-a> <graph-b>          # all evaluation metrics
 //   cpgan_cli datasets                              # list synthetic datasets
+//   cpgan_cli obs-report [flags]                    # merge telemetry files
 //
 // <graph> is either a named synthetic dataset (see `datasets`) or a path to
 // a whitespace edge-list file. <model> is any traditional generator name
@@ -24,6 +25,8 @@
 //   --resume               continue from the latest checkpoint in DIR
 //   --strict-io            fail on malformed/self-loop/duplicate edges
 //   --metrics-out=FILE     structured run log: one JSONL record per epoch
+//   --metrics-snapshot-every=N  also embed a registry snapshot line in the
+//                          run log every N epochs (default: off)
 //   --profile              print a trace-span profile table after training
 //   --trace=FILE           write Chrome trace_event JSON (chrome://tracing)
 // (see docs/OBSERVABILITY.md)
@@ -43,6 +46,7 @@
 #include "generators/registry.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "obs/report.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 #include "tensor/kernels.h"
@@ -62,6 +66,7 @@ struct GenerateOptions {
   bool resume = false;
   bool strict_io = false;
   std::string metrics_out;
+  int metrics_snapshot_every = 0;
   bool profile = false;
   std::string trace_out;
 };
@@ -100,6 +105,17 @@ bool ParseGenerateFlag(const std::string& arg, GenerateOptions* options) {
     options->metrics_out = arg.substr(kMetricsOut.size());
     if (options->metrics_out.empty()) {
       std::fprintf(stderr, "--metrics-out needs a file path\n");
+      return false;
+    }
+    return true;
+  }
+  const std::string kSnapshotEvery = "--metrics-snapshot-every=";
+  if (arg.rfind(kSnapshotEvery, 0) == 0) {
+    options->metrics_snapshot_every =
+        std::atoi(arg.c_str() + kSnapshotEvery.size());
+    if (options->metrics_snapshot_every <= 0) {
+      std::fprintf(stderr,
+                   "--metrics-snapshot-every needs a positive integer\n");
       return false;
     }
     return true;
@@ -167,6 +183,7 @@ int CmdGenerate(const std::string& model, const std::string& ref,
     config.checkpoint_dir = options.checkpoint_dir;
     config.checkpoint_every = options.checkpoint_every;
     config.metrics_out = options.metrics_out;
+    config.metrics_snapshot_every = options.metrics_snapshot_every;
     config.profile = options.profile;
     config.trace_out = options.trace_out;
     core::Cpgan cpgan(config);
@@ -286,6 +303,31 @@ bool ParseServeFlag(const std::string& arg, ServeOptions* options) {
     options->server.request_log = value;
     return !value.empty();
   }
+  if (value_of("--metrics-export=", &value)) {
+    options->server.exporter.prometheus_path = value;
+    return !value.empty();
+  }
+  if (value_of("--metrics-jsonl=", &value)) {
+    options->server.exporter.jsonl_path = value;
+    return !value.empty();
+  }
+  if (value_of("--export-period-ms=", &value)) {
+    options->server.exporter.period_ms = std::atof(value.c_str());
+    return options->server.exporter.period_ms > 0.0;
+  }
+  if (value_of("--slo-latency-ms=", &value)) {
+    options->server.slo.latency_target_ms = std::atof(value.c_str());
+    return options->server.slo.latency_target_ms > 0.0;
+  }
+  if (value_of("--slo-availability=", &value)) {
+    options->server.slo.availability_objective = std::atof(value.c_str());
+    return options->server.slo.availability_objective > 0.0 &&
+           options->server.slo.availability_objective <= 1.0;
+  }
+  if (value_of("--slo-window-s=", &value)) {
+    options->server.slo.window_s = std::atof(value.c_str());
+    return options->server.slo.window_s > 0.0;
+  }
   std::fprintf(stderr, "unknown serve flag '%s'\n", arg.c_str());
   return false;
 }
@@ -316,6 +358,36 @@ int CmdServe(const std::string& ref, const ServeOptions& options) {
                static_cast<long long>(spec.graph.num_edges()));
   serve::Server server(&registry, options.server);
   return server.RunStdio(stdin, stdout);
+}
+
+int CmdObsReport(const std::vector<std::string>& args) {
+  obs::ObsReportOptions options;
+  for (const std::string& arg : args) {
+    auto value_of = [&arg](const std::string& prefix, std::string* out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *out = arg.substr(prefix.size());
+      return true;
+    };
+    std::string value;
+    if (value_of("--snapshots=", &value) && !value.empty()) {
+      options.snapshot_paths.push_back(value);
+    } else if (value_of("--runlog=", &value) && !value.empty()) {
+      options.runlog_paths.push_back(value);
+    } else if (value_of("--trace=", &value) && !value.empty()) {
+      options.trace_paths.push_back(value);
+    } else {
+      std::fprintf(stderr, "unknown obs-report flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::string error;
+  std::string report = obs::RenderObsReport(options, &error);
+  if (report.empty()) {
+    std::fprintf(stderr, "obs-report: %s\n", error.c_str());
+    return 1;
+  }
+  std::fputs(report.c_str(), stdout);
+  return 0;
 }
 
 int CmdCompare(const std::string& ref_a, const std::string& ref_b) {
@@ -349,7 +421,7 @@ int Usage() {
                "      --checkpoint-dir=DIR  --checkpoint-every=N\n"
                "      --resume              --strict-io\n"
                "      --metrics-out=FILE    --profile\n"
-               "      --trace=FILE\n"
+               "      --trace=FILE          --metrics-snapshot-every=N\n"
                "  cpgan_cli compare  <graph-a> <graph-b>\n"
                "  cpgan_cli serve    [flags] <graph>\n"
                "      --model=NAME          --checkpoint=FILE\n"
@@ -357,6 +429,12 @@ int Usage() {
                "      --workers=N           --queue=N\n"
                "      --deadline-ms=D       --memory-budget-mb=M\n"
                "      --request-log=FILE    (see docs/SERVING.md)\n"
+               "      --metrics-export=FILE --metrics-jsonl=FILE\n"
+               "      --export-period-ms=D  --slo-latency-ms=D\n"
+               "      --slo-availability=F  --slo-window-s=D\n"
+               "  cpgan_cli obs-report [--snapshots=FILE] [--runlog=FILE] "
+               "[--trace=FILE]\n"
+               "      (flags repeatable; see docs/OBSERVABILITY.md)\n"
                "--threads=N sizes the kernel thread pool (default: the\n"
                "CPGAN_NUM_THREADS env var, else all cores); results are\n"
                "identical for any N\n"
@@ -413,6 +491,10 @@ int main(int argc, char** argv) {
                        positional.size() == 3 ? positional[2] : "", options);
   }
   if (cmd == "compare" && args.size() >= 3) return CmdCompare(args[1], args[2]);
+  if (cmd == "obs-report") {
+    return CmdObsReport(
+        std::vector<std::string>(args.begin() + 1, args.end()));
+  }
   if (cmd == "serve") {
     ServeOptions options;
     std::vector<std::string> positional;

@@ -22,4 +22,33 @@ for b in table2_datasets micro_kernels micro_eval table9_memory table7_inference
   echo "" >> bench_output.txt
   echo "[done] $b at $(date +%H:%M:%S)"
 done
+
+# Serving-runtime snapshot, then the observability-plane overhead check.
+# micro_obs merges an "obs_overhead" block into bench/BENCH_serve.json and
+# prints the exporter-on vs metrics-off serve latency deltas. Two budgets:
+# p50 delta <= 25% — the median is stable run-to-run and catches any
+# per-request instrumentation regression (e.g. a synchronous flush landing
+# on the request path); p99 delta <= 75% — the tail carries scheduler noise
+# on shared machines, so its budget is loose and only catches catastrophic
+# regressions (lock convoys, registry contention). A miss fails the whole
+# bench run so a hot-path regression cannot land silently.
+echo "===== build/bench/micro_serve =====" >> bench_output.txt
+( time ./build/bench/micro_serve bench/BENCH_serve.json ) >> bench_output.txt 2>&1
+echo "" >> bench_output.txt
+echo "[done] micro_serve at $(date +%H:%M:%S)"
+echo "===== build/bench/micro_obs =====" >> bench_output.txt
+obs_out=$(./build/bench/micro_obs bench/BENCH_serve.json)
+echo "$obs_out" >> bench_output.txt
+echo "" >> bench_output.txt
+p50_overhead=$(echo "$obs_out" | sed -n 's/^OBS_OVERHEAD_P50_PCT=//p')
+p99_overhead=$(echo "$obs_out" | sed -n 's/^OBS_OVERHEAD_P99_PCT=//p')
+if ! awk -v a="$p50_overhead" -v b="$p99_overhead" \
+     'BEGIN { exit !(a != "" && b != "" && a <= 25.0 && b <= 75.0) }'; then
+  echo "error: observability overhead budget exceeded:" >&2
+  echo "       serve p50 delta ${p50_overhead:-<missing>}% (budget 25%)," >&2
+  echo "       p99 delta ${p99_overhead:-<missing>}% (budget 75%)." >&2
+  echo "       See bench/BENCH_serve.json \"obs_overhead\"." >&2
+  exit 1
+fi
+echo "[done] micro_obs at $(date +%H:%M:%S) (p50 ${p50_overhead}%, p99 ${p99_overhead}%)"
 echo "ALL BENCHES COMPLETE"

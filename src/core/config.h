@@ -148,6 +148,12 @@ struct CpganConfig {
   /// Empty disables the run log.
   std::string metrics_out;
 
+  /// Also append a full metrics-registry snapshot line (tagged
+  /// "kind":"metrics_snapshot") to the run log every this many epochs, plus
+  /// once after the final epoch. 0 (default) disables, keeping the run log
+  /// at exactly one line per epoch for line-counting consumers.
+  int metrics_snapshot_every = 0;
+
   /// Collect trace spans during training and print the aggregated profile
   /// table after Fit returns. Purely observational — enabling it cannot
   /// change any numeric result.

@@ -661,6 +661,11 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
       record.rss_bytes = obs::CurrentRssBytes();
       record.epoch_ms = epoch_timer.Millis();
       if (run_logger.Log(record)) ++stats.metrics_records;
+      if (config_.metrics_snapshot_every > 0 &&
+          ((epoch + 1) % config_.metrics_snapshot_every == 0 ||
+           final_epoch)) {
+        run_logger.LogMetricsSnapshot(epoch);
+      }
     }
     if (guard.exhausted()) {
       CPGAN_LOG(Error) << "guard: " << guard.recoveries()

@@ -1,0 +1,290 @@
+#include "obs/exporter.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+
+#include "obs/json.h"
+#include "util/fileio.h"
+#include "util/logging.h"
+
+namespace cpgan::obs {
+
+namespace {
+
+void AppendNumber(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void AppendMetricLine(std::string& out, const std::string& name,
+                      double value) {
+  out += name;
+  out += ' ';
+  AppendNumber(out, value);
+  out += '\n';
+}
+
+void AppendTypeLine(std::string& out, const std::string& name,
+                    const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  // Registry names are [A-Za-z0-9_./:-]; Prometheus allows [a-zA-Z0-9_:].
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out += (c == '.' || c == '/' || c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  out.reserve(samples.size() * 64);
+  for (const MetricSample& s : samples) {
+    const std::string name = PrometheusName(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        AppendTypeLine(out, name + "_total", "counter");
+        AppendMetricLine(out, name + "_total", s.value);
+        break;
+      case MetricSample::Kind::kGauge:
+        AppendTypeLine(out, name, "gauge");
+        AppendMetricLine(out, name, s.value);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        AppendTypeLine(out, name, "histogram");
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < s.buckets.size(); ++b) {
+          cumulative += s.buckets[b];
+          if (s.buckets[b] == 0 && b + 1 < s.buckets.size()) {
+            continue;  // keep the exposition short: only boundary changes
+          }
+          out += name;
+          if (b + 1 < s.buckets.size()) {
+            out += "_bucket{le=\"";
+            AppendNumber(out, static_cast<double>(
+                                  Histogram::BucketLowerBound(
+                                      static_cast<int>(b) + 1)));
+            out += "\"} ";
+          } else {
+            out += "_bucket{le=\"+Inf\"} ";
+          }
+          AppendNumber(out, static_cast<double>(cumulative));
+          out += '\n';
+        }
+        AppendMetricLine(out, name + "_sum", static_cast<double>(s.sum));
+        AppendMetricLine(out, name + "_count", static_cast<double>(s.count));
+        break;
+      }
+      case MetricSample::Kind::kStopwatch:
+        AppendTypeLine(out, name + "_seconds_total", "counter");
+        AppendMetricLine(out, name + "_seconds_total", s.value * 1e-3);
+        AppendTypeLine(out, name + "_calls_total", "counter");
+        AppendMetricLine(out, name + "_calls_total",
+                         static_cast<double>(s.count));
+        break;
+    }
+  }
+  return out;
+}
+
+MetricsExporter::MetricsExporter(const ExporterOptions& options)
+    : options_(options) {
+  if (options_.period_ms < 1.0) options_.period_ms = 1.0;
+}
+
+MetricsExporter::~MetricsExporter() {
+  Stop();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (jsonl_file_ != nullptr) {
+    std::fclose(jsonl_file_);
+    jsonl_file_ = nullptr;
+  }
+}
+
+void MetricsExporter::Start() {
+  if (options_.prometheus_path.empty() && options_.jsonl_path.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final flush after the thread is quiesced: the last partial period is
+  // exported exactly once, by this call.
+  WriteSinks();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool MetricsExporter::Flush() { return WriteSinks(); }
+
+bool MetricsExporter::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+int MetricsExporter::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return snapshots_written_;
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const bool woke_to_stop = cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(options_.period_ms),
+        [this] { return stopping_; });
+    if (woke_to_stop) break;  // Stop() owns the final flush
+    lock.unlock();
+    WriteSinks();
+    lock.lock();
+  }
+}
+
+bool MetricsExporter::WriteSinks() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (options_.on_tick) options_.on_tick();
+  const std::vector<MetricSample> samples =
+      MetricsRegistry::Global().SnapshotAll();
+
+  bool ok = true;
+  if (!options_.prometheus_path.empty()) {
+    const std::string text = RenderPrometheus(samples);
+    if (!util::AtomicWriteFile(options_.prometheus_path,
+                               [&text](std::FILE* f) {
+                                 return std::fwrite(text.data(), 1,
+                                                    text.size(), f) ==
+                                        text.size();
+                               })) {
+      CPGAN_LOG(Warning) << "exporter: cannot write "
+                         << options_.prometheus_path;
+      ok = false;
+    }
+  }
+
+  if (!options_.jsonl_path.empty()) {
+    if (jsonl_file_ == nullptr) {
+      jsonl_file_ = std::fopen(options_.jsonl_path.c_str(), "ab");
+      if (jsonl_file_ == nullptr) {
+        CPGAN_LOG(Warning) << "exporter: cannot open " << options_.jsonl_path
+                           << ": " << std::strerror(errno);
+      }
+    }
+    if (jsonl_file_ != nullptr) {
+      JsonValue obj = JsonValue::Object();
+      obj.Add("schema", JsonValue::Int(1));
+      obj.Add("kind", JsonValue::String("metrics_snapshot"));
+      obj.Add("seq", JsonValue::Int(static_cast<int64_t>(sequence_)));
+      obj.Add("unix_time",
+              JsonValue::Int(static_cast<int64_t>(std::time(nullptr))));
+
+      JsonValue counters = JsonValue::Object();
+      JsonValue gauges = JsonValue::Object();
+      JsonValue histograms = JsonValue::Object();
+      JsonValue stopwatches = JsonValue::Object();
+      for (const MetricSample& s : samples) {
+        switch (s.kind) {
+          case MetricSample::Kind::kCounter: {
+            JsonValue c = JsonValue::Object();
+            c.Add("total", JsonValue::Number(s.value));
+            double& last = last_counters_[s.name];
+            c.Add("delta", JsonValue::Number(s.value - last));
+            last = s.value;
+            counters.Add(s.name, std::move(c));
+            break;
+          }
+          case MetricSample::Kind::kGauge:
+            gauges.Add(s.name, JsonValue::Number(s.value));
+            break;
+          case MetricSample::Kind::kHistogram: {
+            HistogramSnapshot now;
+            now.count = s.count;
+            now.sum = s.sum;
+            for (size_t b = 0; b < s.buckets.size(); ++b) {
+              now.buckets[b] = s.buckets[b];
+            }
+            HistogramSnapshot& last = last_histograms_[s.name];
+            const HistogramSnapshot delta = now.DeltaSince(last);
+            last = now;
+            JsonValue h = JsonValue::Object();
+            h.Add("count", JsonValue::Int(static_cast<int64_t>(now.count)));
+            h.Add("sum", JsonValue::Int(static_cast<int64_t>(now.sum)));
+            h.Add("delta_count",
+                  JsonValue::Int(static_cast<int64_t>(delta.count)));
+            h.Add("delta_sum",
+                  JsonValue::Int(static_cast<int64_t>(delta.sum)));
+            JsonValue buckets = JsonValue::Array();
+            for (int b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+              buckets.Append(
+                  JsonValue::Int(static_cast<int64_t>(delta.buckets[b])));
+            }
+            h.Add("delta_buckets", std::move(buckets));
+            histograms.Add(s.name, std::move(h));
+            break;
+          }
+          case MetricSample::Kind::kStopwatch: {
+            auto& last = last_stopwatches_[s.name];
+            JsonValue sw = JsonValue::Object();
+            sw.Add("ms", JsonValue::Number(s.value));
+            sw.Add("count", JsonValue::Int(static_cast<int64_t>(s.count)));
+            sw.Add("delta_ms", JsonValue::Number(s.value - last.first));
+            sw.Add("delta_count",
+                   JsonValue::Int(static_cast<int64_t>(s.count -
+                                                       last.second)));
+            last = {s.value, s.count};
+            stopwatches.Add(s.name, std::move(sw));
+            break;
+          }
+        }
+      }
+      obj.Add("counters", std::move(counters));
+      obj.Add("gauges", std::move(gauges));
+      obj.Add("histograms", std::move(histograms));
+      obj.Add("stopwatches", std::move(stopwatches));
+
+      std::string line = obj.Serialize();
+      line += '\n';
+      // One fwrite for the whole line: concurrent Flush callers are already
+      // serialized by write_mutex_, and a crash can tear at most the final
+      // line (which JSONL readers skip on parse failure).
+      if (std::fwrite(line.data(), 1, line.size(), jsonl_file_) !=
+              line.size() ||
+          std::fflush(jsonl_file_) != 0) {
+        CPGAN_LOG(Warning) << "exporter: JSONL append failed for "
+                           << options_.jsonl_path;
+        ok = false;
+      }
+    } else {
+      ok = false;
+    }
+  }
+
+  ++sequence_;
+  ++snapshots_written_;
+  return ok;
+}
+
+}  // namespace cpgan::obs

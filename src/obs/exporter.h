@@ -1,0 +1,116 @@
+#ifndef CPGAN_OBS_EXPORTER_H_
+#define CPGAN_OBS_EXPORTER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <condition_variable>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cpgan::obs {
+
+/// \file
+/// Periodic metrics exporter (docs/OBSERVABILITY.md, "Live exporter").
+///
+/// A background thread snapshots the global MetricsRegistry on a timer and
+/// writes the result to two optional sinks:
+///
+///  * a Prometheus text-exposition file, rewritten atomically each tick so
+///    a scraper (or `cat`) always sees one complete, valid exposition;
+///  * an append-only JSONL file, one snapshot object per line, carrying
+///    *deltas* for counters and histograms (what happened since the last
+///    tick) next to instantaneous gauge values.
+///
+/// The exporter only reads relaxed atomics through Registry::VisitAll — it
+/// never holds the registry lock while serializing, and serving threads
+/// never block on it.
+
+/// Renders `samples` in Prometheus text exposition format (version 0.0.4):
+/// one `# TYPE` line per metric, counters as `<name>_total`, histograms as
+/// cumulative `_bucket{le=...}` series plus `_sum`/`_count`, stopwatches as
+/// `<name>_seconds_total` + `<name>_calls_total`. Metric names are mapped
+/// to the Prometheus charset by rewriting [./-] to '_' (registration-time
+/// sanitization guarantees nothing else can appear).
+std::string RenderPrometheus(const std::vector<MetricSample>& samples);
+
+/// Prometheus-charset form of a registry metric name.
+std::string PrometheusName(const std::string& name);
+
+struct ExporterOptions {
+  /// Snapshot period. The exporter also flushes once on Stop regardless of
+  /// the phase of the timer, so short-lived processes still export.
+  double period_ms = 1000.0;
+
+  /// Prometheus text file, atomically rewritten per tick. Empty disables.
+  std::string prometheus_path;
+
+  /// JSONL snapshot log, appended per tick. Empty disables.
+  std::string jsonl_path;
+
+  /// Called at the start of every tick (and the final flush) before the
+  /// snapshot is taken — the hook the serving layer uses to publish
+  /// derived gauges (SLO percentiles, burn rates) so they appear in the
+  /// same snapshot as the raw instruments they derive from.
+  std::function<void()> on_tick;
+};
+
+/// Background exporter over MetricsRegistry::Global(). Start/Stop are
+/// idempotent; Stop performs a final flush so the last partial period is
+/// never lost. A Flush can also be requested at any time (the STATS verb
+/// uses this for on-demand exposition).
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(const ExporterOptions& options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Spawns the exporter thread. No-op when already running or when both
+  /// sink paths are empty.
+  void Start();
+
+  /// Final flush, then joins the thread. Safe to call repeatedly.
+  void Stop();
+
+  /// Synchronously snapshots and writes both sinks (usable whether or not
+  /// the background thread is running). Returns false if any enabled sink
+  /// failed to write.
+  bool Flush();
+
+  bool running() const;
+  int snapshots_written() const;
+  const ExporterOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  bool WriteSinks();
+
+  ExporterOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stopping_ = false;
+
+  // Serializes WriteSinks against concurrent Flush callers and guards the
+  // delta baseline + JSONL stream (one fwrite per line keeps lines whole).
+  mutable std::mutex write_mutex_;
+  std::FILE* jsonl_file_ = nullptr;
+  int snapshots_written_ = 0;
+  uint64_t sequence_ = 0;
+  std::map<std::string, double> last_counters_;
+  std::map<std::string, HistogramSnapshot> last_histograms_;
+  std::map<std::string, std::pair<double, uint64_t>> last_stopwatches_;
+};
+
+}  // namespace cpgan::obs
+
+#endif  // CPGAN_OBS_EXPORTER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <type_traits>
 
 namespace cpgan::obs {
 
@@ -34,6 +35,54 @@ void SetMetricsEnabled(bool enabled) {
   g_metrics_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  auto sat_sub = [](uint64_t now, uint64_t then) {
+    return now > then ? now - then : uint64_t{0};
+  };
+  HistogramSnapshot delta;
+  delta.count = sat_sub(count, earlier.count);
+  delta.sum = sat_sub(sum, earlier.sum);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    delta.buckets[b] = sat_sub(buckets[b], earlier.buckets[b]);
+  }
+  return delta;
+}
+
+void HistogramSnapshot::Accumulate(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (int b = 0; b < kNumBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double rank = q * static_cast<double>(count);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower =
+          static_cast<double>(Histogram::BucketLowerBound(b));
+      const double upper =
+          b + 1 < kNumBuckets
+              ? static_cast<double>(Histogram::BucketLowerBound(b + 1))
+              : lower * 2.0;
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += in_bucket;
+  }
+  // Unreachable when the bucket counts cover `count`; fall back to the mean.
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
 int Histogram::BucketFor(uint64_t value) {
   if (value == 0) return 0;
   int width = 64 - __builtin_clzll(value);  // bit_width: 1 for value 1
@@ -51,6 +100,17 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  static_assert(HistogramSnapshot::kNumBuckets == kNumBuckets);
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    snapshot.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
 void Stopwatch::Reset() {
   total_ns_.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -64,90 +124,129 @@ Stopwatch::Scope::~Scope() {
   if (stopwatch_ != nullptr) stopwatch_->AddNanos(NowNanos() - start_ns_);
 }
 
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto valid_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '/' ||
+           c == ':' || c == '-';
+  };
+  if (name[0] >= '0' && name[0] <= '9') return false;
+  for (char c : name) {
+    if (!valid_char(c)) return false;
+  }
+  return true;
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  if (name.empty()) return "_unnamed";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '/' || c == ':' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
-Counter* MetricsRegistry::FindCounter(std::string_view name) {
+template <typename T>
+T* MetricsRegistry::FindOrCreate(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+    std::string_view name, MetricSample::Kind kind) {
+  // Sanitize only when needed: the common case (a literal already in
+  // canonical form) stays allocation-free up to the map probe.
+  std::string sanitized;
+  if (!IsValidMetricName(name)) {
+    sanitized = SanitizeMetricName(name);
+    name = sanitized;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
-             .first;
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+    InstrumentRef ref;
+    ref.name = &it->first;
+    ref.kind = kind;
+    if constexpr (std::is_same_v<T, Counter>) ref.counter = it->second.get();
+    if constexpr (std::is_same_v<T, Gauge>) ref.gauge = it->second.get();
+    if constexpr (std::is_same_v<T, Histogram>) {
+      ref.histogram = it->second.get();
+    }
+    if constexpr (std::is_same_v<T, Stopwatch>) {
+      ref.stopwatch = it->second.get();
+    }
+    index_.push_back(ref);
   }
   return it->second.get();
+}
+
+Counter* MetricsRegistry::FindCounter(std::string_view name) {
+  return FindOrCreate(counters_, name, MetricSample::Kind::kCounter);
 }
 
 Gauge* MetricsRegistry::FindGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
-  }
-  return it->second.get();
+  return FindOrCreate(gauges_, name, MetricSample::Kind::kGauge);
 }
 
 Histogram* MetricsRegistry::FindHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
-             .first;
-  }
-  return it->second.get();
+  return FindOrCreate(histograms_, name, MetricSample::Kind::kHistogram);
 }
 
 Stopwatch* MetricsRegistry::FindStopwatch(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = stopwatches_.find(name);
-  if (it == stopwatches_.end()) {
-    it = stopwatches_
-             .emplace(std::string(name), std::make_unique<Stopwatch>())
-             .first;
-  }
-  return it->second.get();
+  return FindOrCreate(stopwatches_, name, MetricSample::Kind::kStopwatch);
 }
 
-std::vector<MetricSample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+void MetricsRegistry::VisitAll(
+    const std::function<void(const InstrumentRef&)>& visitor) const {
+  std::vector<InstrumentRef> refs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refs = index_;  // flat pointer copy; instruments and names are immortal
+  }
+  for (const InstrumentRef& ref : refs) visitor(ref);
+}
+
+std::vector<MetricSample> MetricsRegistry::SnapshotAll() const {
   std::vector<MetricSample> out;
-  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
-              stopwatches_.size());
-  for (const auto& [name, counter] : counters_) {
+  VisitAll([&out](const InstrumentRef& ref) {
     MetricSample s;
-    s.name = name;
-    s.kind = MetricSample::Kind::kCounter;
-    s.value = static_cast<double>(counter->Value());
-    out.push_back(std::move(s));
-  }
-  for (const auto& [name, gauge] : gauges_) {
-    MetricSample s;
-    s.name = name;
-    s.kind = MetricSample::Kind::kGauge;
-    s.value = gauge->Value();
-    out.push_back(std::move(s));
-  }
-  for (const auto& [name, hist] : histograms_) {
-    MetricSample s;
-    s.name = name;
-    s.kind = MetricSample::Kind::kHistogram;
-    s.count = hist->Count();
-    s.sum = hist->Sum();
-    s.buckets.resize(Histogram::kNumBuckets);
-    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      s.buckets[b] = hist->BucketCount(b);
+    s.name = *ref.name;
+    s.kind = ref.kind;
+    switch (ref.kind) {
+      case MetricSample::Kind::kCounter:
+        s.value = static_cast<double>(ref.counter->Value());
+        break;
+      case MetricSample::Kind::kGauge:
+        s.value = ref.gauge->Value();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        HistogramSnapshot snapshot = ref.histogram->Snapshot();
+        s.count = snapshot.count;
+        s.sum = snapshot.sum;
+        s.buckets.assign(snapshot.buckets.begin(), snapshot.buckets.end());
+        break;
+      }
+      case MetricSample::Kind::kStopwatch:
+        s.value = ref.stopwatch->TotalNanos() * 1e-6;  // milliseconds
+        s.count = ref.stopwatch->Count();
+        break;
     }
     out.push_back(std::move(s));
-  }
-  for (const auto& [name, sw] : stopwatches_) {
-    MetricSample s;
-    s.name = name;
-    s.kind = MetricSample::Kind::kStopwatch;
-    s.value = sw->TotalNanos() * 1e-6;  // milliseconds
-    s.count = sw->Count();
-    out.push_back(std::move(s));
-  }
+  });
+  // Registration order varies run to run; (kind, name) keeps reports stable.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.name < b.name;
+            });
   return out;
 }
 
@@ -173,7 +272,7 @@ std::string MetricsRegistry::RenderJson() const {
       if (!first) out += ',';
       first = false;
       out += '"';
-      out += s.name;  // metric names are [a-z0-9_/]+, no escaping needed
+      out += s.name;  // names are sanitized to [A-Za-z0-9_./:-], JSON-safe
       out += "\":";
       append_value(out, s);
     }

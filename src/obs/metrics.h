@@ -1,8 +1,10 @@
 #ifndef CPGAN_OBS_METRICS_H_
 #define CPGAN_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -67,6 +69,31 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Point-in-time copy of one histogram's state. Snapshots of the same
+/// histogram taken at two times can be subtracted (`DeltaSince`) to get the
+/// observations that landed in between — the basis of the periodic
+/// exporter's true-delta output and the SLO tracker's sliding window.
+struct HistogramSnapshot {
+  static constexpr int kNumBuckets = 48;  // mirrors Histogram::kNumBuckets
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  /// Observations recorded after `earlier` was taken (per-field saturating
+  /// subtraction, so a concurrent Reset between the two snapshots yields
+  /// zeros instead of wrapped garbage).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+
+  /// Merges another snapshot's observations into this one.
+  void Accumulate(const HistogramSnapshot& other);
+
+  /// Quantile estimate (q in [0, 1]) interpolated linearly inside the
+  /// log-scale landing bucket; 0 when the snapshot is empty. Units are
+  /// whatever was observed (nanoseconds for latency histograms).
+  double Quantile(double q) const;
+};
+
 /// Histogram over non-negative integer samples (nanoseconds, bytes, counts)
 /// with fixed log-scale (powers-of-two) buckets:
 ///
@@ -98,6 +125,11 @@ class Histogram {
     return buckets_[bucket].load(std::memory_order_relaxed);
   }
   void Reset();
+
+  /// Relaxed-atomic copy of the current state. Not a consistent cut across
+  /// concurrent Observe calls — each field is individually torn-free, which
+  /// is all delta exposition needs.
+  HistogramSnapshot Snapshot() const;
 
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets]{};
@@ -151,8 +183,32 @@ struct MetricSample {
   std::vector<uint64_t> buckets;   // histogram only (kNumBuckets entries)
 };
 
+/// One registered instrument, handed to VisitAll callbacks. Exactly one of
+/// the typed pointers is non-null (matching `kind`); `name` points at the
+/// registry-owned key and stays valid for the process lifetime.
+struct InstrumentRef {
+  const std::string* name = nullptr;
+  MetricSample::Kind kind = MetricSample::Kind::kCounter;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+  const Stopwatch* stopwatch = nullptr;
+};
+
+/// Canonical form of a metric name: `[A-Za-z0-9_./:-]+`, starting with a
+/// letter or underscore. Anything else is rewritten at registration —
+/// offending characters become '_', a leading digit gains a '_' prefix, an
+/// empty name becomes "_unnamed" — so downstream exposition (Prometheus
+/// text format, JSON keys) can never be handed an unrepresentable name.
+std::string SanitizeMetricName(std::string_view name);
+
+/// True when `name` is already in canonical form (no rewrite needed).
+bool IsValidMetricName(std::string_view name);
+
 /// Named instrument registry. Lookups are find-or-create under a mutex and
-/// return pointers that stay valid for the registry's lifetime.
+/// return pointers that stay valid for the registry's lifetime. Names are
+/// sanitized at registration (SanitizeMetricName), so two spellings that
+/// sanitize identically share one instrument.
 class MetricsRegistry {
  public:
   /// Process-wide registry used by all instrumented subsystems.
@@ -163,8 +219,19 @@ class MetricsRegistry {
   Histogram* FindHistogram(std::string_view name);
   Stopwatch* FindStopwatch(std::string_view name);
 
+  /// Visits every registered instrument in registration order. The lock is
+  /// held only to copy a flat vector of stable refs (instruments and names
+  /// never move or die), so the visitor runs without blocking the hot-path
+  /// find-or-create — and may itself call Find* without deadlocking.
+  void VisitAll(const std::function<void(const InstrumentRef&)>& visitor) const;
+
   /// Copies every instrument's current state, sorted by (kind, name).
-  std::vector<MetricSample> Snapshot() const;
+  /// Built on VisitAll: the registry lock is released before any instrument
+  /// state is read.
+  std::vector<MetricSample> SnapshotAll() const;
+
+  /// Back-compat alias for SnapshotAll().
+  std::vector<MetricSample> Snapshot() const { return SnapshotAll(); }
 
   /// Zeroes every instrument (instruments stay registered; pointers remain
   /// valid). For test isolation and per-run deltas.
@@ -177,11 +244,19 @@ class MetricsRegistry {
   std::string RenderJson() const;
 
  private:
+  template <typename T>
+  T* FindOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                  std::string_view name, MetricSample::Kind kind);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, std::unique_ptr<Stopwatch>, std::less<>> stopwatches_;
+  // Registration-ordered refs backing VisitAll; guarded by mutex_, but the
+  // pointed-at names (map keys) and instruments are immortal, so a copy of
+  // this vector can be walked lock-free.
+  std::vector<InstrumentRef> index_;
 };
 
 }  // namespace cpgan::obs

@@ -1,0 +1,368 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+#include "util/fileio.h"
+#include "util/table.h"
+
+namespace cpgan::obs {
+
+namespace {
+
+std::string FormatDouble(double value, const char* fmt = "%.3f") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, value);
+  return buffer;
+}
+
+/// Splits `text` into lines (without terminators); a missing trailing
+/// newline still yields the final line.
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+// ----- Exporter snapshot logs -----
+
+struct SnapshotDigest {
+  int files = 0;
+  int snapshots = 0;
+  int skipped_lines = 0;
+  int64_t first_unix_time = 0;
+  int64_t last_unix_time = 0;
+  // Final cumulative totals win (last snapshot seen per file); deltas are
+  // summed so histogram percentiles cover the whole logged interval even
+  // across registry resets.
+  std::map<std::string, double> counter_totals;
+  std::map<std::string, double> gauge_last;
+  std::map<std::string, HistogramSnapshot> histogram_windows;
+  std::map<std::string, std::pair<double, uint64_t>> stopwatch_totals;
+};
+
+void MergeSnapshotLine(const JsonValue& snap, SnapshotDigest& digest) {
+  ++digest.snapshots;
+  const int64_t t = static_cast<int64_t>(snap.NumberOr("unix_time", 0.0));
+  if (t > 0) {
+    if (digest.first_unix_time == 0) digest.first_unix_time = t;
+    digest.last_unix_time = t;
+  }
+  if (const JsonValue* counters = snap.Find("counters")) {
+    for (const auto& [name, value] : counters->members()) {
+      digest.counter_totals[name] = value.NumberOr("total", 0.0);
+    }
+  }
+  if (const JsonValue* gauges = snap.Find("gauges")) {
+    for (const auto& [name, value] : gauges->members()) {
+      if (value.is_number()) digest.gauge_last[name] = value.number_value();
+    }
+  }
+  if (const JsonValue* histograms = snap.Find("histograms")) {
+    for (const auto& [name, value] : histograms->members()) {
+      HistogramSnapshot delta;
+      delta.count =
+          static_cast<uint64_t>(value.NumberOr("delta_count", 0.0));
+      delta.sum = static_cast<uint64_t>(value.NumberOr("delta_sum", 0.0));
+      if (const JsonValue* buckets = value.Find("delta_buckets")) {
+        const auto& items = buckets->items();
+        const size_t n = std::min(
+            items.size(), static_cast<size_t>(HistogramSnapshot::kNumBuckets));
+        for (size_t b = 0; b < n; ++b) {
+          delta.buckets[b] =
+              static_cast<uint64_t>(items[b].number_value());
+        }
+      }
+      digest.histogram_windows[name].Accumulate(delta);
+    }
+  }
+  if (const JsonValue* stopwatches = snap.Find("stopwatches")) {
+    for (const auto& [name, value] : stopwatches->members()) {
+      digest.stopwatch_totals[name] = {
+          value.NumberOr("ms", 0.0),
+          static_cast<uint64_t>(value.NumberOr("count", 0.0))};
+    }
+  }
+}
+
+void RenderSnapshotSection(const SnapshotDigest& digest, std::string& out) {
+  out += "== Metric snapshots ==\n";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "files=%d snapshots=%d skipped_lines=%d span_s=%lld\n\n",
+                digest.files, digest.snapshots, digest.skipped_lines,
+                static_cast<long long>(digest.last_unix_time -
+                                       digest.first_unix_time));
+  out += line;
+  if (digest.snapshots == 0) return;
+
+  if (!digest.counter_totals.empty()) {
+    util::Table counters({"counter", "total"});
+    for (const auto& [name, total] : digest.counter_totals) {
+      counters.AddRow({name, FormatDouble(total, "%.0f")});
+    }
+    out += counters.Render();
+    out += '\n';
+  }
+  if (!digest.histogram_windows.empty()) {
+    util::Table histograms(
+        {"histogram", "count", "p50", "p95", "p99", "mean"});
+    for (const auto& [name, window] : digest.histogram_windows) {
+      const double mean =
+          window.count > 0 ? static_cast<double>(window.sum) /
+                                 static_cast<double>(window.count)
+                           : 0.0;
+      histograms.AddRow({name, std::to_string(window.count),
+                         FormatDouble(window.Quantile(0.50), "%.0f"),
+                         FormatDouble(window.Quantile(0.95), "%.0f"),
+                         FormatDouble(window.Quantile(0.99), "%.0f"),
+                         FormatDouble(mean, "%.0f")});
+    }
+    out += histograms.Render();
+    out += "(histogram columns are in observed units; serve.latency_ns is "
+           "nanoseconds)\n\n";
+  }
+  if (!digest.stopwatch_totals.empty()) {
+    util::Table stopwatches({"stopwatch", "total ms", "calls"});
+    for (const auto& [name, totals] : digest.stopwatch_totals) {
+      stopwatches.AddRow({name, FormatDouble(totals.first),
+                          std::to_string(totals.second)});
+    }
+    out += stopwatches.Render();
+    out += '\n';
+  }
+  if (!digest.gauge_last.empty()) {
+    util::Table gauges({"gauge", "last value"});
+    for (const auto& [name, value] : digest.gauge_last) {
+      gauges.AddRow({name, FormatDouble(value)});
+    }
+    out += gauges.Render();
+    out += '\n';
+  }
+}
+
+// ----- Training run logs -----
+
+struct RunLogDigest {
+  std::string path;
+  int epochs = 0;
+  int snapshot_lines = 0;
+  int skipped_lines = 0;
+  double last_g_loss = 0.0;
+  double total_epoch_ms = 0.0;
+  int guard_trips = 0;
+  int rollbacks = 0;
+  int checkpoints = 0;
+  int64_t peak_bytes = 0;
+};
+
+void RenderRunLogSection(const std::vector<RunLogDigest>& digests,
+                         std::string& out) {
+  out += "== Training run logs ==\n";
+  util::Table table({"run log", "epochs", "last g_loss", "mean epoch ms",
+                     "guard trips", "rollbacks", "ckpts", "peak MiB",
+                     "snapshots"});
+  for (const RunLogDigest& d : digests) {
+    table.AddRow(
+        {d.path, std::to_string(d.epochs), FormatDouble(d.last_g_loss, "%.4f"),
+         FormatDouble(d.epochs > 0 ? d.total_epoch_ms / d.epochs : 0.0),
+         std::to_string(d.guard_trips), std::to_string(d.rollbacks),
+         std::to_string(d.checkpoints),
+         FormatDouble(static_cast<double>(d.peak_bytes) / (1024.0 * 1024.0),
+                      "%.1f"),
+         std::to_string(d.snapshot_lines)});
+  }
+  out += table.Render();
+  out += '\n';
+}
+
+// ----- Chrome traces -----
+
+struct TraceDigest {
+  int files = 0;
+  int events = 0;
+  int requests = 0;  // distinct request lanes across all files
+  std::map<std::string, std::pair<uint64_t, double>> by_name;  // calls, ms
+};
+
+void MergeTraceFile(const JsonValue& doc, TraceDigest& digest) {
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) return;
+  std::map<double, bool> request_pids;
+  for (const JsonValue& event : events->items()) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string_value() != "X") {
+      continue;  // metadata events
+    }
+    ++digest.events;
+    const JsonValue* name = event.Find("name");
+    const std::string key =
+        name != nullptr && name->is_string() ? name->string_value() : "?";
+    auto& [calls, ms] = digest.by_name[key];
+    calls += 1;
+    ms += event.NumberOr("dur", 0.0) * 1e-3;  // micros -> ms
+    const double pid = event.NumberOr("pid", 1.0);
+    if (pid > 1.0) request_pids[pid] = true;
+  }
+  digest.requests += static_cast<int>(request_pids.size());
+}
+
+void RenderTraceSection(const TraceDigest& digest, std::string& out) {
+  out += "== Traces ==\n";
+  char line[128];
+  std::snprintf(line, sizeof(line), "files=%d events=%d request_lanes=%d\n\n",
+                digest.files, digest.events, digest.requests);
+  out += line;
+  if (digest.by_name.empty()) return;
+  // Top spans by total time.
+  std::vector<std::pair<std::string, std::pair<uint64_t, double>>> ordered(
+      digest.by_name.begin(), digest.by_name.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.second > b.second.second;
+                   });
+  if (ordered.size() > 20) ordered.resize(20);
+  util::Table table({"span", "calls", "total ms"});
+  for (const auto& [name, totals] : ordered) {
+    table.AddRow(
+        {name, std::to_string(totals.first), FormatDouble(totals.second)});
+  }
+  out += table.Render();
+  out += '\n';
+}
+
+}  // namespace
+
+std::string RenderObsReport(const ObsReportOptions& options,
+                            std::string* error) {
+  SnapshotDigest snapshots;
+  std::vector<RunLogDigest> runlogs;
+  TraceDigest traces;
+  std::vector<std::string> unreadable;
+  int readable = 0;
+
+  for (const std::string& path : options.snapshot_paths) {
+    std::string text;
+    if (!util::ReadFileToString(path, &text)) {
+      unreadable.push_back(path);
+      continue;
+    }
+    ++readable;
+    ++snapshots.files;
+    for (std::string_view line : SplitLines(text)) {
+      if (line.empty()) continue;
+      JsonValue snap;
+      const JsonValue* kind = nullptr;
+      if (!JsonValue::Parse(line, &snap) ||
+          (kind = snap.Find("kind")) == nullptr || !kind->is_string() ||
+          kind->string_value() != "metrics_snapshot") {
+        ++snapshots.skipped_lines;
+        continue;
+      }
+      MergeSnapshotLine(snap, snapshots);
+    }
+  }
+
+  for (const std::string& path : options.runlog_paths) {
+    std::string text;
+    if (!util::ReadFileToString(path, &text)) {
+      unreadable.push_back(path);
+      continue;
+    }
+    ++readable;
+    RunLogDigest digest;
+    digest.path = path;
+    for (std::string_view line : SplitLines(text)) {
+      if (line.empty()) continue;
+      JsonValue record;
+      if (!JsonValue::Parse(line, &record)) {
+        ++digest.skipped_lines;
+        continue;
+      }
+      const JsonValue* kind = record.Find("kind");
+      if (kind != nullptr && kind->is_string() &&
+          kind->string_value() == "metrics_snapshot") {
+        ++digest.snapshot_lines;
+        // The embedded registry dump also feeds the merged metric view, so
+        // training-only artifacts still produce a snapshot section.
+        if (const JsonValue* metrics = record.Find("metrics")) {
+          if (const JsonValue* counters = metrics->Find("counters")) {
+            for (const auto& [name, value] : counters->members()) {
+              if (value.is_number()) {
+                snapshots.counter_totals[name] = value.number_value();
+              }
+            }
+          }
+        }
+        continue;
+      }
+      EpochRecord epoch;
+      if (!EpochRecordFromJson(record, &epoch)) {
+        ++digest.skipped_lines;
+        continue;
+      }
+      ++digest.epochs;
+      digest.last_g_loss = epoch.g_loss;
+      digest.total_epoch_ms += epoch.epoch_ms;
+      digest.guard_trips += epoch.guard_trips;
+      digest.rollbacks += epoch.rollbacks;
+      if (epoch.wrote_checkpoint) ++digest.checkpoints;
+      digest.peak_bytes = std::max(digest.peak_bytes, epoch.peak_bytes);
+    }
+    runlogs.push_back(std::move(digest));
+  }
+
+  for (const std::string& path : options.trace_paths) {
+    std::string text;
+    if (!util::ReadFileToString(path, &text)) {
+      unreadable.push_back(path);
+      continue;
+    }
+    ++readable;
+    JsonValue doc;
+    if (JsonValue::Parse(text, &doc)) {
+      ++traces.files;
+      MergeTraceFile(doc, traces);
+    } else {
+      unreadable.push_back(path + " (parse failure)");
+    }
+  }
+
+  if (readable == 0) {
+    if (error != nullptr) {
+      *error = unreadable.empty() ? "no input files given"
+                                  : "no readable input among " +
+                                        std::to_string(unreadable.size()) +
+                                        " file(s)";
+    }
+    return "";
+  }
+
+  std::string out = "cpgan observability report\n";
+  out += "==========================\n\n";
+  if (snapshots.files > 0 || !snapshots.counter_totals.empty()) {
+    RenderSnapshotSection(snapshots, out);
+  }
+  if (!runlogs.empty()) RenderRunLogSection(runlogs, out);
+  if (traces.files > 0) RenderTraceSection(traces, out);
+  if (!unreadable.empty()) {
+    out += "== Skipped inputs ==\n";
+    for (const std::string& path : unreadable) {
+      out += "  " + path + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cpgan::obs

@@ -1,0 +1,34 @@
+#ifndef CPGAN_OBS_REPORT_H_
+#define CPGAN_OBS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace cpgan::obs {
+
+/// \file
+/// Offline observability report (`cpgan_cli obs-report`;
+/// docs/OBSERVABILITY.md, "Offline reports").
+///
+/// Merges the artifacts the live plane leaves behind — exporter JSONL
+/// snapshot logs, training run logs, Chrome trace files — into one
+/// human-readable summary: counter totals, histogram percentiles
+/// reconstructed from summed snapshot deltas, final gauge values (including
+/// serve.slo.* health), per-run training digests, and per-request span
+/// totals from traces.
+
+struct ObsReportOptions {
+  std::vector<std::string> snapshot_paths;  // exporter JSONL (--snapshots)
+  std::vector<std::string> runlog_paths;    // training run logs (--runlog)
+  std::vector<std::string> trace_paths;     // Chrome trace JSON (--trace)
+};
+
+/// Renders the merged report. Unreadable files and unparseable lines are
+/// noted in the report body rather than failing the whole run; returns an
+/// empty string and sets `*error` only when no input could be read at all.
+std::string RenderObsReport(const ObsReportOptions& options,
+                            std::string* error);
+
+}  // namespace cpgan::obs
+
+#endif  // CPGAN_OBS_REPORT_H_

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace cpgan::obs {
@@ -135,6 +136,26 @@ bool RunLogger::Open(const std::string& path) {
 bool RunLogger::Log(const EpochRecord& record) {
   std::string line = EpochRecordToJson(record).Serialize();
   line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return false;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    CPGAN_LOG(Error) << "metrics log write failed for " << path_
+                     << "; disabling run logging";
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  ++records_written_;
+  return true;
+}
+
+bool RunLogger::LogMetricsSnapshot(int epoch) {
+  std::string line = "{\"schema\":1,\"kind\":\"metrics_snapshot\",\"epoch\":";
+  line += std::to_string(epoch);
+  line += ",\"metrics\":";
+  line += MetricsRegistry::Global().RenderJson();
+  line += "}\n";
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return false;
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||

@@ -65,6 +65,13 @@ class RunLogger {
   /// Writes one record as a JSONL line. No-op (returns false) when not open.
   bool Log(const EpochRecord& record);
 
+  /// Writes a full metrics-registry snapshot as one JSONL line tagged
+  /// {"kind":"metrics_snapshot","epoch":N,"metrics":{...}} (the registry's
+  /// RenderJson object). Off the per-epoch schema on purpose: consumers
+  /// that iterate epoch records skip lines carrying a "kind" member, and
+  /// the snapshot cadence is opt-in (CpganConfig::metrics_snapshot_every).
+  bool LogMetricsSnapshot(int epoch);
+
   void Close();
 
   int records_written() const { return records_written_; }

@@ -1,0 +1,133 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cpgan::obs {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SloTracker::SloTracker(const SloConfig& config) : config_(config) {
+  if (config_.slots < 1) config_.slots = 1;
+  if (config_.window_s <= 0.0) config_.window_s = 1.0;
+  config_.latency_objective =
+      std::min(std::max(config_.latency_objective, 0.0), 1.0);
+  config_.availability_objective =
+      std::min(std::max(config_.availability_objective, 0.0), 1.0);
+  slot_ns_ = static_cast<uint64_t>(config_.window_s * 1e9 /
+                                   static_cast<double>(config_.slots));
+  if (slot_ns_ == 0) slot_ns_ = 1;
+  latency_target_ns_ =
+      static_cast<uint64_t>(config_.latency_target_ms * 1e6);
+  ring_.resize(static_cast<size_t>(config_.slots));
+}
+
+void SloTracker::AdvanceTo(uint64_t epoch) {
+  if (epoch <= current_epoch_) return;
+  // Clear every slot that the window slid past. Jumping more than a full
+  // ring ahead clears everything once.
+  const uint64_t steps =
+      std::min(epoch - current_epoch_, static_cast<uint64_t>(ring_.size()));
+  for (uint64_t i = 1; i <= steps; ++i) {
+    Slot& slot = ring_[(current_epoch_ + i) % ring_.size()];
+    slot = Slot{};
+  }
+  current_epoch_ = epoch;
+}
+
+void SloTracker::Observe(uint64_t latency_ns, bool ok) {
+  ObserveAt(NowNanos(), latency_ns, ok);
+}
+
+void SloTracker::ObserveAt(uint64_t now_ns, uint64_t latency_ns, bool ok) {
+  const uint64_t epoch = now_ns / slot_ns_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdvanceTo(epoch);
+  Slot& slot = ring_[epoch % ring_.size()];
+  slot.epoch = epoch;
+  slot.used = true;
+  slot.hist.count += 1;
+  slot.hist.sum += latency_ns;
+  slot.hist.buckets[static_cast<size_t>(Histogram::BucketFor(latency_ns))] +=
+      1;
+  if (!ok) slot.errors += 1;
+  if (latency_ns > latency_target_ns_) slot.slow += 1;
+}
+
+SloSnapshot SloTracker::Snapshot() const { return SnapshotAt(NowNanos()); }
+
+SloSnapshot SloTracker::SnapshotAt(uint64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SnapshotLocked(now_ns);
+}
+
+SloSnapshot SloTracker::SnapshotLocked(uint64_t now_ns) const {
+  const uint64_t epoch = now_ns / slot_ns_;
+  const uint64_t oldest =
+      epoch >= ring_.size() - 1 ? epoch - (ring_.size() - 1) : 0;
+
+  SloSnapshot out;
+  out.window_s = config_.window_s;
+  HistogramSnapshot window;
+  for (const Slot& slot : ring_) {
+    if (!slot.used || slot.epoch < oldest || slot.epoch > epoch) continue;
+    window.Accumulate(slot.hist);
+    out.errors += slot.errors;
+    out.slow += slot.slow;
+  }
+  out.total = window.count;
+  if (out.total == 0) return out;
+
+  out.p50_ms = window.Quantile(0.50) * 1e-6;
+  out.p95_ms = window.Quantile(0.95) * 1e-6;
+  out.p99_ms = window.Quantile(0.99) * 1e-6;
+
+  const double total = static_cast<double>(out.total);
+  out.availability = 1.0 - static_cast<double>(out.errors) / total;
+  out.latency_compliance = 1.0 - static_cast<double>(out.slow) / total;
+
+  const double availability_budget = 1.0 - config_.availability_objective;
+  const double latency_budget = 1.0 - config_.latency_objective;
+  // A zero budget (objective == 1.0) makes any bad request an infinite burn
+  // rate; clamp to a large sentinel instead of dividing by zero.
+  constexpr double kMaxBurnRate = 1e6;
+  const double error_fraction = static_cast<double>(out.errors) / total;
+  const double slow_fraction = static_cast<double>(out.slow) / total;
+  out.availability_burn_rate =
+      availability_budget > 0.0
+          ? std::min(error_fraction / availability_budget, kMaxBurnRate)
+          : (out.errors > 0 ? kMaxBurnRate : 0.0);
+  out.latency_burn_rate =
+      latency_budget > 0.0
+          ? std::min(slow_fraction / latency_budget, kMaxBurnRate)
+          : (out.slow > 0 ? kMaxBurnRate : 0.0);
+  return out;
+}
+
+void SloTracker::PublishGauges(const std::string& prefix) const {
+  const SloSnapshot snap = Snapshot();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.FindGauge(prefix + ".p50_ms")->Set(snap.p50_ms);
+  registry.FindGauge(prefix + ".p95_ms")->Set(snap.p95_ms);
+  registry.FindGauge(prefix + ".p99_ms")->Set(snap.p99_ms);
+  registry.FindGauge(prefix + ".availability")->Set(snap.availability);
+  registry.FindGauge(prefix + ".latency_compliance")
+      ->Set(snap.latency_compliance);
+  registry.FindGauge(prefix + ".availability_burn_rate")
+      ->Set(snap.availability_burn_rate);
+  registry.FindGauge(prefix + ".latency_burn_rate")
+      ->Set(snap.latency_burn_rate);
+  registry.FindGauge(prefix + ".window_total")
+      ->Set(static_cast<double>(snap.total));
+}
+
+}  // namespace cpgan::obs

@@ -1,0 +1,118 @@
+#ifndef CPGAN_OBS_SLO_H_
+#define CPGAN_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cpgan::obs {
+
+/// \file
+/// Sliding-window SLO tracking (docs/OBSERVABILITY.md, "SLO tracking").
+///
+/// SloTracker accumulates request outcomes (latency + success) into a ring
+/// of log-bucket histogram slots covering a sliding time window, and
+/// derives from that window:
+///
+///  * latency percentiles (p50/p95/p99) over the window;
+///  * availability (fraction of requests that succeeded);
+///  * error-budget burn rates for both the availability objective and the
+///    latency objective. A burn rate of 1.0 means the service is consuming
+///    its error budget exactly as fast as the objective allows; >1 means
+///    the budget will be exhausted before the SLO period ends.
+///
+/// Observations and snapshots are mutex-guarded (requests touch the tracker
+/// once per completion — this is nowhere near the serving hot path), and
+/// everything is derived from the same power-of-two bucket scheme as
+/// obs::Histogram, so exporter histograms and SLO percentiles agree.
+
+struct SloConfig {
+  /// Latency objective: `latency_objective` of requests complete within
+  /// `latency_target_ms`.
+  double latency_target_ms = 50.0;
+  double latency_objective = 0.99;
+
+  /// Availability objective: this fraction of requests succeed.
+  double availability_objective = 0.999;
+
+  /// Sliding window length. Requests older than this no longer influence
+  /// percentiles or burn rates.
+  double window_s = 60.0;
+
+  /// Ring granularity: the window is divided into this many slots, and one
+  /// slot's worth of history expires at a time.
+  int slots = 12;
+};
+
+/// Derived view of the current window.
+struct SloSnapshot {
+  uint64_t total = 0;      // requests in the window
+  uint64_t errors = 0;     // failed requests in the window
+  uint64_t slow = 0;       // requests over latency_target_ms in the window
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double availability = 1.0;         // 1 - errors/total (1 when empty)
+  double latency_compliance = 1.0;   // 1 - slow/total (1 when empty)
+  /// Error-budget burn rates: observed bad fraction divided by the budget
+  /// the objective allows (0 when the window is empty; 1.0 = burning the
+  /// budget exactly at the allowed rate).
+  double availability_burn_rate = 0.0;
+  double latency_burn_rate = 0.0;
+  double window_s = 0.0;   // config echo, for consumers of STATS/JSONL
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(const SloConfig& config);
+
+  /// Records one completed request. `ok` is the availability outcome
+  /// (shed/timeout/failure => false); latency counts toward the latency
+  /// objective regardless of outcome.
+  void Observe(uint64_t latency_ns, bool ok);
+
+  /// Derives the current window's percentiles and burn rates.
+  SloSnapshot Snapshot() const;
+
+  /// Deterministic-time variants for tests: `now_ns` is any monotonic
+  /// nanosecond clock (slots advance as it crosses slot boundaries).
+  void ObserveAt(uint64_t now_ns, uint64_t latency_ns, bool ok);
+  SloSnapshot SnapshotAt(uint64_t now_ns) const;
+
+  /// Publishes Snapshot() as gauges `<prefix>.p50_ms`, `.p95_ms`,
+  /// `.p99_ms`, `.availability`, `.latency_compliance`,
+  /// `.availability_burn_rate`, `.latency_burn_rate`, `.window_total` on
+  /// the global registry — the exporter's on_tick hook calls this so SLO
+  /// health lands in every snapshot.
+  void PublishGauges(const std::string& prefix) const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    HistogramSnapshot hist;  // latency observations (ns)
+    uint64_t errors = 0;
+    uint64_t slow = 0;
+    uint64_t epoch = 0;      // slot-time when this slot was last written
+    bool used = false;
+  };
+
+  /// Rotates the ring forward to `epoch`, clearing expired slots.
+  void AdvanceTo(uint64_t epoch);
+  SloSnapshot SnapshotLocked(uint64_t now_ns) const;
+
+  SloConfig config_;
+  uint64_t slot_ns_ = 0;       // window_s / slots, in nanoseconds
+  uint64_t latency_target_ns_ = 0;
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> ring_;
+  uint64_t current_epoch_ = 0;
+};
+
+}  // namespace cpgan::obs
+
+#endif  // CPGAN_OBS_SLO_H_

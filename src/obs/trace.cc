@@ -8,7 +8,10 @@
 #include <memory>
 #include <mutex>
 
+#include <set>
+
 #include "obs/json.h"
+#include "obs/request_context.h"
 #include "util/fileio.h"
 #include "util/table.h"
 
@@ -51,11 +54,14 @@ struct SpanNode {
   }
 };
 
-/// Completed-span record for Chrome trace export.
+/// Completed-span record for Chrome trace export. `request_id` is the
+/// request context active when the span closed (0 outside any request);
+/// the exporter groups events with a nonzero id under a per-request pid.
 struct TraceEvent {
   const char* name;
   uint64_t start_ns;
   uint64_t dur_ns;
+  uint64_t request_id;
 };
 
 /// Per-thread recording state. Owned by the global registry (never freed:
@@ -177,7 +183,8 @@ void ScopedSpan::Exit() {
   trace.current = node->parent;
   if (TraceEventsEnabled()) {
     trace.events.push_back(TraceEvent{node->name, start_ns_,
-                                      end_ns - start_ns_});
+                                      end_ns - start_ns_,
+                                      CurrentRequestId()});
   }
 }
 
@@ -257,23 +264,51 @@ std::string RenderProfile() {
 }
 
 bool WriteChromeTrace(const std::string& path) {
+  // Spans recorded inside a request context group under a per-request pid
+  // (pid = request id + 1; pid 1 is the "process" row for spans recorded
+  // outside any request), so chrome://tracing shows one lane per request
+  // with its decode/kernel spans nested, instead of one lane per thread
+  // interleaving every request. tid stays the recording thread.
+  constexpr uint64_t kProcessPid = 1;
   JsonValue events = JsonValue::Array();
+  std::set<uint64_t> request_ids;
   {
     std::lock_guard<std::mutex> registry_lock(RegistryMutex());
     for (ThreadTrace* trace : Registry()) {
       std::lock_guard<std::mutex> lock(trace->mu);
       for (const TraceEvent& event : trace->events) {
+        const uint64_t pid =
+            event.request_id == 0 ? kProcessPid : event.request_id + 1;
         JsonValue e = JsonValue::Object();
         e.Add("name", JsonValue::String(event.name));
         e.Add("cat", JsonValue::String("cpgan"));
         e.Add("ph", JsonValue::String("X"));
         e.Add("ts", JsonValue::Number(event.start_ns * 1e-3));   // micros
         e.Add("dur", JsonValue::Number(event.dur_ns * 1e-3));
-        e.Add("pid", JsonValue::Int(1));
+        e.Add("pid", JsonValue::Int(static_cast<int64_t>(pid)));
         e.Add("tid", JsonValue::Int(trace->tid));
+        if (event.request_id != 0) {
+          JsonValue args = JsonValue::Object();
+          args.Add("request_id",
+                   JsonValue::Int(static_cast<int64_t>(event.request_id)));
+          e.Add("args", std::move(args));
+          request_ids.insert(event.request_id);
+        }
         events.Append(std::move(e));
       }
     }
+  }
+  // Name the per-request lanes so the viewer shows "request 7" instead of
+  // a bare pid.
+  for (uint64_t id : request_ids) {
+    JsonValue meta = JsonValue::Object();
+    meta.Add("name", JsonValue::String("process_name"));
+    meta.Add("ph", JsonValue::String("M"));
+    meta.Add("pid", JsonValue::Int(static_cast<int64_t>(id + 1)));
+    JsonValue args = JsonValue::Object();
+    args.Add("name", JsonValue::String("request " + std::to_string(id)));
+    meta.Add("args", std::move(args));
+    events.Append(std::move(meta));
   }
   JsonValue doc = JsonValue::Object();
   doc.Add("traceEvents", std::move(events));

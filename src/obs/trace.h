@@ -25,7 +25,10 @@ namespace cpgan::obs {
 /// When tracing is disabled (the default) a span costs one relaxed atomic
 /// load. When Chrome trace-event recording is additionally enabled, every
 /// completed span appends a `trace_event` record exportable for
-/// chrome://tracing via WriteChromeTrace().
+/// chrome://tracing via WriteChromeTrace(). Spans that close while a
+/// request context is installed (obs/request_context.h) are stamped with
+/// the request id, and the Chrome export groups them into one lane per
+/// request rather than per thread.
 
 /// Span-tree collection switch (the `--profile` / `--trace` paths).
 bool TracingEnabled();

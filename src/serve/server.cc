@@ -5,6 +5,8 @@
 #include <cinttypes>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
 #include "util/fileio.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
@@ -18,6 +20,23 @@ using Clock = std::chrono::steady_clock;
 double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Absolute steady-clock expiry of `deadline`, in the form RequestContext
+/// carries (0 = unlimited). Deadline only exposes remaining time, so this
+/// re-anchors it against the same clock.
+uint64_t DeadlineNanos(const util::Deadline& deadline) {
+  if (deadline.unlimited()) return 0;
+  const double remaining_ms = deadline.remaining_ms();
+  if (remaining_ms <= 0.0) return 1;  // already expired, but not "unlimited"
+  return NowNanos() + static_cast<uint64_t>(remaining_ms * 1e6);
 }
 
 void SleepMs(double ms) {
@@ -52,7 +71,7 @@ struct Server::Job {
 };
 
 Server::Server(ModelRegistry* registry, const ServerOptions& options)
-    : registry_(registry), options_(options) {
+    : registry_(registry), options_(options), slo_(options.slo) {
   options_.num_workers = std::max(1, options_.num_workers);
   options_.queue_capacity = std::max(1, options_.queue_capacity);
   options_.watchdog_period_ms = std::max(0.1, options_.watchdog_period_ms);
@@ -84,6 +103,19 @@ void Server::Start() {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   watchdog_ = std::thread([this] { WatchdogLoop(); });
+
+  // Exporter last, so its first tick already sees the worker pool up. Its
+  // on_tick publishes SLO gauges before each snapshot; any caller-supplied
+  // hook still runs after ours.
+  obs::ExporterOptions exporter_options = options_.exporter;
+  std::function<void()> caller_tick = exporter_options.on_tick;
+  exporter_options.on_tick = [this, caller_tick] {
+    slo_.PublishGauges("serve.slo");
+    CPGAN_GAUGE_SET("serve.queue_depth", static_cast<double>(queue_depth()));
+    if (caller_tick) caller_tick();
+  };
+  exporter_ = std::make_unique<obs::MetricsExporter>(exporter_options);
+  exporter_->Start();
 }
 
 void Server::Stop() {
@@ -97,6 +129,12 @@ void Server::Stop() {
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   if (watchdog_.joinable()) watchdog_.join();
+  if (exporter_ != nullptr) {
+    // After the workers: the final flush then captures every completed
+    // request, including ones finished during the drain.
+    exporter_->Stop();
+    exporter_.reset();
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     started_ = false;
@@ -196,6 +234,16 @@ void Server::WatchdogLoop() {
 }
 
 Response Server::Process(Job& job) {
+  // Everything below — degradation checks, decode, kernels, output writes —
+  // runs under this request's context: spans closed in this scope (and in
+  // any ParallelFor workers it fans out to) are stamped with the request id
+  // so the Chrome trace groups them into one lane per request.
+  obs::RequestContext context;
+  context.id = job.id;
+  context.deadline_ns = DeadlineNanos(job.deadline);
+  obs::ScopedRequestContext request_scope(context);
+  CPGAN_TRACE_SPAN("serve/request");
+
   const Request& request = job.request;
   Response response;
   response.id = job.id;
@@ -262,6 +310,7 @@ Response Server::Process(Job& job) {
   util::Rng rng(request.seed);
   graph::Graph generated(0);
   {
+    CPGAN_TRACE_SPAN("serve/decode");
     std::lock_guard<std::mutex> kernel(KernelLock());
     // Chaos: worker stall inside the decode lock — wedges the whole decode
     // engine, deliberately not interruptible (a stuck kernel would not be
@@ -351,9 +400,14 @@ void Server::Record(const Response& response) {
     CPGAN_COUNTER_ADD("serve.retries",
                       static_cast<uint64_t>(response.retries));
   }
-  CPGAN_HISTOGRAM_OBSERVE(
-      "serve.latency_ns",
-      static_cast<uint64_t>(std::max(0.0, response.latency_ms) * 1e6));
+  const uint64_t latency_ns =
+      static_cast<uint64_t>(std::max(0.0, response.latency_ms) * 1e6);
+  CPGAN_HISTOGRAM_OBSERVE("serve.latency_ns", latency_ns);
+  // SLO view of the same outcome: degraded responses still count as
+  // available (the ladder exists precisely to keep them so), everything
+  // else eats the availability error budget.
+  slo_.Observe(latency_ns, response.status == ResponseStatus::kOk ||
+                               response.status == ResponseStatus::kDegraded);
 }
 
 bool Server::AppendRequestLog(const Response& response, int* log_retries) {
@@ -386,7 +440,8 @@ bool Server::AppendRequestLog(const Response& response, int* log_retries) {
 std::string Server::StatsLine(uint64_t id) {
   ServerStats stats = Stats();
   int depth = queue_depth();
-  char buffer[512];
+  obs::SloSnapshot slo = slo_.Snapshot();
+  char buffer[1024];
   std::snprintf(
       buffer, sizeof(buffer),
       "id=%" PRIu64
@@ -394,10 +449,20 @@ std::string Server::StatsLine(uint64_t id) {
       ",\"ok\":%" PRIu64 ",\"degraded\":%" PRIu64 ",\"shed\":%" PRIu64
       ",\"deadline_exceeded\":%" PRIu64 ",\"errors\":%" PRIu64
       ",\"retries\":%" PRIu64 ",\"watchdog_cancels\":%" PRIu64
-      ",\"queue_depth\":%d}",
+      ",\"queue_depth\":%d,"
+      "\"slo\":{\"window_total\":%" PRIu64
+      ",\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f"
+      ",\"availability\":%.6f,\"latency_compliance\":%.6f"
+      ",\"availability_burn_rate\":%.3f,\"latency_burn_rate\":%.3f"
+      ",\"window_s\":%.1f},"
+      "\"exporter\":{\"running\":%s,\"snapshots\":%d}}",
       id, stats.received, stats.completed, stats.ok, stats.degraded,
       stats.shed, stats.deadline_exceeded, stats.errors, stats.retries,
-      stats.watchdog_cancels, depth);
+      stats.watchdog_cancels, depth, slo.total, slo.p50_ms, slo.p95_ms,
+      slo.p99_ms, slo.availability, slo.latency_compliance,
+      slo.availability_burn_rate, slo.latency_burn_rate, slo.window_s,
+      exporter_ != nullptr && exporter_->running() ? "true" : "false",
+      exporter_ != nullptr ? exporter_->snapshots_written() : 0);
   return buffer;
 }
 

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/exporter.h"
+#include "obs/slo.h"
 #include "serve/chaos.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
@@ -61,6 +63,16 @@ struct ServerOptions {
 
   /// JSONL request log (one record per response). Empty disables.
   std::string request_log;
+
+  /// Live observability plane (docs/OBSERVABILITY.md): periodic exporter
+  /// sinks (Prometheus text file + JSONL snapshots; both paths empty
+  /// disables the background thread) and the SLO objectives evaluated over
+  /// a sliding window of completed requests. The server owns the exporter
+  /// lifecycle (Start spawns it, Stop flushes and joins it) and publishes
+  /// SLO health as `serve.slo.*` gauges on every exporter tick, so each
+  /// snapshot carries burn rates consistent with its raw histograms.
+  obs::ExporterOptions exporter;
+  obs::SloConfig slo;
 };
 
 /// Aggregate counters, readable at any time (also exported through the
@@ -123,6 +135,13 @@ class Server {
   int queue_depth() const;
   const ServerOptions& options() const { return options_; }
 
+  /// Current SLO window (percentiles, availability, burn rates). The same
+  /// numbers the STATS verb reports and the exporter publishes as gauges.
+  obs::SloSnapshot SloStatus() const { return slo_.Snapshot(); }
+
+  /// The live exporter, or nullptr when not started / both sinks disabled.
+  obs::MetricsExporter* exporter() { return exporter_.get(); }
+
  private:
   struct Job;
 
@@ -146,6 +165,8 @@ class Server {
   ModelRegistry* registry_;
   ServerOptions options_;
   ChaosInjector chaos_;
+  obs::SloTracker slo_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
 
   std::atomic<uint64_t> next_id_{1};
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "util/check.h"
 
 namespace cpgan::util {
@@ -114,6 +115,7 @@ void ThreadPool::ParallelForChunked(
 
   Job job;
   job.fn = &fn;
+  job.request_context = obs::CurrentRequestContext();
   job.begin = begin;
   job.end = end;
   job.grain = grain;
@@ -174,6 +176,9 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ExecuteChunks(Job& job) {
+  // Adopt the posting thread's request context for the duration of this
+  // region (a no-op re-install on the posting thread itself).
+  obs::ScopedRequestContext request_scope(job.request_context);
   int64_t executed = 0;
   for (;;) {
     int64_t c;

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/request_context.h"
+
 namespace cpgan::util {
 
 /// Persistent work-sharing thread pool behind every parallel kernel.
@@ -77,6 +79,11 @@ class ThreadPool {
   /// and the caller waits for `workers_inside == 0` before returning.
   struct Job {
     const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
+    // Request-scoped trace context of the posting thread, re-installed on
+    // every worker while it executes chunks of this region, so spans inside
+    // kernels stay attributed to the request that issued them
+    // (observational only — never read by the work itself).
+    obs::RequestContext request_context;
     int64_t begin = 0;
     int64_t end = 0;
     int64_t grain = 1;

@@ -1,0 +1,328 @@
+// Exporter + registry-surface tests: histogram snapshot deltas and
+// quantiles, VisitAll's lock discipline, metric-name hygiene at
+// registration, Prometheus exposition validity, exporter lifecycle
+// (start/stop/flush-on-shutdown), and JSONL integrity under concurrent
+// writers. Runs under ASan/TSan via the sanitizer builds (docs/TESTING.md).
+
+#include "obs/exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/fileio.h"
+
+namespace cpgan::obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::string text;
+  EXPECT_TRUE(util::ReadFileToString(path, &text)) << path;
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(HistogramSnapshotTest, DeltaSinceSubtractsPerField) {
+  Histogram histogram;
+  histogram.Observe(10);
+  histogram.Observe(100);
+  HistogramSnapshot first = histogram.Snapshot();
+  histogram.Observe(1000);
+  HistogramSnapshot second = histogram.Snapshot();
+
+  HistogramSnapshot delta = second.DeltaSince(first);
+  EXPECT_EQ(delta.count, 1u);
+  EXPECT_EQ(delta.sum, 1000u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketFor(1000)], 1u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketFor(10)], 0u);
+
+  // A Reset between snapshots saturates to zero instead of wrapping.
+  histogram.Reset();
+  HistogramSnapshot after_reset = histogram.Snapshot();
+  HistogramSnapshot wrapped = after_reset.DeltaSince(second);
+  EXPECT_EQ(wrapped.count, 0u);
+  EXPECT_EQ(wrapped.sum, 0u);
+}
+
+TEST(HistogramSnapshotTest, QuantileInterpolatesWithinBucket) {
+  HistogramSnapshot snapshot;
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 0.0);  // empty
+
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Observe(100);  // bucket [64,128)
+  snapshot = histogram.Snapshot();
+  double p50 = snapshot.Quantile(0.5);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+  // p99 cannot be below p50 by construction.
+  EXPECT_GE(snapshot.Quantile(0.99), p50);
+}
+
+TEST(HistogramSnapshotTest, AccumulateMergesCounts) {
+  Histogram a, b;
+  a.Observe(5);
+  b.Observe(500);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Accumulate(b.Snapshot());
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.sum, 505u);
+}
+
+TEST(RegistrySurfaceTest, VisitAllSeesEveryKindAndAllowsFindReentry) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.FindCounter("test/visit_counter")->Increment(3);
+  registry.FindGauge("test/visit_gauge")->Set(1.0);
+  registry.FindHistogram("test/visit_hist")->Observe(8);
+  registry.FindStopwatch("test/visit_sw")->AddNanos(10);
+
+  std::set<std::string> seen;
+  registry.VisitAll([&](const InstrumentRef& ref) {
+    seen.insert(*ref.name);
+    // Re-entering the registry from a visitor must not deadlock: the lock
+    // is only held to copy the index, not during visitation.
+    registry.FindCounter("test/visit_counter");
+  });
+  EXPECT_TRUE(seen.count("test/visit_counter"));
+  EXPECT_TRUE(seen.count("test/visit_gauge"));
+  EXPECT_TRUE(seen.count("test/visit_hist"));
+  EXPECT_TRUE(seen.count("test/visit_sw"));
+}
+
+TEST(RegistrySurfaceTest, NameHygienePinnedAtRegistration) {
+  EXPECT_TRUE(IsValidMetricName("serve.latency_ns"));
+  EXPECT_TRUE(IsValidMetricName("a/b:c-d_e.f"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("1starts_with_digit"));
+  EXPECT_FALSE(IsValidMetricName("quote\"inside"));
+
+  EXPECT_EQ(SanitizeMetricName("has space"), "has_space");
+  EXPECT_EQ(SanitizeMetricName("1x"), "_1x");
+  EXPECT_EQ(SanitizeMetricName(""), "_unnamed");
+  EXPECT_EQ(SanitizeMetricName("quote\"in\nside"), "quote_in_side");
+
+  // Registration sanitizes: a hostile spelling lands under its canonical
+  // name, and two spellings that sanitize identically share an instrument.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* hostile = registry.FindCounter("bad name\"x");
+  Counter* canonical = registry.FindCounter("bad_name_x");
+  EXPECT_EQ(hostile, canonical);
+}
+
+/// Every exposition line must be a comment or `name{labels} value` with the
+/// name in the Prometheus charset — the renderer contract the name-hygiene
+/// satellite pins.
+void ExpectValidPrometheus(const std::string& text) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "unterminated final line";
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    size_t name_end = line.find_first_of(" {");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    std::string name = line.substr(0, name_end);
+    ASSERT_FALSE(name.empty()) << line;
+    EXPECT_FALSE(std::isdigit(static_cast<unsigned char>(name[0]))) << line;
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "invalid char '" << c << "' in " << line;
+    }
+    // Value parses as a double and nothing trails it.
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* parse_end = nullptr;
+    std::string value = line.substr(space + 1);
+    std::strtod(value.c_str(), &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << line;
+  }
+}
+
+TEST(PrometheusRenderTest, RendersEveryKindValidly) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.FindCounter("test/prom.counter-x")->Increment(2);
+  registry.FindGauge("test/prom_gauge")->Set(0.5);
+  registry.FindHistogram("test/prom_hist")->Observe(100);
+  registry.FindHistogram("test/prom_hist")->Observe(100000);
+  registry.FindStopwatch("test/prom_sw")->AddNanos(2000000);
+  registry.FindCounter("prom bad\"name");  // sanitized at registration
+
+  std::string text = RenderPrometheus(registry.SnapshotAll());
+  ExpectValidPrometheus(text);
+  EXPECT_NE(text.find("test_prom_counter_x_total 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_sw_seconds_total "), std::string::npos);
+  EXPECT_NE(text.find("prom_bad_name_total "), std::string::npos);
+
+  // Cumulative buckets are monotone non-decreasing per histogram.
+  uint64_t last = 0;
+  size_t pos = 0;
+  const std::string needle = "test_prom_hist_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    uint64_t v = std::strtoull(text.c_str() + value_at + 2, nullptr, 10);
+    EXPECT_GE(v, last);
+    last = v;
+    pos = value_at;
+  }
+  EXPECT_EQ(last, 2u);  // +Inf bucket carries the full count
+}
+
+TEST(ExporterTest, LifecycleAndFlushOnShutdown) {
+  const std::string prom = ::testing::TempDir() + "/exporter_life.prom";
+  const std::string jsonl = ::testing::TempDir() + "/exporter_life.jsonl";
+  std::remove(prom.c_str());
+  std::remove(jsonl.c_str());
+
+  MetricsRegistry::Global().FindCounter("test/exporter_life")->Reset();
+
+  int ticks = 0;
+  ExporterOptions options;
+  options.period_ms = 3600 * 1000.0;  // never fires on its own
+  options.prometheus_path = prom;
+  options.jsonl_path = jsonl;
+  options.on_tick = [&ticks] { ++ticks; };
+
+  MetricsExporter exporter(options);
+  EXPECT_FALSE(exporter.running());
+  exporter.Start();
+  EXPECT_TRUE(exporter.running());
+  exporter.Start();  // idempotent
+
+  MetricsRegistry::Global().FindCounter("test/exporter_life")->Increment(5);
+  exporter.Stop();  // must flush the partial period
+  EXPECT_FALSE(exporter.running());
+  exporter.Stop();  // idempotent
+
+  EXPECT_GE(exporter.snapshots_written(), 1);
+  EXPECT_GE(ticks, 1);
+
+  std::string prom_text;
+  ASSERT_TRUE(util::ReadFileToString(prom, &prom_text));
+  ExpectValidPrometheus(prom_text);
+  EXPECT_NE(prom_text.find("test_exporter_life_total 5"), std::string::npos);
+
+  std::vector<std::string> lines = ReadLines(jsonl);
+  ASSERT_GE(lines.size(), 1u);
+  JsonValue snapshot;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(lines.back(), &snapshot, &error)) << error;
+  const JsonValue* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* entry = counters->Find("test/exporter_life");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->NumberOr("total", -1.0), 5.0);
+}
+
+TEST(ExporterTest, JsonlCarriesTrueDeltas) {
+  const std::string jsonl = ::testing::TempDir() + "/exporter_delta.jsonl";
+  std::remove(jsonl.c_str());
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.FindCounter("test/exporter_delta")->Reset();
+  registry.FindHistogram("test/exporter_delta_hist")->Reset();
+
+  ExporterOptions options;
+  options.jsonl_path = jsonl;
+  MetricsExporter exporter(options);  // never started: Flush drives it
+
+  registry.FindCounter("test/exporter_delta")->Increment(10);
+  registry.FindHistogram("test/exporter_delta_hist")->Observe(100);
+  ASSERT_TRUE(exporter.Flush());
+  registry.FindCounter("test/exporter_delta")->Increment(7);
+  registry.FindHistogram("test/exporter_delta_hist")->Observe(100);
+  registry.FindHistogram("test/exporter_delta_hist")->Observe(100);
+  ASSERT_TRUE(exporter.Flush());
+
+  std::vector<std::string> lines = ReadLines(jsonl);
+  ASSERT_EQ(lines.size(), 2u);
+  JsonValue second;
+  ASSERT_TRUE(JsonValue::Parse(lines[1], &second, nullptr));
+  EXPECT_DOUBLE_EQ(second.NumberOr("seq", -1.0), 1.0);
+  const JsonValue* counter = second.Find("counters")
+                                 ->Find("test/exporter_delta");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->NumberOr("total", -1.0), 17.0);
+  EXPECT_DOUBLE_EQ(counter->NumberOr("delta", -1.0), 7.0);
+  const JsonValue* hist = second.Find("histograms")
+                              ->Find("test/exporter_delta_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->NumberOr("count", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(hist->NumberOr("delta_count", -1.0), 2.0);
+}
+
+TEST(ExporterTest, NoTornJsonlLinesUnderConcurrentWriters) {
+  const std::string jsonl = ::testing::TempDir() + "/exporter_torn.jsonl";
+  std::remove(jsonl.c_str());
+
+  ExporterOptions options;
+  options.period_ms = 1.0;  // background thread races the Flush callers
+  options.jsonl_path = jsonl;
+  MetricsExporter exporter(options);
+  exporter.Start();
+
+  Counter* counter =
+      MetricsRegistry::Global().FindCounter("test/exporter_torn");
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&exporter, counter] {
+      for (int i = 0; i < 20; ++i) {
+        counter->Increment();
+        exporter.Flush();
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  exporter.Stop();
+
+  // Every line parses as a complete snapshot object and sequence numbers
+  // are strictly increasing — concurrent writers never interleave bytes.
+  std::vector<std::string> lines = ReadLines(jsonl);
+  ASSERT_GE(lines.size(), 80u);
+  double last_seq = -1.0;
+  for (const std::string& line : lines) {
+    JsonValue snapshot;
+    std::string error;
+    ASSERT_TRUE(JsonValue::Parse(line, &snapshot, &error))
+        << error << " in: " << line;
+    double seq = snapshot.NumberOr("seq", -1.0);
+    EXPECT_GT(seq, last_seq);
+    last_seq = seq;
+    EXPECT_EQ(snapshot.Find("kind")->string_value(), "metrics_snapshot");
+  }
+}
+
+TEST(ExporterTest, StartWithoutSinksIsANoOp) {
+  ExporterOptions options;  // both paths empty
+  MetricsExporter exporter(options);
+  exporter.Start();
+  EXPECT_FALSE(exporter.running());
+  exporter.Stop();
+}
+
+}  // namespace
+}  // namespace cpgan::obs

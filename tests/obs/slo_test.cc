@@ -1,0 +1,131 @@
+// SloTracker tests with deterministic time (ObserveAt/SnapshotAt): window
+// percentiles, availability and burn-rate math, slot expiry as the window
+// slides, gauge publication, and degenerate configs.
+
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace cpgan::obs {
+namespace {
+
+constexpr uint64_t kSecond = 1000000000ull;
+constexpr uint64_t kMs = 1000000ull;
+
+SloConfig TestConfig() {
+  SloConfig config;
+  config.latency_target_ms = 50.0;
+  config.latency_objective = 0.9;        // 10% latency budget
+  config.availability_objective = 0.95;  // 5% availability budget
+  config.window_s = 12.0;
+  config.slots = 12;  // 1 s per slot
+  return config;
+}
+
+TEST(SloTrackerTest, EmptyWindowIsHealthy) {
+  SloTracker tracker(TestConfig());
+  SloSnapshot snap = tracker.SnapshotAt(kSecond);
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  EXPECT_DOUBLE_EQ(snap.availability_burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.latency_burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_ms, 0.0);
+}
+
+TEST(SloTrackerTest, PercentilesFromWindow) {
+  SloTracker tracker(TestConfig());
+  uint64_t now = 100 * kSecond;
+  // 90 fast requests (~4 ms), 10 slow (~400 ms).
+  for (int i = 0; i < 90; ++i) tracker.ObserveAt(now, 4 * kMs, true);
+  for (int i = 0; i < 10; ++i) tracker.ObserveAt(now, 400 * kMs, true);
+
+  SloSnapshot snap = tracker.SnapshotAt(now);
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_LT(snap.p50_ms, 10.0);
+  EXPECT_GT(snap.p95_ms, 50.0);   // lands among the slow requests
+  EXPECT_GT(snap.p99_ms, 200.0);
+  EXPECT_GE(snap.p99_ms, snap.p95_ms);
+  EXPECT_GE(snap.p95_ms, snap.p50_ms);
+}
+
+TEST(SloTrackerTest, BurnRatesAgainstBudgets) {
+  SloTracker tracker(TestConfig());
+  uint64_t now = 50 * kSecond;
+  // 5% errors on a 5% budget -> availability burn rate 1.0.
+  // 20% slow (>50ms) on a 10% budget -> latency burn rate 2.0.
+  for (int i = 0; i < 75; ++i) tracker.ObserveAt(now, 10 * kMs, true);
+  for (int i = 0; i < 20; ++i) tracker.ObserveAt(now, 80 * kMs, true);
+  for (int i = 0; i < 5; ++i) tracker.ObserveAt(now, 10 * kMs, false);
+
+  SloSnapshot snap = tracker.SnapshotAt(now);
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_EQ(snap.errors, 5u);
+  EXPECT_EQ(snap.slow, 20u);
+  EXPECT_DOUBLE_EQ(snap.availability, 0.95);
+  EXPECT_DOUBLE_EQ(snap.latency_compliance, 0.80);
+  EXPECT_NEAR(snap.availability_burn_rate, 1.0, 1e-9);
+  EXPECT_NEAR(snap.latency_burn_rate, 2.0, 1e-9);
+}
+
+TEST(SloTrackerTest, OldSlotsExpireAsWindowSlides) {
+  SloTracker tracker(TestConfig());
+  uint64_t start = 200 * kSecond;
+  for (int i = 0; i < 10; ++i) tracker.ObserveAt(start, 10 * kMs, false);
+  EXPECT_EQ(tracker.SnapshotAt(start).total, 10u);
+
+  // Still inside the 12 s window.
+  uint64_t later = start + 6 * kSecond;
+  tracker.ObserveAt(later, 10 * kMs, true);
+  SloSnapshot mid = tracker.SnapshotAt(later);
+  EXPECT_EQ(mid.total, 11u);
+  EXPECT_EQ(mid.errors, 10u);
+
+  // Far past the window: the old errors no longer burn budget. (Snapshot
+  // alone must filter stale slots even though only Observe rotates them.)
+  uint64_t after = start + 60 * kSecond;
+  SloSnapshot expired = tracker.SnapshotAt(after);
+  EXPECT_EQ(expired.total, 0u);
+  EXPECT_DOUBLE_EQ(expired.availability, 1.0);
+
+  // New observations after the gap clear the stale ring slots.
+  tracker.ObserveAt(after, 10 * kMs, true);
+  SloSnapshot fresh = tracker.SnapshotAt(after);
+  EXPECT_EQ(fresh.total, 1u);
+  EXPECT_EQ(fresh.errors, 0u);
+}
+
+TEST(SloTrackerTest, ZeroBudgetObjectiveClampsBurnRate) {
+  SloConfig config = TestConfig();
+  config.availability_objective = 1.0;  // no error budget at all
+  SloTracker tracker(config);
+  uint64_t now = 10 * kSecond;
+  tracker.ObserveAt(now, kMs, false);
+  SloSnapshot snap = tracker.SnapshotAt(now);
+  EXPECT_GT(snap.availability_burn_rate, 1000.0);  // clamped sentinel, finite
+  EXPECT_LT(snap.availability_burn_rate, 1e9);
+}
+
+TEST(SloTrackerTest, PublishGaugesLandsInRegistry) {
+  SloTracker tracker(TestConfig());
+  for (int i = 0; i < 10; ++i) tracker.Observe(4 * kMs, true);
+  tracker.PublishGauges("test.slo");
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(registry.FindGauge("test.slo.window_total")->Value(),
+                   10.0);
+  EXPECT_DOUBLE_EQ(registry.FindGauge("test.slo.availability")->Value(), 1.0);
+  EXPECT_GT(registry.FindGauge("test.slo.p99_ms")->Value(), 0.0);
+}
+
+TEST(SloTrackerTest, DegenerateConfigIsUsable) {
+  SloConfig config;
+  config.slots = 0;       // clamped to 1
+  config.window_s = -5.0; // clamped to 1 s
+  SloTracker tracker(config);
+  tracker.ObserveAt(kSecond, kMs, true);
+  EXPECT_EQ(tracker.SnapshotAt(kSecond).total, 1u);
+}
+
+}  // namespace
+}  // namespace cpgan::obs

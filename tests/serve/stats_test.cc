@@ -1,0 +1,168 @@
+// STATS round-trip and the serve-side observability plane: the extended
+// STATS payload (slo + exporter blocks) parses as JSON and is consistent
+// with the server's own counters, the server-owned exporter writes both
+// sinks and publishes serve.slo.* gauges, and SLO accounting distinguishes
+// available from failed outcomes. ASan/TSan targets via -DCPGAN_SANITIZE.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "tests/serve/serve_test_util.h"
+
+namespace cpgan::serve {
+namespace {
+
+/// Parses the `stats={...}` JSON payload out of a STATS response line.
+obs::JsonValue ParseStatsPayload(const std::string& line) {
+  const std::string marker = " stats=";
+  size_t at = line.find(marker);
+  EXPECT_NE(at, std::string::npos) << line;
+  obs::JsonValue payload;
+  std::string error;
+  EXPECT_TRUE(obs::JsonValue::Parse(line.substr(at + marker.size()), &payload,
+                                    &error))
+      << error << " in: " << line;
+  return payload;
+}
+
+TEST(StatsTest, StatsRoundTripMatchesServerCounters) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.slo.latency_target_ms = 60000.0;  // nothing is "slow" in-test
+  Server server(&SharedServeRegistry(), options);
+  server.Start();
+
+  Request request;
+  request.seed = 21;
+  for (int i = 0; i < 3; ++i) {
+    Response response = server.Submit(request);
+    ASSERT_EQ(response.status, ResponseStatus::kOk) << response.detail;
+  }
+
+  bool quit = false;
+  std::string line = server.HandleLine("STATS\n", &quit);
+  EXPECT_FALSE(quit);
+  obs::JsonValue payload = ParseStatsPayload(line);
+
+  EXPECT_DOUBLE_EQ(payload.NumberOr("received", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(payload.NumberOr("ok", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(payload.NumberOr("queue_depth", -1.0), 0.0);
+
+  const obs::JsonValue* slo = payload.Find("slo");
+  ASSERT_NE(slo, nullptr) << line;
+  EXPECT_DOUBLE_EQ(slo->NumberOr("window_total", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(slo->NumberOr("availability", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(slo->NumberOr("latency_compliance", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(slo->NumberOr("availability_burn_rate", -1.0), 0.0);
+  EXPECT_GT(slo->NumberOr("p50_ms", -1.0), 0.0);
+  EXPECT_GE(slo->NumberOr("p99_ms", 0.0), slo->NumberOr("p50_ms", 0.0));
+
+  const obs::JsonValue* exporter = payload.Find("exporter");
+  ASSERT_NE(exporter, nullptr) << line;
+  // No sink paths configured: the exporter never spawns.
+  EXPECT_FALSE(exporter->Find("running")->bool_value());
+
+  // The same numbers through the typed API.
+  obs::SloSnapshot snap = server.SloStatus();
+  EXPECT_EQ(snap.total, 3u);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  server.Stop();
+}
+
+TEST(StatsTest, SloCountsFailuresAgainstAvailability) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.slo.availability_objective = 0.5;  // 50% budget, easy math
+  Server server(&SharedServeRegistry(), options);
+  server.Start();
+
+  Request ok_request;
+  ok_request.seed = 5;
+  ASSERT_EQ(server.Submit(ok_request).status, ResponseStatus::kOk);
+
+  Request failing;
+  failing.model = "no_such_model";
+  ASSERT_EQ(server.Submit(failing).status, ResponseStatus::kError);
+
+  obs::SloSnapshot snap = server.SloStatus();
+  EXPECT_EQ(snap.total, 2u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_DOUBLE_EQ(snap.availability, 0.5);
+  EXPECT_DOUBLE_EQ(snap.availability_burn_rate, 1.0);  // 50% bad / 50% budget
+  server.Stop();
+}
+
+TEST(StatsTest, ServerOwnedExporterWritesSinksAndSloGauges) {
+  std::string dir = ServeTempDir("stats_exporter");
+  ServerOptions options;
+  options.num_workers = 2;
+  options.exporter.prometheus_path = dir + "/serve.prom";
+  options.exporter.jsonl_path = dir + "/serve.jsonl";
+  options.exporter.period_ms = 3600 * 1000.0;  // only the shutdown flush
+  Server server(&SharedServeRegistry(), options);
+  server.Start();
+  ASSERT_NE(server.exporter(), nullptr);
+  EXPECT_TRUE(server.exporter()->running());
+
+  Request request;
+  request.seed = 33;
+  ASSERT_EQ(server.Submit(request).status, ResponseStatus::kOk);
+
+  bool quit = false;
+  obs::JsonValue payload =
+      ParseStatsPayload(server.HandleLine("STATS\n", &quit));
+  EXPECT_TRUE(payload.Find("exporter")->Find("running")->bool_value());
+
+  server.Stop();  // final flush happens here
+  EXPECT_EQ(server.exporter(), nullptr);
+
+  // Prometheus sink: complete exposition including serve counters and the
+  // SLO gauges published on the flush tick.
+  std::string prom = SlurpFile(dir + "/serve.prom");
+  ASSERT_FALSE(prom.empty());
+  EXPECT_NE(prom.find("serve_requests_total "), std::string::npos);
+  EXPECT_NE(prom.find("serve_latency_ns_bucket{le=\"+Inf\"} "),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_slo_availability "), std::string::npos);
+  EXPECT_NE(prom.find("serve_slo_p99_ms "), std::string::npos);
+
+  // JSONL sink: at least the shutdown snapshot, carrying the same gauges.
+  std::string jsonl = SlurpFile(dir + "/serve.jsonl");
+  ASSERT_FALSE(jsonl.empty());
+  size_t line_end = jsonl.find('\n');
+  ASSERT_NE(line_end, std::string::npos);
+  obs::JsonValue snapshot;
+  std::string error;
+  ASSERT_TRUE(
+      obs::JsonValue::Parse(jsonl.substr(0, line_end), &snapshot, &error))
+      << error;
+  const obs::JsonValue* gauges = snapshot.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_GE(gauges->NumberOr("serve.slo.window_total", -1.0), 1.0);
+}
+
+TEST(StatsTest, StatsLineStableAcrossRepeatedQueries) {
+  ServerOptions options;
+  Server server(&SharedServeRegistry(), options);
+  server.Start();
+  bool quit = false;
+  obs::JsonValue first =
+      ParseStatsPayload(server.HandleLine("STATS\n", &quit));
+  obs::JsonValue second =
+      ParseStatsPayload(server.HandleLine("STATS\n", &quit));
+  // No traffic between queries: identical counters and an empty SLO window.
+  EXPECT_DOUBLE_EQ(first.NumberOr("received", -1.0),
+                   second.NumberOr("received", -2.0));
+  EXPECT_DOUBLE_EQ(second.Find("slo")->NumberOr("window_total", -1.0), 0.0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cpgan::serve

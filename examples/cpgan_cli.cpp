@@ -3,6 +3,7 @@
 //
 //   cpgan_cli stats    <graph>                      # Table II-style summary
 //   cpgan_cli generate [flags] <model> <graph> [out.txt]   # fit + generate
+//   cpgan_cli convert  [flags] <graph.txt> <out.cpge>  # text -> binary ingest
 //   cpgan_cli compare  <graph-a> <graph-b>          # all evaluation metrics
 //   cpgan_cli datasets                              # list synthetic datasets
 //   cpgan_cli obs-report [flags]                    # merge telemetry files
@@ -29,7 +30,11 @@
 //                          run log every N epochs (default: off)
 //   --profile              print a trace-span profile table after training
 //   --trace=FILE           write Chrome trace_event JSON (chrome://tracing)
-// (see docs/OBSERVABILITY.md)
+//   --coreset-size=N       train on a sensitivity-sampled coreset of <= N
+//                          nodes instead of the full graph
+//   --mem-budget-mb=M      RAM budget for ingest + training (MiB); the run
+//                          exits nonzero if the tracked peak exceeds it
+// (see docs/OBSERVABILITY.md and docs/INTERNALS.md, "Streaming ingest")
 
 #include <cstdio>
 #include <cstring>
@@ -44,6 +49,7 @@
 #include "eval/graph_metrics.h"
 #include "eval/report.h"
 #include "generators/registry.h"
+#include "graph/binary_io.h"
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "obs/report.h"
@@ -52,6 +58,7 @@
 #include "tensor/kernels.h"
 #include "train/checkpoint.h"
 #include "train/signal.h"
+#include "util/memory_tracker.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -69,6 +76,8 @@ struct GenerateOptions {
   int metrics_snapshot_every = 0;
   bool profile = false;
   std::string trace_out;
+  int coreset_size = 0;
+  int64_t mem_budget_mb = 0;
 };
 
 /// Parses one `--flag` or `--flag=value` argument into `options`. Returns
@@ -124,6 +133,24 @@ bool ParseGenerateFlag(const std::string& arg, GenerateOptions* options) {
     options->profile = true;
     return true;
   }
+  const std::string kCoreset = "--coreset-size=";
+  if (arg.rfind(kCoreset, 0) == 0) {
+    options->coreset_size = std::atoi(arg.c_str() + kCoreset.size());
+    if (options->coreset_size <= 1) {
+      std::fprintf(stderr, "--coreset-size needs an integer > 1\n");
+      return false;
+    }
+    return true;
+  }
+  const std::string kBudget = "--mem-budget-mb=";
+  if (arg.rfind(kBudget, 0) == 0) {
+    options->mem_budget_mb = std::atoll(arg.c_str() + kBudget.size());
+    if (options->mem_budget_mb <= 0) {
+      std::fprintf(stderr, "--mem-budget-mb needs a positive integer\n");
+      return false;
+    }
+    return true;
+  }
   const std::string kTrace = "--trace=";
   if (arg.rfind(kTrace, 0) == 0) {
     options->trace_out = arg.substr(kTrace.size());
@@ -168,6 +195,11 @@ int CmdStats(const std::string& ref) {
 
 int CmdGenerate(const std::string& model, const std::string& ref,
                 const std::string& out, const GenerateOptions& options) {
+  // Arm the RAM budget before loading so out-of-core ingest (mmap CSR
+  // construction) is covered by the same cap as training.
+  if (options.mem_budget_mb > 0) {
+    util::MemoryTracker::Global().SetBudgetBytes(options.mem_budget_mb << 20);
+  }
   graph::LoadOptions load_options;
   load_options.strict = options.strict_io;
   graph::Graph observed = data::LoadGraph(ref, load_options);
@@ -186,6 +218,8 @@ int CmdGenerate(const std::string& model, const std::string& ref,
     config.metrics_snapshot_every = options.metrics_snapshot_every;
     config.profile = options.profile;
     config.trace_out = options.trace_out;
+    config.coreset_size = options.coreset_size;
+    config.mem_budget_mb = options.mem_budget_mb;
     core::Cpgan cpgan(config);
     if (options.resume) {
       if (options.checkpoint_dir.empty()) {
@@ -219,11 +253,30 @@ int CmdGenerate(const std::string& model, const std::string& ref,
     std::printf("trained: %s, peak memory %s",
                 eval::FormatMillis(stats.train_seconds * 1000.0).c_str(),
                 eval::FormatBytes(stats.peak_bytes).c_str());
+    if (stats.coreset_nodes > 0) {
+      std::printf(", coreset %d/%d nodes", stats.coreset_nodes,
+                  observed.num_nodes());
+    }
     if (!options.metrics_out.empty()) {
       std::printf(", %d run-log records", stats.metrics_records);
     }
     std::printf("\n");
-    generated = cpgan.Generate();
+    if (stats.budget_exceeded) {
+      std::fprintf(stderr,
+                   "memory budget exceeded: peak %s > %lld MiB budget\n",
+                   eval::FormatBytes(stats.peak_bytes).c_str(),
+                   static_cast<long long>(options.mem_budget_mb));
+      return 1;
+    }
+    if (stats.coreset_nodes > 0) {
+      // Coreset training: posterior latents only exist for coreset nodes,
+      // so a full-size graph is generated from the Gaussian prior
+      // (Section III-G, "new graphs of arbitrary sizes").
+      generated = cpgan.GenerateWithSize(observed.num_nodes(),
+                                         observed.num_edges());
+    } else {
+      generated = cpgan.Generate();
+    }
   } else {
     auto generator = generators::MakeTraditionalGenerator(model);
     if (generator == nullptr) {
@@ -237,10 +290,14 @@ int CmdGenerate(const std::string& model, const std::string& ref,
   }
   std::printf("generated: n=%d m=%lld\n", generated.num_nodes(),
               static_cast<long long>(generated.num_edges()));
-  util::Rng eval_rng(3);
-  eval::CommunityMetrics cm =
-      eval::EvaluateCommunityPreservation(observed, generated, eval_rng);
-  std::printf("community preservation: NMI=%.3f ARI=%.3f\n", cm.nmi, cm.ari);
+  if (observed.num_nodes() == generated.num_nodes()) {
+    util::Rng eval_rng(3);
+    eval::CommunityMetrics cm =
+        eval::EvaluateCommunityPreservation(observed, generated, eval_rng);
+    std::printf("community preservation: NMI=%.3f ARI=%.3f\n", cm.nmi, cm.ari);
+  } else {
+    std::printf("(node counts differ; community metrics skipped)\n");
+  }
   if (!out.empty()) {
     if (!graph::SaveEdgeList(generated, out)) {
       std::fprintf(stderr, "failed to write %s\n", out.c_str());
@@ -248,6 +305,29 @@ int CmdGenerate(const std::string& model, const std::string& ref,
     }
     std::printf("written to %s\n", out.c_str());
   }
+  return 0;
+}
+
+int CmdConvert(const std::string& in_path, const std::string& out_path,
+               bool strict) {
+  graph::LoadOptions load_options;
+  load_options.strict = strict;
+  graph::ConvertResult result =
+      graph::ConvertEdgeListToBinary(in_path, out_path, load_options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "convert: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("converted %s -> %s: n=%lld m=%lld", in_path.c_str(),
+              out_path.c_str(), static_cast<long long>(result.num_nodes),
+              static_cast<long long>(result.num_edges));
+  if (result.total_skipped() > 0) {
+    std::printf(" (skipped: %lld malformed, %lld self-loops, %lld duplicates)",
+                static_cast<long long>(result.malformed_lines),
+                static_cast<long long>(result.self_loops),
+                static_cast<long long>(result.duplicate_edges));
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -422,6 +502,10 @@ int Usage() {
                "      --resume              --strict-io\n"
                "      --metrics-out=FILE    --profile\n"
                "      --trace=FILE          --metrics-snapshot-every=N\n"
+               "      --coreset-size=N      --mem-budget-mb=M\n"
+               "  cpgan_cli convert  [--strict-io] <graph.txt> <out.cpge>\n"
+               "      (binary edge lists load via mmap + parallel CSR\n"
+               "      construction; every <graph> argument accepts them)\n"
                "  cpgan_cli compare  <graph-a> <graph-b>\n"
                "  cpgan_cli serve    [flags] <graph>\n"
                "      --model=NAME          --checkpoint=FILE\n"
@@ -489,6 +573,23 @@ int main(int argc, char** argv) {
     if (positional.size() < 2 || positional.size() > 3) return Usage();
     return CmdGenerate(positional[0], positional[1],
                        positional.size() == 3 ? positional[2] : "", options);
+  }
+  if (cmd == "convert") {
+    bool strict = false;
+    std::vector<std::string> positional;
+    for (size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg == "--strict-io") {
+        strict = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "unknown convert flag '%s'\n", arg.c_str());
+        return 2;
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() != 2) return Usage();
+    return CmdConvert(positional[0], positional[1], strict);
   }
   if (cmd == "compare" && args.size() >= 3) return CmdCompare(args[1], args[2]);
   if (cmd == "obs-report") {

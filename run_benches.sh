@@ -51,4 +51,26 @@ if ! awk -v a="$p50_overhead" -v b="$p99_overhead" \
   exit 1
 fi
 echo "[done] micro_obs at $(date +%H:%M:%S) (p50 ${p50_overhead}%, p99 ${p99_overhead}%)"
+
+# Out-of-core ingest gate: the mmap binary loader must stay >= 3x the text
+# loader in edges/sec on the streamed 10M-edge graph (the whole point of
+# the .cpge format), and the budgeted ingest + coreset-training smoke must
+# hold its --mem-budget-mb cap. micro_ingest itself also hard-fails if the
+# mmap CSR is not bitwise identical to the text loader's, so a speedup
+# bought with a wrong graph cannot pass.
+echo "===== build/bench/micro_ingest =====" >> bench_output.txt
+ingest_out=$(./build/bench/micro_ingest bench/BENCH_ingest.json)
+echo "$ingest_out" >> bench_output.txt
+echo "" >> bench_output.txt
+ingest_speedup=$(echo "$ingest_out" | sed -n 's/^INGEST_SPEEDUP=//p')
+ingest_within=$(echo "$ingest_out" | sed -n 's/^INGEST_PEAK_WITHIN_BUDGET=//p')
+if ! awk -v s="$ingest_speedup" -v w="$ingest_within" \
+     'BEGIN { exit !(s != "" && w == "1" && s >= 3.0) }'; then
+  echo "error: ingest gate failed:" >&2
+  echo "       mmap speedup ${ingest_speedup:-<missing>}x (budget >= 3x)," >&2
+  echo "       within-RAM-budget flag ${ingest_within:-<missing>} (need 1)." >&2
+  echo "       See bench/BENCH_ingest.json." >&2
+  exit 1
+fi
+echo "[done] micro_ingest at $(date +%H:%M:%S) (${ingest_speedup}x, budget ok)"
 echo "ALL BENCHES COMPLETE"

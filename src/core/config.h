@@ -90,6 +90,25 @@ struct CpganConfig {
   /// variant). Off by default; costs extra fill-in on dense graphs.
   bool use_two_hop_adjacency = false;
 
+  /// Train on a sensitivity-sampled coreset subgraph of at most this many
+  /// nodes instead of the full observed graph (docs/INTERNALS.md,
+  /// "Streaming ingest"): nodes are drawn by mixture-sensitivity importance
+  /// sampling (core/sampler.h, SensitivityCoresetSample) and the induced
+  /// subgraph replaces the observed graph for the whole run — spectral
+  /// features, Louvain targets, and per-epoch subgraph sampling all operate
+  /// on the coreset, so training cost and memory depend on coreset_size,
+  /// not on the full graph. 0 (default) trains on the full graph. Ignored
+  /// when >= the observed node count.
+  int coreset_size = 0;
+
+  /// Soft RAM budget in MiB enforced through util::MemoryTracker: set as
+  /// the tracker budget for the run, and TrainStats::budget_exceeded
+  /// reports whether the tracked peak (tensor storage + ingest CSR
+  /// construction) overran it. The binary ingest path additionally refuses
+  /// up front to build a CSR whose projected footprint exceeds the budget
+  /// (graph/binary_io.h). 0 (default) = unlimited.
+  int64_t mem_budget_mb = 0;
+
   /// Worker threads for the parallel kernels (matmul, SpMM, graph metrics).
   /// 0 keeps the process-wide default (CPGAN_NUM_THREADS env var, falling
   /// back to the hardware concurrency); > 0 resizes the global pool.

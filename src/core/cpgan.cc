@@ -244,10 +244,38 @@ bool Cpgan::WarmStart(const graph::Graph& observed,
 
 TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   CPGAN_CHECK(!graphs.empty());
-  const graph::Graph& observed = graphs[0];
   CPGAN_CHECK(!trained_);
   util::Timer timer;
   util::MemoryTracker::Global().ResetPeak();
+  if (config_.mem_budget_mb > 0) {
+    util::MemoryTracker::Global().SetBudgetBytes(config_.mem_budget_mb << 20);
+  }
+
+  // Coreset training (docs/INTERNALS.md, "Streaming ingest"): swap the
+  // primary graph for the induced subgraph of a sensitivity sample before
+  // anything downstream (spectral features, Louvain, the epoch loop) sees
+  // it, so every per-node cost scales with the coreset, not the full graph.
+  // Secondary graphs are left alone — they are small by construction.
+  std::vector<graph::Graph> coreset_graphs;
+  const std::vector<graph::Graph>* training = &graphs;
+  int coreset_nodes = 0;
+  if (config_.coreset_size > 1 &&
+      config_.coreset_size < graphs[0].num_nodes()) {
+    CPGAN_TRACE_SPAN("train/coreset_sample");
+    CoresetSample coreset =
+        SensitivityCoresetSample(graphs[0], config_.coreset_size, rng_);
+    coreset_nodes = static_cast<int>(coreset.size());
+    coreset_graphs.reserve(graphs.size());
+    coreset_graphs.push_back(graphs[0].InducedSubgraph(coreset.nodes));
+    coreset_graphs.insert(coreset_graphs.end(), graphs.begin() + 1,
+                          graphs.end());
+    training = &coreset_graphs;
+    CPGAN_LOG(Info) << "coreset training: " << coreset_nodes << " of "
+                    << graphs[0].num_nodes() << " nodes ("
+                    << coreset_graphs[0].num_edges() << " of "
+                    << graphs[0].num_edges() << " edges)";
+  }
+  const graph::Graph& observed = (*training)[0];
 
   // ----- Observability setup (src/obs/; docs/OBSERVABILITY.md) -----
   TraceFlagsGuard trace_flags_guard;
@@ -263,7 +291,7 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   if (!config_.metrics_out.empty()) run_logger.Open(config_.metrics_out);
   const int run_threads = util::ThreadPool::Global().num_threads();
 
-  BuildModel(graphs);
+  BuildModel(*training);
   int ns = std::min(config_.subgraph_size, observed.num_nodes());
 
   auto collect = [](std::initializer_list<const nn::Module*> modules) {
@@ -314,6 +342,7 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
 
   const uint64_t arch_hash = ArchitectureHash();
   TrainStats stats;
+  stats.coreset_nodes = coreset_nodes;
   int start_epoch = 0;
   if (!resume_from_.empty()) {
     train::CheckpointMeta meta;
@@ -694,6 +723,12 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
   trained_ = !killed;
   stats.train_seconds = timer.Seconds();
   stats.peak_bytes = util::MemoryTracker::Global().peak_bytes();
+  if (config_.mem_budget_mb > 0 &&
+      stats.peak_bytes > (config_.mem_budget_mb << 20)) {
+    stats.budget_exceeded = true;
+    CPGAN_LOG(Warning) << "memory budget exceeded: peak " << stats.peak_bytes
+                       << " bytes > " << config_.mem_budget_mb << " MiB";
+  }
   run_logger.Close();
   if (config_.profile) {
     std::fputs(obs::RenderProfile().c_str(), stdout);

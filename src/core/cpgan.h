@@ -26,6 +26,14 @@ struct TrainStats {
   double train_seconds = 0.0;
   int64_t peak_bytes = 0;        // peak tensor memory during training
 
+  /// Distinct nodes in the sensitivity coreset training actually ran on
+  /// (0 when coreset training was off; see CpganConfig::coreset_size).
+  int coreset_nodes = 0;
+
+  /// True when peak_bytes exceeded CpganConfig::mem_budget_mb (only ever
+  /// set when a budget was configured).
+  bool budget_exceeded = false;
+
   /// Mean reconstruction probability on the final training subgraph's
   /// positive / negative pairs (training-domain diagnostic).
   float final_pos_prob = 0.0f;

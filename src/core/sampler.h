@@ -8,14 +8,56 @@
 
 namespace cpgan::core {
 
+/// Per-node selection weights used by DegreeProportionalSample: deg_i for
+/// connected nodes, and for isolated nodes a floor *relative to the graph's
+/// minimum positive degree* (kIsolatedFloorFraction of it). The floor used
+/// to be the absolute constant 0.01, so isolated nodes were ~2% of a
+/// min-degree node on one graph and 1% of *any* node's weight on another —
+/// their selection probability collapsed on large/dense graphs and
+/// dominated on tiny sparse ones. A relative floor keeps the
+/// isolated : min-degree selection ratio scale-invariant. All-isolated
+/// graphs get uniform weight 1.0.
+std::vector<double> DegreeSampleWeights(const graph::Graph& g);
+
+/// Isolated-node weight as a fraction of the minimum positive degree.
+inline constexpr double kIsolatedFloorFraction = 0.01;
+
 /// Samples `count` distinct nodes with probability proportional to degree
-/// (P_i = deg_i / sum deg, Section III-E), falling back to uniform for
-/// degree-0 graphs. Returns sorted node ids.
+/// (P_i = deg_i / sum deg, Section III-E), isolated nodes floored per
+/// DegreeSampleWeights. Returns sorted node ids.
 std::vector<int> DegreeProportionalSample(const graph::Graph& g, int count,
                                           util::Rng& rng);
 
 /// Uniformly samples `count` distinct node ids from [0, n). Sorted.
 std::vector<int> UniformNodeSample(int n, int count, util::Rng& rng);
+
+/// A sensitivity-sampled coreset: distinct node ids (sorted) plus one
+/// importance weight per node. Weights make coreset sums unbiased: for any
+/// per-node cost c_i, E[sum_{i in coreset} w_i c_i] = sum_i c_i, so
+/// training statistics computed on the coreset stand in for the full
+/// graph's (the minicore IndexCoreset idiom; Lucic et al.-style mixture
+/// sensitivities).
+struct CoresetSample {
+  std::vector<int> nodes;
+  std::vector<double> weights;  // aligned with nodes; strictly positive
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Draws a coreset of at most `count` distinct nodes by sensitivity-style
+/// importance sampling: node i's sensitivity is the mixture
+///
+///   s_i = 1/2 * deg_i / (2m)  +  1/2 * 1/n
+///
+/// (cost-proportional term + uniform regularizer, so zero-degree nodes keep
+/// nonzero mass and no node's weight can explode). `count` draws are taken
+/// WITH replacement from p_i = s_i, each carrying weight 1/(count * p_i);
+/// repeated draws are compacted by summing their weights (minicore
+/// `IndexCoreset::compact`), which is what makes the estimator above exactly
+/// unbiased. Degenerate graphs (no edges) fall back to uniform sampling.
+/// The distinct-node count is <= count, approaching it as count << n.
+CoresetSample SensitivityCoresetSample(const graph::Graph& g, int count,
+                                       util::Rng& rng);
 
 }  // namespace cpgan::core
 

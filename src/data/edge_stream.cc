@@ -1,0 +1,113 @@
+#include "data/edge_stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/binary_io.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/fileio.h"
+#include "util/rng.h"
+
+namespace cpgan::data {
+
+namespace {
+
+void ValidateSpec(const RingChordSpec& spec) {
+  CPGAN_CHECK(spec.num_nodes >= 3);
+  CPGAN_CHECK(spec.chords >= 0);
+  // Chord jumps live in [2, n/2); each node needs `chords` distinct ones.
+  CPGAN_CHECK(spec.num_nodes / 2 - 2 >= spec.chords);
+  CPGAN_CHECK(spec.num_nodes <= int64_t{1} << 32);
+}
+
+}  // namespace
+
+int64_t RingChordEdgeCount(const RingChordSpec& spec) {
+  ValidateSpec(spec);
+  return spec.num_nodes * (1 + spec.chords);
+}
+
+void StreamRingChordEdges(
+    const RingChordSpec& spec,
+    const std::function<void(uint32_t u, uint32_t v)>& emit) {
+  ValidateSpec(spec);
+  const int64_t n = spec.num_nodes;
+  util::Rng rng(spec.seed);
+  std::vector<int64_t> jumps(spec.chords);
+  for (int64_t i = 0; i < n; ++i) {
+    // Ring edge (i, i+1 mod n), canonical: the wrap edge is (0, n-1).
+    if (i + 1 < n) {
+      emit(static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1));
+    } else {
+      emit(0u, static_cast<uint32_t>(n - 1));
+    }
+    // `chords` distinct jumps in [2, n/2) by rejection; ValidateSpec keeps
+    // the candidate pool at least chord-count sized, and in practice
+    // (n >> chords) retries are vanishingly rare.
+    for (int c = 0; c < spec.chords; ++c) {
+      int64_t j;
+      do {
+        j = rng.UniformInt(2, n / 2 - 1);
+      } while (std::find(jumps.begin(), jumps.begin() + c, j) !=
+               jumps.begin() + c);
+      jumps[c] = j;
+      const int64_t other = (i + j) % n;
+      emit(static_cast<uint32_t>(std::min(i, other)),
+           static_cast<uint32_t>(std::max(i, other)));
+    }
+  }
+}
+
+bool WriteRingChordText(const RingChordSpec& spec, const std::string& path) {
+  return util::AtomicWriteFile(path, [&spec](std::FILE* f) {
+    if (std::fprintf(f, "# nodes %lld\n",
+                     static_cast<long long>(spec.num_nodes)) < 0) {
+      return false;
+    }
+    bool ok = true;
+    StreamRingChordEdges(spec, [f, &ok](uint32_t u, uint32_t v) {
+      if (ok && std::fprintf(f, "%u %u\n", u, v) < 0) ok = false;
+    });
+    return ok;
+  });
+}
+
+bool WriteRingChordBinary(const RingChordSpec& spec, const std::string& path) {
+  // Pass 1: payload CRC. The stream is deterministic in the seed, so pass 2
+  // writes the identical byte sequence.
+  util::Crc32 crc;
+  StreamRingChordEdges(spec, [&crc](uint32_t u, uint32_t v) {
+    const uint32_t record[2] = {u, v};
+    crc.Update(record, sizeof(record));
+  });
+  uint8_t header[graph::kBinaryEdgeListHeaderBytes];
+  graph::internal::EncodeBinaryHeader(
+      static_cast<uint64_t>(spec.num_nodes),
+      static_cast<uint64_t>(RingChordEdgeCount(spec)), crc.Digest(), header);
+  return util::AtomicWriteFile(path, [&spec, &header](std::FILE* f) {
+    if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header)) {
+      return false;
+    }
+    // Pass 2: buffered payload write (no per-edge syscalls).
+    std::vector<uint32_t> buffer;
+    buffer.reserve(2 * 4096);
+    bool ok = true;
+    auto flush = [f, &buffer, &ok]() {
+      if (buffer.empty() || !ok) return;
+      const size_t bytes = buffer.size() * sizeof(uint32_t);
+      if (std::fwrite(buffer.data(), 1, bytes, f) != bytes) ok = false;
+      buffer.clear();
+    };
+    StreamRingChordEdges(spec, [&buffer, &flush](uint32_t u, uint32_t v) {
+      buffer.push_back(u);
+      buffer.push_back(v);
+      if (buffer.size() >= 2 * 4096) flush();
+    });
+    flush();
+    return ok;
+  });
+}
+
+}  // namespace cpgan::data

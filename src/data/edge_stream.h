@@ -1,0 +1,53 @@
+#ifndef CPGAN_DATA_EDGE_STREAM_H_
+#define CPGAN_DATA_EDGE_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cpgan::data {
+
+/// Streaming generator for million-to-billion edge synthetic graphs: a ring
+/// over n nodes plus `chords` pseudo-random chords per node. Designed for
+/// the ingest benchmarks (bench/micro_ingest.cc), where the graph must be
+/// written to disk without ever materializing its edge list in memory.
+///
+/// Structure guarantees (all by construction, no dedup pass needed):
+///   - exactly n * (1 + chords) edges: n ring edges (i, i+1 mod n) and
+///     chords distinct chord edges per node i, each (i, (i+j) mod n) with a
+///     jump j in [2, n/2);
+///   - no duplicates: two chords {i, i+j} and {i', i'+j'} coincide as an
+///     unordered pair only when j + j' = n, impossible with both < n/2, and
+///     a chord never equals a ring edge (jump 1 / n-1 excluded);
+///   - no self-loops (jump 0 excluded);
+///   - deterministic in `seed`: every call streams the identical edge
+///     sequence, which lets the binary writer make two passes (CRC, then
+///     payload) over the same stream.
+struct RingChordSpec {
+  int64_t num_nodes = 0;
+  int chords = 0;       // distinct chords per node; requires n >= 2*(chords+2)
+  uint64_t seed = 1;
+};
+
+/// Exact edge count of the spec: n * (1 + chords).
+int64_t RingChordEdgeCount(const RingChordSpec& spec);
+
+/// Streams every edge exactly once in canonical (u < v) form, in a
+/// deterministic order. `emit` is called once per edge.
+void StreamRingChordEdges(
+    const RingChordSpec& spec,
+    const std::function<void(uint32_t u, uint32_t v)>& emit);
+
+/// Writes the graph as a text edge list (with the `# nodes N` header) using
+/// O(1) memory. Atomic (temp file + rename). Returns false on IO failure.
+bool WriteRingChordText(const RingChordSpec& spec, const std::string& path);
+
+/// Writes the graph as a `.cpge` binary edge list (graph/binary_io.h) using
+/// O(1) memory: pass 1 streams the edges through the payload CRC, pass 2
+/// streams them again into the file body. Atomic. Returns false on IO
+/// failure.
+bool WriteRingChordBinary(const RingChordSpec& spec, const std::string& path);
+
+}  // namespace cpgan::data
+
+#endif  // CPGAN_DATA_EDGE_STREAM_H_

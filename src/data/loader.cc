@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include "data/datasets.h"
+#include "graph/binary_io.h"
 #include "graph/io.h"
 #include "util/check.h"
 
@@ -20,7 +21,12 @@ graph::Graph LoadGraph(const std::string& ref, uint64_t seed) {
 graph::Graph LoadGraph(const std::string& ref, const graph::LoadOptions& options,
                        uint64_t seed) {
   if (IsFilePath(ref)) {
-    graph::LoadResult result = graph::LoadEdgeListDetailed(ref, options);
+    // Binary (.cpge) files are routed by magic sniff, not extension, so a
+    // converted file works wherever a text edge list does.
+    graph::LoadResult result =
+        graph::IsBinaryEdgeList(ref)
+            ? graph::LoadBinaryEdgeListDetailed(ref, options)
+            : graph::LoadEdgeListDetailed(ref, options);
     CPGAN_CHECK_MSG(result.ok(), result.error.c_str());
     return *result.graph;
   }

@@ -1,0 +1,100 @@
+#ifndef CPGAN_GRAPH_BINARY_IO_H_
+#define CPGAN_GRAPH_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace cpgan::graph {
+
+/// Versioned, CRC-validated binary edge-list format (".cpge") — the
+/// million-edge ingest path (docs/INTERNALS.md, "Streaming ingest").
+///
+/// Layout, all fields little-endian, no padding:
+///
+///   [ 0]  u32 magic          0x45475043  ("CPGE")
+///   [ 4]  u32 version        1
+///   [ 8]  u64 num_nodes
+///   [16]  u64 num_edges
+///   [24]  u32 payload_crc32  CRC-32 (zlib variant) of the payload bytes
+///   [28]  u32 header_crc32   CRC-32 of bytes [0, 28)
+///   [32]  payload: num_edges records of {u32 u, u32 v}, canonical u < v,
+///         deduplicated, self-loop free, ids already compacted to
+///         [0, num_nodes). Record order is free; the loader canonicalizes.
+///
+/// Two checksums so truncation, bit rot, and header/payload mismatches are
+/// all distinguishable before any bytes reach a Graph — the same discipline
+/// as the v2 checkpoint container (train/checkpoint.cc).
+inline constexpr uint32_t kBinaryEdgeListMagic = 0x45475043u;
+inline constexpr uint32_t kBinaryEdgeListVersion = 1;
+inline constexpr size_t kBinaryEdgeListHeaderBytes = 32;
+
+/// Outcome of a text -> binary conversion: the written graph's dimensions
+/// plus exactly the counters LoadEdgeListDetailed would have reported for
+/// the same input and options — the converter IS the text loader minus the
+/// CSR build, so dirty-input handling stays bit-for-bit identical across
+/// the two ingest paths (pinned by tests/graph/ingest_parity_test.cc).
+struct ConvertResult {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t malformed_lines = 0;
+  int64_t self_loops = 0;
+  int64_t duplicate_edges = 0;
+
+  /// Failure reason when !ok() (IO/parse error, or any irregularity in
+  /// strict mode).
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+  int64_t total_skipped() const {
+    return malformed_lines + self_loops + duplicate_edges;
+  }
+};
+
+/// Streams the text edge list at `text_path` into a .cpge file at
+/// `binary_path`, applying the text loader's exact parsing semantics
+/// (comments, "# nodes N" header, CRLF/BOM tolerance, strict mode). The
+/// write goes through util::AtomicWriteFile, so a crash mid-convert never
+/// leaves a half-written binary behind.
+ConvertResult ConvertEdgeListToBinary(const std::string& text_path,
+                                      const std::string& binary_path,
+                                      const LoadOptions& options = {});
+
+/// Writes `g` as a .cpge file (canonical sorted edge order) through
+/// util::AtomicWriteFile. Returns false on IO error.
+bool SaveBinaryEdgeList(const Graph& g, const std::string& path);
+
+/// True if `path` starts with the .cpge magic (sniffs 4 bytes; false on
+/// unreadable or shorter files). Used by data::LoadGraph to route binary
+/// files without relying on the extension.
+bool IsBinaryEdgeList(const std::string& path);
+
+namespace internal {
+
+/// Serializes the 32-byte .cpge header (little-endian fields in layout
+/// order, header CRC over the first 28 bytes appended last) for a payload
+/// with the given dimensions and CRC. Shared with streaming writers that
+/// produce the payload themselves (data/edge_stream.cc).
+void EncodeBinaryHeader(uint64_t num_nodes, uint64_t num_edges,
+                        uint32_t payload_crc,
+                        uint8_t out[kBinaryEdgeListHeaderBytes]);
+
+}  // namespace internal
+
+/// Memory-maps and loads a .cpge file: header + CRC validation, then
+/// chunked parallel CSR construction (graph/csr_builder.h) straight off the
+/// mapping — the edge bytes are never copied to the heap. Binary loads are
+/// always strict: the format guarantees canonical payloads, so any
+/// irregularity (bad magic/version/checksum, truncation, non-canonical or
+/// duplicate record) fails the load instead of being counted; the
+/// LoadResult counters are always zero on success. When a MemoryTracker
+/// budget is configured (--mem-budget-mb), the projected CSR footprint is
+/// checked against it before anything is allocated.
+LoadResult LoadBinaryEdgeListDetailed(const std::string& path,
+                                      const LoadOptions& options = {});
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_BINARY_IO_H_

@@ -1,0 +1,44 @@
+#ifndef CPGAN_GRAPH_CSR_BUILDER_H_
+#define CPGAN_GRAPH_CSR_BUILDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cpgan::graph {
+
+/// Chunked parallel CSR construction over the PR-2 thread pool.
+///
+/// `pairs` is a flat run of 2 * m node ids — m canonical records
+/// {u, v} with u < v, deduplicated, in any order (the payload of a .cpge
+/// file maps directly, see graph/binary_io.h). The build runs in four
+/// phases (docs/INTERNALS.md, "Streaming ingest"):
+///
+///   1. parallel per-chunk validation + degree counting (atomic histogram;
+///      integer increments commute, so the counts are exact and
+///      thread-count independent),
+///   2. serial prefix sum of the degree histogram into CSR offsets,
+///   3. parallel scatter of both edge directions through per-node atomic
+///      cursors (placement order is scheduling-dependent),
+///   4. parallel per-node neighbor-list sort + duplicate scan, which erases
+///      the scatter order again.
+///
+/// The result is therefore bitwise identical for any thread count: the only
+/// nondeterministic intermediate (phase-3 placement) is fully canonicalized
+/// by phase 4. Scratch and output arrays are registered with the global
+/// MemoryTracker for the duration of the build, so an ingest RAM budget can
+/// observe the true CSR footprint.
+///
+/// Returns nullopt and sets *error (when non-null) if a record is not
+/// canonical (u >= v), an id is outside [0, num_nodes), or a duplicate
+/// record exists.
+std::optional<Graph> BuildGraphFromCanonicalEdges(
+    int64_t num_nodes, std::span<const uint32_t> pairs,
+    std::string* error = nullptr);
+
+}  // namespace cpgan::graph
+
+#endif  // CPGAN_GRAPH_CSR_BUILDER_H_

@@ -34,6 +34,18 @@ Graph::Graph(int num_nodes, const std::vector<Edge>& edges)
   for (int i = 0; i < num_nodes_; ++i) offsets_[i + 1] += offsets_[i];
 }
 
+Graph Graph::FromCsr(int num_nodes, std::vector<int64_t> offsets,
+                     std::vector<int> adjacency) {
+  CPGAN_CHECK_GE(num_nodes, 0);
+  CPGAN_CHECK_EQ(static_cast<int64_t>(offsets.size()), num_nodes + 1);
+  CPGAN_CHECK_EQ(offsets.empty() ? 0 : offsets.front(), 0);
+  CPGAN_CHECK_EQ(offsets.back(), static_cast<int64_t>(adjacency.size()));
+  Graph g(num_nodes);
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 bool Graph::HasEdge(int u, int v) const {
   CPGAN_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
   auto nbrs = neighbors(u);

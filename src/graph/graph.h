@@ -25,6 +25,17 @@ class Graph {
   /// Builds from an edge list over nodes [0, num_nodes).
   Graph(int num_nodes, const std::vector<Edge>& edges);
 
+  /// Adopts prebuilt CSR arrays. Contract (checked only for size
+  /// consistency — callers own the content invariants): offsets has
+  /// num_nodes + 1 monotone entries with offsets[0] == 0 and
+  /// offsets[num_nodes] == adjacency.size(); every neighbor list is sorted,
+  /// symmetric, self-loop- and duplicate-free. The streaming ingest path
+  /// (graph/csr_builder.cc) builds such arrays in parallel and hands them
+  /// over here without the O(m log m) re-sort the edge-list constructor
+  /// would pay.
+  static Graph FromCsr(int num_nodes, std::vector<int64_t> offsets,
+                       std::vector<int> adjacency);
+
   int num_nodes() const { return num_nodes_; }
 
   /// Number of undirected edges m.

@@ -6,13 +6,16 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/fileio.h"
 #include "util/logging.h"
 
 namespace cpgan::graph {
 
-LoadResult LoadEdgeListDetailed(const std::string& path,
-                                const LoadOptions& options) {
-  LoadResult result;
+namespace internal {
+
+ParsedEdgeList ParseEdgeListText(const std::string& path,
+                                 const LoadOptions& options) {
+  ParsedEdgeList result;
   std::ifstream in(path);
   if (!in.is_open()) {
     result.error = "cannot open '" + path + "'";
@@ -20,9 +23,10 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
   }
   std::unordered_map<long, int> relabel;
   std::unordered_set<uint64_t> seen_pairs;
-  std::vector<Edge> edges;
   std::string line;
   int64_t line_number = 0;
+  long declared = -1;  // "# nodes N" header value, -1 = none seen
+  bool saw_data = false;
   auto intern = [&relabel](long raw) {
     auto [it, inserted] =
         relabel.emplace(raw, static_cast<int>(relabel.size()));
@@ -31,7 +35,7 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
   auto fail = [&](const char* what) {
     result.error = std::string(what) + " at line " +
                    std::to_string(line_number) + " of '" + path + "'";
-    result.graph.reset();
+    result.edges.clear();
     return result;
   };
   while (std::getline(in, line)) {
@@ -44,7 +48,22 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
     if (line_number == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) {
       line.erase(0, 3);
     }
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      // A "# nodes N" comment ahead of any edge declares the node count
+      // (SaveEdgeList writes one so isolated nodes and node ids survive a
+      // round trip). Comments that merely resemble it stay comments.
+      if (!saw_data && declared < 0 && line[0] == '#') {
+        std::istringstream header(line.substr(1));
+        std::string word;
+        long n = -1;
+        char extra = '\0';
+        if (header >> word >> n && word == "nodes" && n >= 0 &&
+            !(header >> extra)) {
+          declared = n;
+        }
+      }
+      continue;
+    }
     std::istringstream ss(line);
     long u = 0;
     long v = 0;
@@ -63,9 +82,25 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
       ++result.malformed_lines;
       continue;
     }
-    // Intern in reading order (argument evaluation order is unspecified).
-    int iu = intern(u);
-    int iv = intern(v);
+    saw_data = true;
+    int iu;
+    int iv;
+    if (declared >= 0) {
+      // Declared node count: ids are canonical already and must be in
+      // range. No interning, so isolated nodes below N are preserved and
+      // ids are never permuted.
+      if (u >= declared || v >= declared) {
+        if (options.strict) return fail("node id out of declared range");
+        ++result.malformed_lines;
+        continue;
+      }
+      iu = static_cast<int>(u);
+      iv = static_cast<int>(v);
+    } else {
+      // Intern in reading order (argument evaluation order is unspecified).
+      iu = intern(u);
+      iv = intern(v);
+    }
     if (iu == iv) {
       if (options.strict) return fail("self-loop");
       ++result.self_loops;
@@ -81,9 +116,28 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
       ++result.duplicate_edges;
       continue;
     }
-    edges.emplace_back(iu, iv);
+    result.edges.emplace_back(iu, iv);
   }
-  result.graph.emplace(static_cast<int>(relabel.size()), edges);
+  result.declared_nodes = declared >= 0;
+  result.num_nodes = declared >= 0 ? static_cast<int>(declared)
+                                   : static_cast<int>(relabel.size());
+  return result;
+}
+
+}  // namespace internal
+
+LoadResult LoadEdgeListDetailed(const std::string& path,
+                                const LoadOptions& options) {
+  internal::ParsedEdgeList parsed = internal::ParseEdgeListText(path, options);
+  LoadResult result;
+  result.malformed_lines = parsed.malformed_lines;
+  result.self_loops = parsed.self_loops;
+  result.duplicate_edges = parsed.duplicate_edges;
+  if (!parsed.ok()) {
+    result.error = std::move(parsed.error);
+    return result;
+  }
+  result.graph.emplace(parsed.num_nodes, parsed.edges);
   if (result.total_skipped() > 0) {
     CPGAN_LOG(Warning) << "LoadEdgeList('" << path << "'): skipped "
                        << result.malformed_lines << " malformed line(s), "
@@ -99,17 +153,13 @@ std::optional<Graph> LoadEdgeList(const std::string& path) {
 }
 
 bool SaveEdgeList(const Graph& g, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  bool ok = true;
-  for (const auto& [u, v] : g.Edges()) {
-    if (std::fprintf(f, "%d %d\n", u, v) < 0) {
-      ok = false;
-      break;
+  return util::AtomicWriteFile(path, [&g](std::FILE* f) {
+    if (std::fprintf(f, "# nodes %d\n", g.num_nodes()) < 0) return false;
+    for (const auto& [u, v] : g.Edges()) {
+      if (std::fprintf(f, "%d %d\n", u, v) < 0) return false;
     }
-  }
-  std::fclose(f);
-  return ok;
+    return true;
+  });
 }
 
 }  // namespace cpgan::graph

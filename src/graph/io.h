@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
 
@@ -24,8 +25,9 @@ struct LoadResult {
   std::optional<Graph> graph;
 
   /// Lines that were not exactly "u v" with non-negative integers — bad
-  /// tokens, negative ids, or trailing garbage after the two ids (comments
-  /// and blank lines are not counted).
+  /// tokens, negative ids, ids >= the declared "# nodes N" count, or
+  /// trailing garbage after the two ids (comments and blank lines are not
+  /// counted).
   int64_t malformed_lines = 0;
   /// Edges with u == v, dropped (the node itself is kept).
   int64_t self_loops = 0;
@@ -43,8 +45,12 @@ struct LoadResult {
 
 /// Loads a whitespace-separated edge list (exactly "u v" per line — extra
 /// trailing tokens are malformed; lines beginning with '#' or '%' are
-/// comments). Node ids may be arbitrary non-negative integers; they are
-/// compacted to [0, n) in first-appearance order.
+/// comments). A leading "# nodes N" comment (what SaveEdgeList emits)
+/// declares the node count: ids are then taken verbatim (they must lie in
+/// [0, N)), so isolated nodes and node identities survive a save -> load
+/// round trip. Without the header, node ids may be arbitrary non-negative
+/// integers and are compacted to [0, n) in first-appearance order (the
+/// legacy behavior, which silently dropped isolated nodes).
 /// Malformed lines, self-loops, and duplicate edges are skipped and counted
 /// (a warning is logged when any count is nonzero), or fail the load in
 /// strict mode. Fails on IO error.
@@ -55,9 +61,37 @@ LoadResult LoadEdgeListDetailed(const std::string& path,
 /// (they are still logged). Returns nullopt on IO error.
 std::optional<Graph> LoadEdgeList(const std::string& path);
 
-/// Writes the canonical edge list, one "u v" per line. Returns false on IO
-/// error.
+/// Writes the canonical edge list behind a "# nodes N" header, one "u v"
+/// per line, through util::AtomicWriteFile — a crash mid-write leaves the
+/// previous file (or nothing), never a truncated-but-parseable edge list.
+/// Returns false on IO error.
 bool SaveEdgeList(const Graph& g, const std::string& path);
+
+namespace internal {
+
+/// Shared core of the text-edge-list consumers (LoadEdgeListDetailed and
+/// binary_io.cc's ConvertEdgeListToBinary): parses, validates, interns, and
+/// deduplicates without constructing a Graph, so the converter does not pay
+/// for CSR assembly it will not use.
+struct ParsedEdgeList {
+  int num_nodes = 0;
+  /// Validated deduplicated edges, orientation as read.
+  std::vector<Edge> edges;
+  int64_t malformed_lines = 0;
+  int64_t self_loops = 0;
+  int64_t duplicate_edges = 0;
+  /// True when a "# nodes N" header fixed the node count (ids verbatim).
+  bool declared_nodes = false;
+  /// Nonempty on failure (IO error, or first irregularity in strict mode).
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+ParsedEdgeList ParseEdgeListText(const std::string& path,
+                                 const LoadOptions& options);
+
+}  // namespace internal
 
 }  // namespace cpgan::graph
 

@@ -1,0 +1,72 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cpgan::util {
+
+namespace {
+void SetError(std::string* error, const std::string& path, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + " '" + path + "': " + std::strerror(errno);
+  }
+}
+}  // namespace
+
+std::optional<MappedFile> MappedFile::Open(const std::string& path,
+                                           std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, path, "cannot open");
+    return std::nullopt;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    SetError(error, path, "cannot stat");
+    ::close(fd);
+    return std::nullopt;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0);
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed once mmap succeeds (POSIX: closing fd does not unmap).
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    SetError(error, path, "cannot mmap");
+    return std::nullopt;
+  }
+  return MappedFile(static_cast<const uint8_t*>(mapped), size);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace cpgan::util

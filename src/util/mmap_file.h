@@ -1,0 +1,44 @@
+#ifndef CPGAN_UTIL_MMAP_FILE_H_
+#define CPGAN_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cpgan::util {
+
+/// Read-only memory-mapped file.
+///
+/// The streaming ingest path (graph/binary_io.cc) maps binary edge lists
+/// instead of reading them, so the kernel pages data in on demand and the
+/// bytes never count against the tensor engine's MemoryTracker budget —
+/// page-cache pages are reclaimable, heap copies are not. Mappings are
+/// MAP_PRIVATE and never written through.
+class MappedFile {
+ public:
+  /// Maps `path`. Returns nullopt (with a reason in *error when non-null)
+  /// if the file cannot be opened, stat'ed, or mapped. An empty file maps
+  /// successfully with data() == nullptr and size() == 0.
+  static std::optional<MappedFile> Open(const std::string& path,
+                                        std::string* error = nullptr);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cpgan::util
+
+#endif  // CPGAN_UTIL_MMAP_FILE_H_

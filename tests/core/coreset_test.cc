@@ -1,0 +1,205 @@
+// Sampler suite (core/sampler.h): the relative isolated-node floor pin for
+// DegreeProportionalSample (the absolute-0.01 bug), statistical selection
+// behavior, sensitivity-coreset unbiasedness, and the coreset + RAM-budget
+// plumbing through Cpgan::Fit (--coreset-size / --mem-budget-mb).
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/cpgan.h"
+#include "core/sampler.h"
+#include "data/synthetic.h"
+#include "graph/graph.h"
+#include "util/memory_tracker.h"
+#include "util/rng.h"
+
+namespace cpgan::core {
+namespace {
+
+// Bug pin: the isolated-node weight used to be the absolute constant 0.01,
+// so an isolated node's selection odds versus a minimum-degree node changed
+// with the graph's degree scale. The floor is now a fixed *fraction* of the
+// minimum positive degree.
+TEST(DegreeWeights, IsolatedFloorScalesWithMinimumPositiveDegree) {
+  // Graph A: min positive degree 1 (node 2); node 3 isolated.
+  graph::Graph a(4, {{0, 1}, {0, 2}});
+  std::vector<double> wa = DegreeSampleWeights(a);
+  EXPECT_DOUBLE_EQ(wa[3], kIsolatedFloorFraction * 1.0);
+  // Graph B: same shape, every edge tripled via extra neighbors -> min
+  // positive degree 3; the isolated node's weight scales with it.
+  graph::Graph b(8, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 4},
+                     {3, 4}, {4, 5}, {5, 6}, {5, 0}, {6, 1}, {6, 2}});
+  ASSERT_EQ(b.degree(7), 0);
+  int min_positive = b.num_nodes();
+  for (int v = 0; v < b.num_nodes(); ++v) {
+    if (b.degree(v) > 0) min_positive = std::min(min_positive, b.degree(v));
+  }
+  std::vector<double> wb = DegreeSampleWeights(b);
+  EXPECT_DOUBLE_EQ(wb[7], kIsolatedFloorFraction * min_positive);
+  // The scale-invariant: isolated weight / min-positive weight is the same
+  // constant on both graphs.
+  EXPECT_DOUBLE_EQ(wa[3] / 1.0, kIsolatedFloorFraction);
+  EXPECT_DOUBLE_EQ(wb[7] / min_positive, kIsolatedFloorFraction);
+  // Connected nodes keep plain degree weights.
+  EXPECT_DOUBLE_EQ(wa[0], 2.0);
+  EXPECT_DOUBLE_EQ(wa[1], 1.0);
+}
+
+TEST(DegreeWeights, AllIsolatedFallsBackToUniform) {
+  graph::Graph g(5, {});
+  std::vector<double> weights = DegreeSampleWeights(g);
+  for (double w : weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+// Statistical pin: in a graph where node 0 has degree d and node 1 is
+// isolated, the isolated node should be selected about
+// kIsolatedFloorFraction times as often as a *minimum-degree* node —
+// regardless of d's absolute scale. With the old absolute floor, doubling
+// every degree halved the isolated node's selection rate.
+TEST(DegreeWeights, IsolatedSelectionRateTracksMinimumDegree) {
+  auto isolated_rate = [](int scale) {
+    // Nodes 0..9 connected with degree ~2*scale each, node 10 isolated.
+    std::vector<graph::Edge> edges;
+    for (int r = 0; r < scale; ++r) {
+      for (int i = 0; i < 10; ++i) {
+        edges.push_back({i, (i + 1 + r) % 10});
+      }
+    }
+    graph::Graph g(11, edges);
+    util::Rng rng(123);
+    int hits = 0;
+    const int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<int> sample = DegreeProportionalSample(g, 1, rng);
+      if (sample[0] == 10) ++hits;
+    }
+    return static_cast<double>(hits) / kTrials;
+  };
+  const double rate_1x = isolated_rate(1);
+  const double rate_3x = isolated_rate(3);
+  // Expected rate = floor / (sum of weights) ~= 0.01 * min_deg / (2m + ...):
+  // identical for both scales because floor and degrees scale together.
+  EXPECT_GT(rate_1x, 0.0);
+  ASSERT_GT(rate_3x, 0.0);
+  EXPECT_NEAR(rate_1x / rate_3x, 1.0, 0.75);
+  // Sanity: the absolute-floor behavior would give rate_3x ~ rate_1x / 3;
+  // a ratio this close to 1 rules it out at these trial counts.
+}
+
+TEST(Coreset, NodesAreSortedDistinctAndWithinBound) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 300;
+  params.num_edges = 900;
+  params.num_communities = 4;
+  util::Rng graph_rng(5);
+  graph::Graph g = data::MakeCommunityGraph(params, graph_rng);
+  util::Rng rng(17);
+  CoresetSample coreset = SensitivityCoresetSample(g, 64, rng);
+  ASSERT_LE(coreset.size(), 64u);
+  ASSERT_GT(coreset.size(), 0u);
+  ASSERT_EQ(coreset.nodes.size(), coreset.weights.size());
+  for (size_t i = 1; i < coreset.nodes.size(); ++i) {
+    EXPECT_LT(coreset.nodes[i - 1], coreset.nodes[i]);
+  }
+  for (double w : coreset.weights) EXPECT_GT(w, 0.0);
+}
+
+// The importance weights must make coreset sums unbiased: averaging
+// sum_i w_i * deg_i over many independent coresets converges to the full
+// graph's total degree.
+TEST(Coreset, WeightedDegreeSumIsUnbiased) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 200;
+  params.num_edges = 800;
+  params.num_communities = 4;
+  util::Rng graph_rng(3);
+  graph::Graph g = data::MakeCommunityGraph(params, graph_rng);
+  const double exact = 2.0 * static_cast<double>(g.num_edges());
+  util::Rng rng(29);
+  double sum = 0.0;
+  const int kReps = 600;
+  for (int rep = 0; rep < kReps; ++rep) {
+    CoresetSample coreset = SensitivityCoresetSample(g, 32, rng);
+    double estimate = 0.0;
+    for (size_t i = 0; i < coreset.size(); ++i) {
+      estimate += coreset.weights[i] * g.degree(coreset.nodes[i]);
+    }
+    sum += estimate;
+  }
+  EXPECT_NEAR(sum / kReps / exact, 1.0, 0.05);
+}
+
+TEST(Coreset, EdgelessGraphFallsBackToUniformHorvitzThompson) {
+  graph::Graph g(50, {});
+  util::Rng rng(7);
+  CoresetSample coreset = SensitivityCoresetSample(g, 10, rng);
+  ASSERT_EQ(coreset.size(), 10u);
+  for (double w : coreset.weights) EXPECT_DOUBLE_EQ(w, 5.0);  // n / count
+}
+
+TEST(CoresetTraining, FitOnCoresetReportsSizeAndTrains) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 400;
+  params.num_edges = 1600;
+  params.num_communities = 5;
+  util::Rng graph_rng(11);
+  graph::Graph g = data::MakeCommunityGraph(params, graph_rng);
+  CpganConfig config;
+  config.epochs = 4;
+  config.subgraph_size = 48;
+  config.coreset_size = 96;
+  config.seed = 13;
+  Cpgan model(config);
+  TrainStats stats = model.Fit(g);
+  EXPECT_TRUE(model.trained());
+  EXPECT_GT(stats.coreset_nodes, 0);
+  EXPECT_LE(stats.coreset_nodes, 96);
+  EXPECT_FALSE(stats.budget_exceeded);
+  // Generation still targets the observed (coreset) size and succeeds.
+  graph::Graph generated = model.Generate();
+  EXPECT_EQ(generated.num_nodes(), stats.coreset_nodes);
+}
+
+TEST(CoresetTraining, CoresetLargerThanGraphIsIgnored) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 60;
+  params.num_edges = 180;
+  params.num_communities = 3;
+  util::Rng graph_rng(2);
+  graph::Graph g = data::MakeCommunityGraph(params, graph_rng);
+  CpganConfig config;
+  config.epochs = 2;
+  config.subgraph_size = 32;
+  config.coreset_size = 1000;  // >= n: full-graph training
+  config.seed = 3;
+  Cpgan model(config);
+  TrainStats stats = model.Fit(g);
+  EXPECT_EQ(stats.coreset_nodes, 0);
+}
+
+TEST(CoresetTraining, BudgetExceededIsReportedNotFatal) {
+  data::CommunityGraphParams params;
+  params.num_nodes = 200;
+  params.num_edges = 700;
+  params.num_communities = 4;
+  util::Rng graph_rng(19);
+  graph::Graph g = data::MakeCommunityGraph(params, graph_rng);
+  CpganConfig config;
+  config.epochs = 2;
+  config.subgraph_size = 64;
+  config.mem_budget_mb = 1;  // far below any real training peak
+  config.seed = 23;
+  Cpgan model(config);
+  TrainStats stats = model.Fit(g);
+  util::MemoryTracker::Global().SetBudgetBytes(0);
+  EXPECT_TRUE(model.trained());
+  EXPECT_TRUE(stats.budget_exceeded);
+  EXPECT_GT(stats.peak_bytes, int64_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace cpgan::core

@@ -1,0 +1,207 @@
+// Loader-parity suite (docs/INTERNALS.md, "Streaming ingest"): the text
+// loader, the text->binary converter, and the mmap binary loader must agree
+// on every input — same dirty-input counters, same strict-mode failures,
+// same CSR bit for bit, at any thread count. Also pins the two SaveEdgeList
+// bugs fixed alongside the binary format: the round trip used to drop
+// isolated nodes and relabel ids (no "# nodes N" header), and wrote through
+// a bare fopen (no atomic replacement).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/loader.h"
+#include "graph/binary_io.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "util/check.h"
+#include "util/fileio.h"
+#include "util/thread_pool.h"
+
+namespace cpgan::graph {
+namespace {
+
+class TempPath {
+ public:
+  TempPath() {
+    char buffer[] = "/tmp/cpgan_parity_XXXXXX";
+    int fd = mkstemp(buffer);
+    CPGAN_CHECK(fd >= 0);
+    path_ = buffer;
+    close(fd);
+  }
+  explicit TempPath(const std::string& contents) : TempPath() {
+    std::ofstream out(path_, std::ios::binary);
+    out << contents;
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Loads `text` both ways (text loader; convert -> binary loader) and
+/// asserts identical counters and an identical graph. Returns the graph.
+Graph ExpectParity(const std::string& text, const LoadOptions& options = {}) {
+  TempPath text_file(text);
+  TempPath binary_file;
+  LoadResult from_text = LoadEdgeListDetailed(text_file.path(), options);
+  CPGAN_CHECK_MSG(from_text.ok(), from_text.error.c_str());
+  ConvertResult converted = ConvertEdgeListToBinary(
+      text_file.path(), binary_file.path(), options);
+  EXPECT_TRUE(converted.ok()) << converted.error;
+  EXPECT_EQ(converted.malformed_lines, from_text.malformed_lines);
+  EXPECT_EQ(converted.self_loops, from_text.self_loops);
+  EXPECT_EQ(converted.duplicate_edges, from_text.duplicate_edges);
+  EXPECT_EQ(converted.num_nodes, from_text.graph->num_nodes());
+  EXPECT_EQ(converted.num_edges, from_text.graph->num_edges());
+  LoadResult from_binary = LoadBinaryEdgeListDetailed(binary_file.path());
+  EXPECT_TRUE(from_binary.ok()) << from_binary.error;
+  EXPECT_EQ(from_binary.graph->num_nodes(), from_text.graph->num_nodes());
+  EXPECT_EQ(from_binary.graph->Edges(), from_text.graph->Edges());
+  return *from_text.graph;
+}
+
+TEST(IngestParity, CleanInput) {
+  Graph g = ExpectParity("0 1\n1 2\n2 3\n");
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(IngestParity, DirtyInputCountersMatch) {
+  // One malformed line, one self-loop, two duplicates (one reversed).
+  ExpectParity(
+      "0 1\n"
+      "1 2 junk\n"
+      "3 3\n"
+      "1 0\n"
+      "0 1\n"
+      "1 2\n");
+}
+
+TEST(IngestParity, CrlfAndBomTolerated) {
+  ExpectParity("\xEF\xBB\xBF# comment\r\n0 1\r\n1 2\r\n");
+}
+
+TEST(IngestParity, DeclaredNodeHeaderHonoredByBothPaths) {
+  Graph g = ExpectParity("# nodes 7\n5 6\n0 2\n");
+  // Verbatim ids, no interning: 7 nodes, edges exactly as written.
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_EQ(g.Edges(), (std::vector<Edge>{{0, 2}, {5, 6}}));
+}
+
+TEST(IngestParity, DeclaredRangeViolationCountedInBothPaths) {
+  ExpectParity("# nodes 3\n0 1\n0 9\n");  // 0 9 out of range -> malformed
+}
+
+TEST(IngestParity, StrictModeFailsIdenticallyAcrossPaths) {
+  TempPath text_file("0 1\n2 2\n");
+  TempPath binary_file;
+  LoadOptions strict;
+  strict.strict = true;
+  LoadResult from_text = LoadEdgeListDetailed(text_file.path(), strict);
+  ConvertResult converted =
+      ConvertEdgeListToBinary(text_file.path(), binary_file.path(), strict);
+  ASSERT_FALSE(from_text.ok());
+  ASSERT_FALSE(converted.ok());
+  EXPECT_EQ(converted.error, from_text.error);
+  EXPECT_NE(from_text.error.find("line 2"), std::string::npos)
+      << from_text.error;
+}
+
+TEST(IngestParity, DataLoaderRoutesBinaryFilesByMagic) {
+  TempPath text_file("0 1\n1 2\n");
+  TempPath binary_file;
+  ASSERT_TRUE(ConvertEdgeListToBinary(text_file.path(), binary_file.path())
+                  .ok());
+  Graph via_text = data::LoadGraph(text_file.path());
+  Graph via_binary = data::LoadGraph(binary_file.path());
+  EXPECT_EQ(via_binary.num_nodes(), via_text.num_nodes());
+  EXPECT_EQ(via_binary.Edges(), via_text.Edges());
+}
+
+// Satellite bug pin: SaveEdgeList -> LoadEdgeList used to collapse a graph
+// with isolated nodes (they vanished) and relabel the surviving ids by
+// first appearance. The "# nodes N" header makes the round trip exact.
+TEST(IngestParity, SaveLoadRoundTripKeepsIsolatedNodesAndIds) {
+  Graph g(6, {{4, 2}, {2, 5}});  // nodes 0, 1, 3 isolated
+  TempPath file;
+  ASSERT_TRUE(SaveEdgeList(g, file.path()));
+  LoadResult loaded = LoadEdgeListDetailed(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.graph->num_nodes(), 6);
+  EXPECT_EQ(loaded.graph->Edges(), g.Edges());
+  EXPECT_EQ(loaded.graph->degree(0), 0);
+  EXPECT_EQ(loaded.graph->degree(2), 2);
+}
+
+// Satellite bug pin: SaveEdgeList used to write through a bare fopen, so a
+// failed write could leave a torn file. It now goes through
+// util::AtomicWriteFile, which the failure injection exercises.
+TEST(IngestParity, SaveEdgeListIsAtomicUnderWriteFailure) {
+  Graph g(3, {{0, 1}});
+  TempPath file("previous contents\n");
+  util::InjectAtomicWriteFailures(1);
+  EXPECT_FALSE(SaveEdgeList(g, file.path()));
+  std::string contents;
+  ASSERT_TRUE(util::ReadFileToString(file.path(), &contents));
+  EXPECT_EQ(contents, "previous contents\n");
+  util::InjectAtomicWriteFailures(0);
+  EXPECT_TRUE(SaveEdgeList(g, file.path()));
+}
+
+TEST(IngestParity, TextBinaryTextGoldenRoundTrip) {
+  const std::string golden =
+      "# nodes 5\n"
+      "0 1\n"
+      "1 2\n"
+      "2 4\n";  // node 3 isolated
+  TempPath text_file(golden);
+  TempPath binary_file;
+  TempPath text_again;
+  ASSERT_TRUE(ConvertEdgeListToBinary(text_file.path(), binary_file.path())
+                  .ok());
+  LoadResult loaded = LoadBinaryEdgeListDetailed(binary_file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  ASSERT_TRUE(SaveEdgeList(*loaded.graph, text_again.path()));
+  std::string round_tripped;
+  ASSERT_TRUE(util::ReadFileToString(text_again.path(), &round_tripped));
+  EXPECT_EQ(round_tripped, golden);
+}
+
+TEST(IngestParity, CsrIsBitwiseIdenticalAtAnyThreadCount) {
+  // 600 nodes, ~1800 edges: enough for several parallel chunks per phase.
+  std::string text = "# nodes 600\n";
+  for (int i = 0; i < 600; ++i) {
+    text += std::to_string(i) + ' ' + std::to_string((i + 1) % 600) + '\n';
+    text += std::to_string(i) + ' ' + std::to_string((i + 7) % 600) + '\n';
+    text += std::to_string(i) + ' ' + std::to_string((i + 100) % 600) + '\n';
+  }
+  TempPath text_file(text);
+  TempPath binary_file;
+  ASSERT_TRUE(ConvertEdgeListToBinary(text_file.path(), binary_file.path())
+                  .ok());
+  const int original_threads = util::ThreadPool::Global().num_threads();
+  std::vector<Edge> reference;
+  for (int threads : {1, 2, 8}) {
+    util::ThreadPool::SetGlobalThreads(threads);
+    LoadResult loaded = LoadBinaryEdgeListDetailed(binary_file.path());
+    ASSERT_TRUE(loaded.ok()) << loaded.error;
+    if (reference.empty()) {
+      reference = loaded.graph->Edges();
+    } else {
+      EXPECT_EQ(loaded.graph->Edges(), reference)
+          << "CSR differs at " << threads << " thread(s)";
+    }
+  }
+  util::ThreadPool::SetGlobalThreads(original_threads);
+}
+
+}  // namespace
+}  // namespace cpgan::graph

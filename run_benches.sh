@@ -73,4 +73,28 @@ if ! awk -v s="$ingest_speedup" -v w="$ingest_within" \
   exit 1
 fi
 echo "[done] micro_ingest at $(date +%H:%M:%S) (${ingest_speedup}x, budget ok)"
+
+# Hierarchical-generation gate: per-community decode must stay >= 2x the
+# flat decode at 8 threads on the multi-community fixture (the win is
+# algorithmic — quadratic decode cost over much smaller blocks — so it
+# holds on one core), the hierarchical output must be bitwise identical
+# across thread counts, and hierarchical assembly must not trade community
+# structure away (modularity within 0.05 of the flat decode's).
+echo "===== build/bench/micro_hier =====" >> bench_output.txt
+hier_out=$(./build/bench/micro_hier bench/BENCH_hier.json)
+echo "$hier_out" >> bench_output.txt
+echo "" >> bench_output.txt
+hier_speedup=$(echo "$hier_out" | sed -n 's/^HIER_SPEEDUP_T8=//p')
+hier_delta=$(echo "$hier_out" | sed -n 's/^HIER_MODULARITY_DELTA=//p')
+hier_det=$(echo "$hier_out" | sed -n 's/^HIER_DETERMINISTIC=//p')
+if ! awk -v s="$hier_speedup" -v d="$hier_delta" -v det="$hier_det" \
+     'BEGIN { exit !(s != "" && d != "" && det == "1" && s >= 2.0 && d >= -0.05) }'; then
+  echo "error: hierarchical-generation gate failed:" >&2
+  echo "       hier speedup ${hier_speedup:-<missing>}x at 8 threads (budget >= 2x)," >&2
+  echo "       modularity delta ${hier_delta:-<missing>} (budget >= -0.05)," >&2
+  echo "       thread-count determinism flag ${hier_det:-<missing>} (need 1)." >&2
+  echo "       See bench/BENCH_hier.json." >&2
+  exit 1
+fi
+echo "[done] micro_hier at $(date +%H:%M:%S) (${hier_speedup}x, modularity delta ${hier_delta})"
 echo "ALL BENCHES COMPLETE"

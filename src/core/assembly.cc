@@ -13,6 +13,7 @@ graph::Graph AssembleGraph(int num_nodes, int64_t target_edges,
                            const AssemblyOptions& options, util::Rng& rng) {
   CPGAN_CHECK_GE(num_nodes, 0);
   CPGAN_CHECK_GE(target_edges, 0);
+  if (options.aborted != nullptr) *options.aborted = false;
   std::set<graph::Edge> edges;
   if (num_nodes < 2 || target_edges == 0) {
     return graph::Graph(num_nodes, {});
@@ -72,17 +73,20 @@ graph::Graph AssembleGraph(int num_nodes, int64_t target_edges,
       int64_t quota = static_cast<int64_t>(
           static_cast<double>(target_edges) * chunk_pairs / total_pairs * 1.5);
       quota = std::max<int64_t>(quota, k / 2);
-      std::vector<std::pair<float, graph::Edge>> scored;
+      std::vector<std::pair<double, graph::Edge>> scored;
       scored.reserve(static_cast<size_t>(k) * (k - 1) / 2);
       for (int i = 0; i < k; ++i) {
         for (int j = i + 1; j < k; ++j) {
-          float p = std::max(1e-9f, probs.At(i, j));
-          float key = p;
+          double p = std::max(1e-9, static_cast<double>(probs.At(i, j)));
+          double key = p;
           if (options.proportional_fill) {
             // Efraimidis-Spirakis: ranking by u^(1/p) draws without
-            // replacement with probability proportional to p.
-            key = static_cast<float>(
-                std::pow(rng.Uniform(), 1.0 / static_cast<double>(p)));
+            // replacement with probability proportional to p. Done in log
+            // space — log(u)/p has the same order as u^(1/p) but cannot
+            // underflow when 1/p reaches 1e9 (a float power collapses every
+            // small-p key to 0.0f, degenerating the fill into arbitrary
+            // tie-breaking among zeros).
+            key = std::log(rng.Uniform()) / p;
           }
           scored.push_back({key, {ids[i], ids[j]}});
         }

@@ -37,8 +37,9 @@ struct AssemblyOptions {
   /// (docs/SERVING.md). Unset = never abort.
   std::function<bool()> should_abort;
 
-  /// Set to true when should_abort stopped the assembly early (out-param;
-  /// left untouched otherwise so callers can reuse one options struct).
+  /// Out-param: reset to false on entry to AssembleGraph and set to true
+  /// when should_abort stopped the assembly early, so one options struct
+  /// can be reused across runs without reporting a stale abort.
   bool* aborted = nullptr;
 };
 

@@ -101,6 +101,16 @@ struct CpganConfig {
   /// when >= the observed node count.
   int coreset_size = 0;
 
+  /// Default generation mode for Generate()/GenerateWithSize(): when true,
+  /// graphs are assembled hierarchically (docs/INTERNALS.md, "Hierarchical
+  /// assembly") — community skeleton from the learned pooled
+  /// representation, per-community decodes fanned out over the thread
+  /// pool, cross-community stitching. Purely a generation-time switch: it
+  /// does not affect training or the architecture hash, so checkpoints are
+  /// interchangeable between modes. The serving protocol selects the mode
+  /// per request (`hier=1`) regardless of this default.
+  bool hierarchical_generation = false;
+
   /// Soft RAM budget in MiB enforced through util::MemoryTracker: set as
   /// the tracker budget for the run, and TrainStats::budget_exceeded
   /// reports whether the tracked peak (tensor storage + ingest CSR

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "core/assembly.h"
+#include "core/hier_assembly.h"
+#include "core/losses.h"
 #include "core/sampler.h"
 #include "graph/spectral.h"
 #include "obs/metrics.h"
@@ -58,16 +60,6 @@ std::vector<int> RemapLabels(const std::vector<int>& labels, int buckets) {
   std::vector<int> out(labels.size());
   for (size_t i = 0; i < labels.size(); ++i) out[i] = bucket_of[labels[i]];
   return out;
-}
-
-/// -mean_i log S[i, y_i] via a one-hot mask.
-t::Tensor AssignmentNll(const t::Tensor& s, const std::vector<int>& y) {
-  t::Matrix one_hot(s.rows(), s.cols());
-  for (int i = 0; i < s.rows(); ++i) {
-    one_hot.At(i, std::min(y[i], s.cols() - 1)) = 1.0f;
-  }
-  t::Tensor picked = t::Mul(t::Log(s), t::Constant(std::move(one_hot)));
-  return t::Scale(t::SumAll(picked), -1.0f / static_cast<float>(s.rows()));
 }
 
 std::vector<int> ArgmaxRows(const t::Matrix& m) {
@@ -270,10 +262,16 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
     coreset_graphs.insert(coreset_graphs.end(), graphs.begin() + 1,
                           graphs.end());
     training = &coreset_graphs;
+    // Keep the Horvitz-Thompson importance weights, aligned with the
+    // relabeled coreset node ids (InducedSubgraph preserves coreset.nodes
+    // order), so the per-node loss terms can debias the coreset estimator.
+    coreset_weights_.assign(coreset.weights.begin(), coreset.weights.end());
+    coreset_full_nodes_ = graphs[0].num_nodes();
     CPGAN_LOG(Info) << "coreset training: " << coreset_nodes << " of "
                     << graphs[0].num_nodes() << " nodes ("
                     << coreset_graphs[0].num_edges() << " of "
-                    << graphs[0].num_edges() << " edges)";
+                    << graphs[0].num_edges()
+                    << " edges), importance-weighted losses";
   }
   const graph::Graph& observed = (*training)[0];
 
@@ -484,6 +482,24 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
           1.0, 8.0));
     }
 
+    // Coreset importance weights for this batch (primary graph only; empty
+    // = unweighted). The normalizers are the full graph's node count scaled
+    // by the batch's fraction of the coreset, so with unit weights they
+    // reduce to the plain 1/k and 1/k^2 means.
+    std::vector<float> batch_weights;
+    float node_inv_norm = 0.0f;
+    float pair_inv_norm = 0.0f;
+    if (which == 0 && !coreset_weights_.empty()) {
+      batch_weights.resize(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        batch_weights[i] = coreset_weights_[idx[i]];
+      }
+      const double denom = static_cast<double>(coreset_full_nodes_) *
+                           static_cast<double>(k) / current.num_nodes();
+      node_inv_norm = static_cast<float>(1.0 / denom);
+      pair_inv_norm = static_cast<float>(1.0 / (denom * denom));
+    }
+
     auto sample_prior = [&]() {
       std::vector<t::Tensor> z;
       for (int l = 0; l < effective_levels_; ++l) {
@@ -504,8 +520,9 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
       CPGAN_TRACE_SPAN("train/disc_step");
       EncoderOutput enc_real = encoder_->Forward(a_hat, x_s);
       t::Tensor d_real = discriminator_->ForwardLogit(enc_real.readout);
-      t::Tensor l_clus =
-          ClusteringLoss(enc_real.assignments, idx, current_targets);
+      t::Tensor l_clus = ClusteringLoss(enc_real.assignments, idx,
+                                        current_targets, batch_weights,
+                                        node_inv_norm);
 
       VariationalOutput vae_out =
           vae_->Forward(enc_real.z_rec, rng_, config_.use_variational);
@@ -588,7 +605,13 @@ TrainStats Cpgan::FitMany(const std::vector<graph::Graph>& graphs) {
       }
 
       t::Tensor l_rec = t::MseLoss(enc.readout, enc_fake.readout);
-      t::Tensor l_bce = t::BceWithLogits(logits, a_dense, pos_weight);
+      // Coreset batches debias the reconstruction likelihood with the pair
+      // weights w_i * w_j; the unweighted path is bitwise-unchanged.
+      t::Tensor l_bce =
+          batch_weights.empty()
+              ? t::BceWithLogits(logits, a_dense, pos_weight)
+              : WeightedBceWithLogits(logits, a_dense, batch_weights,
+                                      pos_weight, pair_inv_norm);
 
       t::Tensor loss_g = t::Add(
           t::Add(t::Scale(adv, config_.adv_weight),
@@ -770,32 +793,42 @@ bool Cpgan::ResumeFrom(const std::string& checkpoint_path) {
 tensor::Tensor Cpgan::ClusteringLoss(
     const std::vector<t::Tensor>& assignments,
     const std::vector<int>& node_ids,
-    const std::vector<std::vector<int>>& targets) const {
+    const std::vector<std::vector<int>>& targets,
+    const std::vector<float>& node_weights, float level0_inv_norm) const {
   t::Tensor loss = t::ScalarConstant(0.0f);
   if (assignments.empty()) return loss;
 
-  // Level 0: fine nodes labeled directly.
+  // Level 0: fine nodes labeled directly. Coreset batches weight each
+  // node's NLL term by its importance weight (unbiased per-node estimator;
+  // see losses.h); otherwise the plain mean.
   std::vector<int> labels(node_ids.size());
   for (size_t i = 0; i < node_ids.size(); ++i) {
     labels[i] = targets[0][node_ids[i]];
   }
-  loss = t::Add(loss, AssignmentNll(assignments[0], labels));
+  loss = t::Add(loss, node_weights.empty()
+                          ? AssignmentNll(assignments[0], labels)
+                          : WeightedAssignmentNll(assignments[0], labels,
+                                                  node_weights,
+                                                  level0_inv_norm));
 
   // Deeper levels: coarse node j inherits the majority label (at the coarser
   // Louvain level) of the fine nodes whose argmax assignment is j. The vote
-  // uses the forward values only (stop-gradient).
+  // uses the forward values only (stop-gradient); coreset batches weight
+  // each vote by the node's importance weight (unit weights leave the
+  // tallies unchanged).
   std::vector<int> node_to_coarse = ArgmaxRows(assignments[0].value());
   for (size_t l = 1; l < assignments.size(); ++l) {
     int coarse_count = assignments[l].rows();
     int buckets = assignments[l].cols();
-    std::vector<std::unordered_map<int, int>> votes(coarse_count);
+    std::vector<std::unordered_map<int, double>> votes(coarse_count);
     for (size_t i = 0; i < node_ids.size(); ++i) {
       int coarse = std::min(node_to_coarse[i], coarse_count - 1);
-      votes[coarse][targets[l][node_ids[i]]] += 1;
+      votes[coarse][targets[l][node_ids[i]]] +=
+          node_weights.empty() ? 1.0 : node_weights[i];
     }
     std::vector<int> coarse_labels(coarse_count, 0);
     for (int j = 0; j < coarse_count; ++j) {
-      int best_count = -1;
+      double best_count = -1.0;
       for (const auto& [label, count] : votes[j]) {
         if (count > best_count) {
           best_count = count;
@@ -874,6 +907,165 @@ graph::Graph Cpgan::GenerateFromLatents(const std::vector<t::Matrix>& latents,
       options, rng);
 }
 
+std::vector<int> Cpgan::LearnedCommunityLabels() const {
+  CPGAN_CHECK(trained_);
+  auto a_hat = std::make_shared<t::SparseMatrix>(
+      config_.use_two_hop_adjacency
+          ? t::TwoHopNormalizedAdjacency(observed_->num_nodes(),
+                                         observed_->Edges())
+          : t::NormalizedAdjacency(observed_->num_nodes(),
+                                   observed_->Edges()));
+  t::Tensor x = features_.Detach();
+  EncoderOutput enc = encoder_->Forward(a_hat, x);
+  if (!enc.assignments.empty()) {
+    return ArgmaxRows(enc.assignments[0].value());
+  }
+  // Pooling disabled (CPGAN-noH): the Louvain targets are the learned
+  // representation's training signal; use them directly.
+  return louvain_.FinalPartition().labels();
+}
+
+graph::Graph Cpgan::GenerateHierarchicalFromLatents(
+    const std::vector<t::Matrix>& latents,
+    const std::vector<int>& community_labels, int num_nodes,
+    int64_t num_edges, const GenerateControls& controls,
+    util::Rng& rng) const {
+  CPGAN_CHECK(trained_);
+  CPGAN_CHECK(!latents.empty());
+  CPGAN_CHECK_EQ(static_cast<int>(community_labels.size()),
+                 latents[0].rows());
+  CPGAN_TRACE_SPAN("hier/generate");
+
+  // Per-request stream base, drawn before any early exit so the RNG
+  // position stays deterministic.
+  const uint64_t stream_seed = rng.engine()();
+
+  bool local_aborted = false;
+  bool* aborted = controls.aborted != nullptr ? controls.aborted
+                                              : &local_aborted;
+  *aborted = false;
+  auto run_phase = [&controls](const std::function<void()>& phase) {
+    if (controls.run_phase) {
+      controls.run_phase(phase);
+    } else {
+      phase();
+    }
+  };
+  auto abort_now = [&controls]() {
+    return controls.should_abort && controls.should_abort();
+  };
+
+  // Observed members per learned community.
+  int num_communities = 0;
+  for (int label : community_labels) {
+    num_communities = std::max(num_communities, label + 1);
+  }
+  if (num_communities == 0) num_communities = 1;
+  std::vector<std::vector<int>> obs_members(num_communities);
+  for (size_t v = 0; v < community_labels.size(); ++v) {
+    obs_members[community_labels[v]].push_back(static_cast<int>(v));
+  }
+
+  // Probe decode: a few evenly spread members per community scored in one
+  // decoder pass; block densities are the mean decoded probability per
+  // community pair. This is the skeleton's inter-community edge-budget
+  // signal, read straight from the learned pooled representation.
+  constexpr int kProbePerCommunity = 8;
+  std::vector<int> probe_ids;
+  std::vector<int> probe_community;
+  for (int c = 0; c < num_communities; ++c) {
+    const auto& members = obs_members[c];
+    const int count =
+        std::min<int>(kProbePerCommunity, static_cast<int>(members.size()));
+    for (int i = 0; i < count; ++i) {
+      probe_ids.push_back(
+          members[static_cast<int64_t>(i) * members.size() / count]);
+      probe_community.push_back(c);
+    }
+  }
+  {
+    // Sort the union by id (scorer contract) carrying the community tags.
+    std::vector<int> order(probe_ids.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return probe_ids[a] < probe_ids[b];
+    });
+    std::vector<int> sorted_ids(probe_ids.size());
+    std::vector<int> sorted_community(probe_ids.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      sorted_ids[i] = probe_ids[order[i]];
+      sorted_community[i] = probe_community[order[i]];
+    }
+    probe_ids = std::move(sorted_ids);
+    probe_community = std::move(sorted_community);
+  }
+  std::vector<std::vector<double>> density(
+      num_communities, std::vector<double>(num_communities, 0.0));
+  if (abort_now()) {
+    *aborted = true;
+    return graph::Graph(num_nodes, {});
+  }
+  if (probe_ids.size() >= 2) {
+    run_phase([&]() {
+      CPGAN_TRACE_SPAN("hier/probe");
+      t::Matrix probs = ScoreSubgraph(latents, probe_ids);
+      std::vector<std::vector<double>> count(
+          num_communities, std::vector<double>(num_communities, 0.0));
+      const int k = static_cast<int>(probe_ids.size());
+      for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+          int a = probe_community[i];
+          int b = probe_community[j];
+          if (a > b) std::swap(a, b);
+          density[a][b] += std::max(0.0f, probs.At(i, j));
+          count[a][b] += 1.0;
+        }
+      }
+      for (int a = 0; a < num_communities; ++a) {
+        for (int b = a; b < num_communities; ++b) {
+          if (count[a][b] > 0.0) density[a][b] /= count[a][b];
+          density[b][a] = density[a][b];
+        }
+      }
+    });
+  }
+
+  CommunitySkeleton skeleton =
+      BuildSkeleton(community_labels, num_nodes, num_edges, density);
+
+  // Each output node borrows the latent row of an observed member of its
+  // community (cycling when the output outgrows the training graph).
+  std::vector<int> row_of(num_nodes, 0);
+  for (int c = 0; c < skeleton.num_communities(); ++c) {
+    const auto& out_members = skeleton.members[c];
+    const auto& observed = obs_members[c];
+    CPGAN_CHECK(out_members.empty() || !observed.empty());
+    for (size_t i = 0; i < out_members.size(); ++i) {
+      row_of[out_members[i]] = observed[i % observed.size()];
+    }
+  }
+
+  HierAssemblyOptions options;
+  if (controls.subgraph_size > 0) {
+    options.assembly.subgraph_size = controls.subgraph_size;
+  } else {
+    options.assembly.subgraph_size = std::max(config_.subgraph_size, 256);
+  }
+  options.assembly.max_passes = controls.max_passes;
+  options.seed = stream_seed;
+  options.run_phase = controls.run_phase;
+  options.should_abort = controls.should_abort;
+  options.aborted = aborted;
+  return HierAssembleGraph(
+      skeleton,
+      [this, &latents, &row_of](const std::vector<int>& ids) {
+        std::vector<int> rows(ids.size());
+        for (size_t i = 0; i < ids.size(); ++i) rows[i] = row_of[ids[i]];
+        return ScoreSubgraph(latents, rows);
+      },
+      options);
+}
+
 graph::Graph Cpgan::GenerateWith(const GenerateControls& controls,
                                  util::Rng& rng) const {
   CPGAN_CHECK(trained_);
@@ -881,6 +1073,24 @@ graph::Graph Cpgan::GenerateWith(const GenerateControls& controls,
       controls.num_nodes > 0 ? controls.num_nodes : observed_->num_nodes();
   int64_t num_edges =
       controls.num_edges > 0 ? controls.num_edges : observed_->num_edges();
+  if (controls.hierarchical) {
+    // The encoder passes (posterior latents + learned labels) are
+    // kernel-heavy; run them as a phase so the serving runtime's narrowed
+    // lock covers them too.
+    std::vector<t::Matrix> latents;
+    std::vector<int> labels;
+    auto prepare = [&]() {
+      latents = PosteriorMeanLatents();
+      labels = LearnedCommunityLabels();
+    };
+    if (controls.run_phase) {
+      controls.run_phase(prepare);
+    } else {
+      prepare();
+    }
+    return GenerateHierarchicalFromLatents(latents, labels, num_nodes,
+                                           num_edges, controls, rng);
+  }
   bool prior = controls.from_prior || num_nodes != observed_->num_nodes();
   std::vector<t::Matrix> latents;
   if (prior) {
@@ -900,7 +1110,9 @@ graph::Graph Cpgan::Generate() {
   // Posterior means: the sampled-prior path is exposed via GenerateWithSize;
   // Table III/IV evaluation uses the mean latents, whose decoded structure
   // carries the learned community signal with the least noise.
-  return GenerateWith(GenerateControls{}, rng_);
+  GenerateControls controls;
+  controls.hierarchical = config_.hierarchical_generation;
+  return GenerateWith(controls, rng_);
 }
 
 graph::Graph Cpgan::GenerateWithSize(int num_nodes, int64_t num_edges) {
@@ -909,6 +1121,7 @@ graph::Graph Cpgan::GenerateWithSize(int num_nodes, int64_t num_edges) {
   controls.num_nodes = num_nodes;
   controls.num_edges = num_edges;
   controls.from_prior = true;
+  controls.hierarchical = config_.hierarchical_generation;
   return GenerateWith(controls, rng_);
 }
 

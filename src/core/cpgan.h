@@ -102,6 +102,19 @@ struct GenerateControls {
 
   /// Set to true when should_abort stopped assembly early.
   bool* aborted = nullptr;
+
+  /// Hierarchical community-wise generation (docs/INTERNALS.md,
+  /// "Hierarchical assembly"): derive the community skeleton from the
+  /// learned pooled representation, decode each community independently
+  /// over the thread pool, then stitch cross-community edges from the
+  /// inter-community budget. Bitwise-deterministic at any thread count.
+  bool hierarchical = false;
+
+  /// Hierarchical mode only: every kernel-heavy phase (a wave of
+  /// per-community decodes, a stitching wave) runs inside this wrapper, so
+  /// the serving runtime can hold serve::KernelLock() per phase instead of
+  /// across the whole generation. Unset = phases run directly.
+  std::function<void(const std::function<void()>&)> run_phase;
 };
 
 /// Community-Preserving GAN — the paper's primary contribution.
@@ -152,6 +165,29 @@ class Cpgan {
                                    int num_nodes, int64_t num_edges,
                                    const GenerateControls& controls,
                                    util::Rng& rng) const;
+
+  /// Community label per observed node from the learned pooled
+  /// representation: the argmax of the encoder's level-0 assignment matrix
+  /// (trained against the Louvain targets), falling back to the Louvain
+  /// partition itself when pooling is disabled. Deterministic, so callers
+  /// (the serving registry) compute it once per model and reuse it.
+  std::vector<int> LearnedCommunityLabels() const;
+
+  /// Hierarchical community-wise generation over precomputed observed-size
+  /// latents (docs/INTERNALS.md, "Hierarchical assembly"): output nodes are
+  /// split into communities proportionally to `community_labels` (sizes
+  /// scaled to `num_nodes`, which may exceed the observed count), each
+  /// output node borrows the latent row of an observed member of its
+  /// community, the inter-community edge-budget matrix comes from a decoded
+  /// probe of the block densities, per-community decodes fan out over the
+  /// thread pool with per-community RNG streams, and cross-community edges
+  /// are stitched from boundary-node scores. Bitwise-deterministic at any
+  /// thread count for a fixed `rng` seed.
+  graph::Graph GenerateHierarchicalFromLatents(
+      const std::vector<tensor::Matrix>& latents,
+      const std::vector<int>& community_labels, int num_nodes,
+      int64_t num_edges, const GenerateControls& controls,
+      util::Rng& rng) const;
 
   /// Builds the model architecture for `observed` and restores the full
   /// parameter set from a training checkpoint, without running any training
@@ -218,11 +254,16 @@ class Cpgan {
 
   /// Clustering-consistency loss over the assignment matrices (Section
   /// III-F2): -sum_l mean_i log S^l[i, y^l_i]. `targets` are the remapped
-  /// community labels of the graph the subgraph came from.
+  /// community labels of the graph the subgraph came from. `node_weights`
+  /// (empty = unweighted) are the coreset importance weights of the batch
+  /// nodes; when present, the level-0 per-node NLL terms are weighted and
+  /// normalized by `level0_inv_norm` (losses.h) and the coarse-level
+  /// majority votes are weight-tallied.
   tensor::Tensor ClusteringLoss(
       const std::vector<tensor::Tensor>& assignments,
       const std::vector<int>& node_ids,
-      const std::vector<std::vector<int>>& targets) const;
+      const std::vector<std::vector<int>>& targets,
+      const std::vector<float>& node_weights, float level0_inv_norm) const;
 
   /// Decoder pass over constant latents restricted to `ids`.
   tensor::Matrix ScoreSubgraph(const std::vector<tensor::Matrix>& latents,
@@ -254,6 +295,12 @@ class Cpgan {
   /// Additional training graphs beyond the primary one (FitMany).
   std::vector<TrainContext> extra_contexts_;
   int effective_levels_ = 1;
+
+  /// Horvitz-Thompson importance weights of the coreset nodes (aligned with
+  /// the relabeled coreset graph's node ids; empty when coreset training is
+  /// off) and the full graph's node count they normalize against.
+  std::vector<float> coreset_weights_;
+  int coreset_full_nodes_ = 0;
 
   // Modules.
   std::unique_ptr<LadderEncoder> encoder_;

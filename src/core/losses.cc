@@ -1,0 +1,71 @@
+#include "core/losses.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cpgan::core {
+
+namespace t = tensor;
+
+t::Tensor AssignmentNll(const t::Tensor& s, const std::vector<int>& y) {
+  t::Matrix one_hot(s.rows(), s.cols());
+  for (int i = 0; i < s.rows(); ++i) {
+    one_hot.At(i, std::min(y[i], s.cols() - 1)) = 1.0f;
+  }
+  t::Tensor picked = t::Mul(t::Log(s), t::Constant(std::move(one_hot)));
+  return t::Scale(t::SumAll(picked), -1.0f / static_cast<float>(s.rows()));
+}
+
+t::Tensor WeightedAssignmentNll(const t::Tensor& s, const std::vector<int>& y,
+                                const std::vector<float>& weights,
+                                float inv_norm) {
+  CPGAN_CHECK_EQ(static_cast<int>(weights.size()), s.rows());
+  // The weight folds into the one-hot mask, so the picked entry of row i is
+  // w_i * log S[i, y_i] and everything else stays zero.
+  t::Matrix mask(s.rows(), s.cols());
+  for (int i = 0; i < s.rows(); ++i) {
+    mask.At(i, std::min(y[i], s.cols() - 1)) = weights[i];
+  }
+  t::Tensor picked = t::Mul(t::Log(s), t::Constant(std::move(mask)));
+  return t::Scale(t::SumAll(picked), -inv_norm);
+}
+
+t::Tensor WeightedBceWithLogits(const t::Tensor& logits,
+                                const t::Matrix& targets,
+                                const std::vector<float>& node_weights,
+                                float pos_weight, float inv_norm) {
+  const int n = logits.rows();
+  CPGAN_CHECK_EQ(logits.cols(), n);
+  CPGAN_CHECK_EQ(targets.rows(), n);
+  CPGAN_CHECK_EQ(targets.cols(), n);
+  CPGAN_CHECK_EQ(static_cast<int>(node_weights.size()), n);
+  // Stable elementwise BCE: pos_weight*t*softplus(-x) + (1-t)*softplus(x),
+  // assembled from masked Softplus terms.
+  t::Matrix pos_mask(n, n);
+  t::Matrix neg_mask(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const bool positive = targets.At(i, j) > 0.5f;
+      pos_mask.At(i, j) = positive ? pos_weight : 0.0f;
+      neg_mask.At(i, j) = positive ? 0.0f : 1.0f;
+    }
+  }
+  t::Tensor elementwise =
+      t::Add(t::Mul(t::Softplus(t::Neg(logits)),
+                    t::Constant(std::move(pos_mask))),
+             t::Mul(t::Softplus(logits), t::Constant(std::move(neg_mask))));
+  // Pair weight w_i * w_j via a row scale then a column scale.
+  t::Matrix col(n, 1);
+  t::Matrix row(1, n);
+  for (int i = 0; i < n; ++i) {
+    col.At(i, 0) = node_weights[i];
+    row.At(0, i) = node_weights[i];
+  }
+  t::Tensor weighted = t::MulRowVec(
+      t::MulColVec(elementwise, t::Constant(std::move(col))),
+      t::Constant(std::move(row)));
+  return t::Scale(t::SumAll(weighted), inv_norm);
+}
+
+}  // namespace cpgan::core

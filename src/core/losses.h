@@ -1,0 +1,49 @@
+#ifndef CPGAN_CORE_LOSSES_H_
+#define CPGAN_CORE_LOSSES_H_
+
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace cpgan::core {
+
+/// \file
+/// Per-node loss terms shared by the training loop and the coreset-weighted
+/// estimators. Everything here is composed from the primitive ops in
+/// tensor/ops.h, so gradient coverage comes from the existing gradcheck
+/// registry entries — no new autograd nodes.
+
+/// Assignment negative log-likelihood: -mean_i log S[i, y_i] via a one-hot
+/// mask. `s` is n x c (rows on the simplex), `y` holds n labels clamped to
+/// [0, c).
+tensor::Tensor AssignmentNll(const tensor::Tensor& s,
+                             const std::vector<int>& y);
+
+/// Importance-weighted assignment NLL: -inv_norm * sum_i w_i log S[i, y_i].
+/// With `weights` all 1 and inv_norm = 1/n this equals AssignmentNll
+/// bitwise. With Horvitz-Thompson coreset weights and inv_norm = 1/n_full
+/// (scaled by the batch fraction of the coreset) the term is an unbiased
+/// estimate of the full-graph mean NLL for costs fixed per node
+/// (tests/core/coreset_test.cc pins this against full-graph gradients).
+tensor::Tensor WeightedAssignmentNll(const tensor::Tensor& s,
+                                     const std::vector<int>& y,
+                                     const std::vector<float>& weights,
+                                     float inv_norm);
+
+/// Importance-weighted binary cross-entropy on logits:
+///   inv_norm * sum_ij w_i w_j [pos_weight * t_ij * softplus(-x_ij)
+///                              + (1 - t_ij) * softplus(x_ij)]
+/// i.e. the stable elementwise BCE with each entry weighted by the product
+/// of its row and column node weights (the pair-level Horvitz-Thompson
+/// weight under with-replacement node sampling). With `node_weights` all 1
+/// and inv_norm = 1/n^2 this matches tensor::BceWithLogits up to float
+/// summation order.
+tensor::Tensor WeightedBceWithLogits(const tensor::Tensor& logits,
+                                     const tensor::Matrix& targets,
+                                     const std::vector<float>& node_weights,
+                                     float pos_weight, float inv_norm);
+
+}  // namespace cpgan::core
+
+#endif  // CPGAN_CORE_LOSSES_H_

@@ -92,6 +92,10 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error) {
     } else if (key == "out") {
       ok = !value.empty();
       request.out = value;
+    } else if (key == "hier") {
+      int64_t flag = 0;
+      ok = ParseInt64(value, &flag) && (flag == 0 || flag == 1);
+      request.hierarchical = flag == 1;
     } else if (key == "checkpoint") {
       ok = !value.empty();
       request.checkpoint = value;

@@ -14,7 +14,7 @@ namespace cpgan::serve {
 /// `node=128` early instead of silently ignoring them).
 ///
 ///   GENERATE [model=NAME] [nodes=N] [edges=M] [seed=S]
-///            [deadline_ms=D] [out=PATH]
+///            [deadline_ms=D] [out=PATH] [hier=0|1]
 ///   RELOAD   model=NAME checkpoint=PATH
 ///   STATS
 ///   QUIT
@@ -57,6 +57,13 @@ struct Request {
   /// When set, the generated edge list is written here (atomically, with
   /// transient-failure retries) instead of being dropped after evaluation.
   std::string out;
+
+  /// `hier=1`: assemble hierarchically (community skeleton, per-community
+  /// decodes, stitched cross edges — docs/INTERNALS.md, "Hierarchical
+  /// assembly"). Per-community decode waves become the watchdog's
+  /// cancellation unit and the KernelLock critical section, so long
+  /// hierarchical decodes interleave with other requests.
+  bool hierarchical = false;
 
   /// RELOAD only: checkpoint file to hot-swap in.
   std::string checkpoint;

@@ -51,9 +51,15 @@ class ServableModel {
                                                ChaosInjector* chaos);
 
   /// Decodes one graph with a caller-owned RNG stream. Caller must hold
-  /// KernelLock(). Requests at the observed size reuse the cached posterior
-  /// latents (no encoder pass per request); other sizes draw prior latents
-  /// from `rng`.
+  /// KernelLock() — except when `controls.hierarchical` is set with a
+  /// `controls.run_phase` wrapper, in which case the caller must NOT hold
+  /// the lock: every kernel-heavy phase (per-community decode wave, stitch
+  /// wave) runs inside `run_phase`, so the wrapper takes KernelLock() per
+  /// phase and other requests interleave between waves. Requests at the
+  /// observed size reuse the cached posterior latents (no encoder pass per
+  /// request); other sizes draw prior latents from `rng`. Hierarchical
+  /// requests always decode from the cached posterior latents and cached
+  /// community labels, at any requested size.
   graph::Graph Generate(const core::GenerateControls& controls,
                         util::Rng& rng) const;
 
@@ -71,6 +77,7 @@ class ServableModel {
 
   std::unique_ptr<core::Cpgan> model_;
   std::vector<tensor::Matrix> posterior_latents_;
+  std::vector<int> community_labels_;
   int observed_nodes_ = 0;
   int64_t observed_edges_ = 0;
   std::string checkpoint_;

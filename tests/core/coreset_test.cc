@@ -11,7 +11,9 @@
 
 #include "core/config.h"
 #include "core/cpgan.h"
+#include "core/losses.h"
 #include "core/sampler.h"
+#include "tensor/ops.h"
 #include "data/synthetic.h"
 #include "graph/graph.h"
 #include "util/memory_tracker.h"
@@ -179,6 +181,93 @@ TEST(CoresetTraining, CoresetLargerThanGraphIsIgnored) {
   Cpgan model(config);
   TrainStats stats = model.Fit(g);
   EXPECT_EQ(stats.coreset_nodes, 0);
+}
+
+// ----- Importance-weighted coreset losses (core/losses.h): the weights
+// SensitivityCoresetSample computes must actually enter the loss, and the
+// weighted estimators must be unbiased for the full-graph terms. -----
+
+TEST(WeightedLosses, UnitWeightsReduceToUnweightedForms) {
+  util::Rng rng(41);
+  const int n = 12;
+  const int c = 3;
+  tensor::Matrix raw(n, c);
+  raw.FillNormal(rng, 1.0f);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) y[i] = i % c;
+  std::vector<float> ones(n, 1.0f);
+
+  tensor::Tensor s = tensor::SoftmaxRows(tensor::Constant(raw));
+  float plain = AssignmentNll(s, y).Scalar();
+  float weighted =
+      WeightedAssignmentNll(s, y, ones, 1.0f / static_cast<float>(n))
+          .Scalar();
+  EXPECT_EQ(plain, weighted);  // same graph, same summation: bitwise
+
+  tensor::Matrix logits(n, n);
+  logits.FillNormal(rng, 1.0f);
+  tensor::Matrix targets(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) targets.At(i, j) = (i + j) % 3 == 0;
+  }
+  float bce =
+      tensor::BceWithLogits(tensor::Constant(logits), targets, 2.0f).Scalar();
+  float wbce = WeightedBceWithLogits(
+                   tensor::Constant(logits), targets, ones, 2.0f,
+                   1.0f / static_cast<float>(n) / static_cast<float>(n))
+                   .Scalar();
+  EXPECT_NEAR(wbce, bce, 1e-5f * std::abs(bce) + 1e-6f);
+}
+
+TEST(WeightedLosses, CoresetGradientIsUnbiasedForFullGraphGradient) {
+  // Skewed fixture: a hub makes the sensitivity distribution non-uniform,
+  // so dropping the importance weights (the original bug: computed but
+  // never used) would bias the estimator toward high-degree nodes.
+  const int n = 40;
+  const int c = 4;
+  std::vector<graph::Edge> edges;
+  for (int v = 1; v < n; ++v) edges.emplace_back(0, v);
+  for (int v = 1; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  graph::Graph g(n, edges);
+
+  util::Rng init_rng(7);
+  tensor::Matrix raw(n, c);
+  raw.FillNormal(init_rng, 1.0f);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) y[i] = i % c;
+
+  // Full-graph reference gradient.
+  tensor::Tensor param_full(raw, /*requires_grad=*/true);
+  tensor::Backward(AssignmentNll(tensor::SoftmaxRows(param_full), y));
+  tensor::Matrix g_full = param_full.grad();
+  ASSERT_GT(g_full.Norm(), 0.0f);
+
+  // Averaged coreset gradient: batch = the whole coreset, so the training
+  // loop's normalizer n_full * (batch / coreset) collapses to n_full.
+  tensor::Matrix g_acc(n, c);
+  util::Rng rng(21);
+  const int reps = 600;
+  for (int rep = 0; rep < reps; ++rep) {
+    CoresetSample cs = SensitivityCoresetSample(g, 16, rng);
+    std::vector<int> y_sub(cs.nodes.size());
+    std::vector<float> w(cs.nodes.size());
+    for (size_t i = 0; i < cs.nodes.size(); ++i) {
+      y_sub[i] = y[cs.nodes[i]];
+      w[i] = static_cast<float>(cs.weights[i]);
+    }
+    tensor::Tensor param(raw, /*requires_grad=*/true);
+    tensor::Tensor sub =
+        tensor::GatherRows(tensor::SoftmaxRows(param), cs.nodes);
+    tensor::Backward(WeightedAssignmentNll(
+        sub, y_sub, w, 1.0f / static_cast<float>(n)));
+    g_acc.Axpy(1.0f, param.grad());
+  }
+  g_acc.Scale(1.0f / static_cast<float>(reps));
+
+  tensor::Matrix diff = g_acc;
+  diff.Axpy(-1.0f, g_full);
+  EXPECT_LT(diff.Norm() / g_full.Norm(), 0.2f)
+      << "averaged coreset gradient drifted from the full-graph gradient";
 }
 
 TEST(CoresetTraining, BudgetExceededIsReportedNotFatal) {

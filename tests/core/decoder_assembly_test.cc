@@ -248,5 +248,86 @@ TEST(AssemblyTest, TopKFillDeterministicallyPicksHighest) {
   EXPECT_TRUE(out.HasEdge(0, 1));
 }
 
+TEST(AssemblyTest, ProportionalFillKeepsRatesForTinyProbabilities) {
+  // Regression for the Efraimidis-Spirakis key underflow: with
+  // probabilities near the 1e-9 clamp, float pow(u, 1/p) collapses every
+  // key to 0.0f and the "proportional" fill degenerates into arbitrary
+  // tie-breaking. The log-space keys must keep selecting pairs at their
+  // proportional rate, so pairs with p = 2e-8 are picked ~2x as often as
+  // pairs with p = 1e-8.
+  const int n = 24;
+  auto scorer = [](const std::vector<int>& ids) {
+    const int k = static_cast<int>(ids.size());
+    tensor::Matrix probs(k, k);
+    for (int a = 0; a < k; ++a) {
+      for (int b = 0; b < k; ++b) {
+        if (a == b) continue;
+        int u = std::min(ids[a], ids[b]);
+        int v = std::max(ids[a], ids[b]);
+        if (v == u + 1 && u % 2 == 0) {
+          // Anchor pairs soak up step 1's per-node categorical draw so the
+          // quota fill below operates purely on the tiny probabilities.
+          probs.At(a, b) = 0.9f;
+        } else {
+          probs.At(a, b) = (u + v) % 2 == 0 ? 2e-8f : 1e-8f;
+        }
+      }
+    }
+    return probs;
+  };
+  const int anchors = n / 2;
+  int64_t special_pairs = 0;
+  int64_t base_pairs = 0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (v == u + 1 && u % 2 == 0) continue;
+      ((u + v) % 2 == 0 ? special_pairs : base_pairs) += 1;
+    }
+  }
+  AssemblyOptions options;
+  options.subgraph_size = n;  // single chunk: no shuffle noise
+  options.proportional_fill = true;
+  util::Rng rng(101);
+  int64_t special_hits = 0;
+  int64_t base_hits = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    graph::Graph out = AssembleGraph(n, anchors + 40, scorer, options, rng);
+    for (const auto& [u, v] : out.Edges()) {
+      if (v == u + 1 && u % 2 == 0) continue;
+      ((u + v) % 2 == 0 ? special_hits : base_hits) += 1;
+    }
+  }
+  double special_rate =
+      static_cast<double>(special_hits) / (special_pairs * trials);
+  double base_rate = static_cast<double>(base_hits) / (base_pairs * trials);
+  ASSERT_GT(base_rate, 0.0);
+  // Exactly 2 minus a little without-replacement attenuation (40 draws
+  // from 264 pairs). The underflow bug yields a ratio near 1.
+  EXPECT_GT(special_rate / base_rate, 1.6);
+  EXPECT_LT(special_rate / base_rate, 2.4);
+}
+
+TEST(AssemblyTest, AbortedFlagResetsWhenOptionsAreReused) {
+  // Regression: `aborted` used to keep its stale true across runs, so a
+  // reused options struct reported phantom aborts.
+  auto scorer = [](const std::vector<int>& ids) {
+    const int k = static_cast<int>(ids.size());
+    return tensor::Matrix(k, k, 0.5f);
+  };
+  util::Rng rng(33);
+  AssemblyOptions options;
+  options.subgraph_size = 8;
+  bool aborted = false;
+  options.aborted = &aborted;
+  options.should_abort = [] { return true; };
+  AssembleGraph(40, 100, scorer, options, rng);
+  EXPECT_TRUE(aborted);
+  options.should_abort = [] { return false; };
+  graph::Graph out = AssembleGraph(40, 100, scorer, options, rng);
+  EXPECT_FALSE(aborted);
+  EXPECT_GT(out.num_edges(), 0);
+}
+
 }  // namespace
 }  // namespace cpgan::core

@@ -13,7 +13,7 @@ TEST(Protocol, ParsesFullGenerateRequest) {
   std::string error;
   ASSERT_TRUE(ParseRequest(
       "GENERATE model=web nodes=256 edges=1024 seed=9 deadline_ms=50.5 "
-      "out=/tmp/g.txt",
+      "out=/tmp/g.txt hier=1",
       &request, &error))
       << error;
   EXPECT_EQ(request.verb, Verb::kGenerate);
@@ -23,6 +23,19 @@ TEST(Protocol, ParsesFullGenerateRequest) {
   EXPECT_EQ(request.seed, 9u);
   EXPECT_DOUBLE_EQ(request.deadline_ms, 50.5);
   EXPECT_EQ(request.out, "/tmp/g.txt");
+  EXPECT_TRUE(request.hierarchical);
+}
+
+TEST(Protocol, HierFlagParsesAndValidates) {
+  Request request;
+  std::string error;
+  ASSERT_TRUE(ParseRequest("GENERATE hier=0", &request, &error)) << error;
+  EXPECT_FALSE(request.hierarchical);
+  ASSERT_TRUE(ParseRequest("GENERATE hier=1", &request, &error)) << error;
+  EXPECT_TRUE(request.hierarchical);
+  EXPECT_FALSE(ParseRequest("GENERATE hier=2", &request, &error));
+  EXPECT_NE(error.find("bad value"), std::string::npos);
+  EXPECT_FALSE(ParseRequest("GENERATE hier=yes", &request, &error));
 }
 
 TEST(Protocol, DefaultsApplyWhenKeysOmitted) {
@@ -34,6 +47,7 @@ TEST(Protocol, DefaultsApplyWhenKeysOmitted) {
   EXPECT_EQ(request.edges, 0);
   EXPECT_EQ(request.seed, 0u);
   EXPECT_LT(request.deadline_ms, 0.0);  // unset -> server default
+  EXPECT_FALSE(request.hierarchical);
 }
 
 TEST(Protocol, KeysParseInAnyOrder) {

@@ -56,6 +56,40 @@ TEST_F(ServerTest, GenerateIsBitwiseDeterministicPerSeed) {
   EXPECT_NE(a, SlurpFile(dir + "/c.txt"));       // different seed differs
 }
 
+TEST_F(ServerTest, HierarchicalRequestIsDeterministicAndSized) {
+  Server server(&SharedServeRegistry(), QuickOptions());
+  server.Start();
+  std::string dir = ServeTempDir("server_hier");
+  Request request;
+  request.hierarchical = true;
+  request.seed = 12;
+  request.out = dir + "/a.txt";
+  Response first = server.Submit(request);
+  request.out = dir + "/b.txt";
+  Response second = server.Submit(request);
+
+  // Hierarchical decodes scale past the observed size (the skeleton keeps
+  // the observed community profile at any node count).
+  Request big;
+  big.hierarchical = true;
+  big.nodes = ServeTestGraph().num_nodes() * 2;
+  big.seed = 12;
+  Response big_response = server.Submit(big);
+  server.Stop();
+
+  ASSERT_EQ(first.status, ResponseStatus::kOk) << first.detail;
+  ASSERT_EQ(second.status, ResponseStatus::kOk) << second.detail;
+  EXPECT_EQ(first.nodes, ServeTestGraph().num_nodes());
+  EXPECT_GT(first.edges, 0);
+  std::string a = SlurpFile(dir + "/a.txt");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, SlurpFile(dir + "/b.txt"));  // same seed -> same graph
+
+  ASSERT_EQ(big_response.status, ResponseStatus::kOk) << big_response.detail;
+  EXPECT_EQ(big_response.nodes, ServeTestGraph().num_nodes() * 2);
+  EXPECT_GT(big_response.edges, 0);
+}
+
 TEST_F(ServerTest, ArbitrarySizeRequestUsesPriorPath) {
   Server server(&SharedServeRegistry(), QuickOptions());
   server.Start();
